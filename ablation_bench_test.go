@@ -1,0 +1,124 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// range-query backend behind DBSVEC, bulk vs dynamic R*-tree construction,
+// the SVDD target-set cap, and the incremental-learning threshold.
+package dbsvec
+
+import (
+	"fmt"
+	"testing"
+
+	"dbsvec/internal/core"
+	"dbsvec/internal/index"
+	"dbsvec/internal/index/kdtree"
+	"dbsvec/internal/index/rtree"
+	"dbsvec/internal/svdd"
+)
+
+// BenchmarkAblationIndexBackend compares DBSVEC's range-query backends.
+// The paper runs DBSVEC index-free (linear); an index trades build time for
+// query time.
+func BenchmarkAblationIndexBackend(b *testing.B) {
+	ds := spreader(20000, 8)
+	backends := []struct {
+		name  string
+		build index.Builder
+	}{
+		{"linear", index.BuildLinear},
+		{"parallel", index.BuildParallel},
+		{"kdtree", kdtree.Build},
+		{"rtree", rtree.Build},
+	}
+	for _, be := range backends {
+		b.Run(be.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Run(ds, core.Options{Eps: 5000, MinPts: 100, Seed: 1, IndexBuilder: be.build}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRTreeBuild compares STR bulk loading against one-at-a-
+// time R* insertion (build cost and query cost).
+func BenchmarkAblationRTreeBuild(b *testing.B) {
+	ds := spreader(50000, 4)
+	b.Run("bulk-build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rtree.Bulk(ds)
+		}
+	})
+	b.Run("dynamic-build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rtree.BuildDynamic(ds)
+		}
+	})
+	bulk := rtree.Bulk(ds)
+	dyn := rtree.BuildDynamic(ds)
+	var buf []int32
+	b.Run("bulk-query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buf = bulk.RangeQuery(ds.Point(i%ds.Len()), 5000, buf[:0])
+		}
+	})
+	b.Run("dynamic-query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buf = dyn.RangeQuery(ds.Point(i%ds.Len()), 5000, buf[:0])
+		}
+	})
+}
+
+// BenchmarkAblationSVDDTargetCap sweeps the SVDD target-set cap: larger
+// caps mean more kernel work per training but potentially fewer rounds.
+func BenchmarkAblationSVDDTargetCap(b *testing.B) {
+	ds := spreader(20000, 8)
+	for _, cap := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("cap=%d", cap), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Run(ds, core.Options{Eps: 5000, MinPts: 100, Seed: 1, MaxSVDDTarget: cap}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLearnThreshold sweeps the incremental-learning threshold
+// T (Section IV-B1; the paper recommends 2–4, default 3).
+func BenchmarkAblationLearnThreshold(b *testing.B) {
+	ds := spreader(20000, 8)
+	for _, T := range []int{1, 3, 6, -1} {
+		name := fmt.Sprintf("T=%d", T)
+		if T == -1 {
+			name = "T=inf"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Run(ds, core.Options{Eps: 5000, MinPts: 100, Seed: 1, LearnThreshold: T}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSVDDTrain isolates one SVDD training across target sizes
+// (the O(ñ) claim of Section IV-D).
+func BenchmarkAblationSVDDTrain(b *testing.B) {
+	ds := spreader(20000, 8)
+	for _, n := range []int{128, 512, 2048} {
+		ids := make([]int32, n)
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		times := make([]int, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := svdd.Train(ds, ids, svdd.Config{Dim: 8, MinPts: 100, Times: times}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

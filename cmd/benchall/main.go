@@ -1,0 +1,56 @@
+// Command benchall regenerates the paper's evaluation tables and figures
+// (Section V) against this repository's implementations.
+//
+// Usage:
+//
+//	benchall [-exp fig6a] [-full] [-seed 1] [-budget 30s] [-list]
+//
+// By default every experiment runs in quick mode (reduced cardinalities so
+// the suite finishes in minutes). -full approaches the paper's scales and
+// can run for hours. -exp selects a single experiment by id.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dbsvec/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "run a single experiment id (default: all)")
+		full   = flag.Bool("full", false, "use paper-scale cardinalities (slow)")
+		seed   = flag.Int64("seed", 1, "random seed for data generation and algorithms")
+		budget = flag.Duration("budget", 0, "per-run time budget before an algorithm is dropped from a sweep (0 = default)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Quick: !*full, Seed: *seed, Budget: *budget}
+	start := time.Now()
+	var err error
+	if *exp == "" {
+		err = experiments.RunAll(os.Stdout, cfg)
+	} else {
+		var e experiments.Experiment
+		e, err = experiments.ByID(*exp)
+		if err == nil {
+			err = e.Run(os.Stdout, cfg)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ntotal harness time: %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,83 @@
+// Command datagen emits the synthetic datasets used across this repository
+// as CSV on stdout.
+//
+// Usage:
+//
+//	datagen -kind spreader -n 100000 -d 8 [-seed 1]
+//	datagen -kind blobs -n 10000 -d 3 -k 5
+//	datagen -kind t4.8k | t7.10k | d31 | dim32 | dim64 | roadmap | uniform | ring
+//	datagen -kind suite -name t4.8k          # any Table III stand-in
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dbsvec/internal/data"
+	"dbsvec/internal/vec"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "spreader", "generator: spreader|blobs|t4.8k|t7.10k|d31|dim32|dim64|roadmap|uniform|ring|suite")
+		n      = flag.Int("n", 10000, "number of points")
+		d      = flag.Int("d", 2, "dimensionality")
+		k      = flag.Int("k", 5, "cluster count (blobs) / hub count (roadmap)")
+		name   = flag.String("name", "", "suite dataset name when -kind suite")
+		seed   = flag.Int64("seed", 1, "random seed")
+		format = flag.String("format", "csv", "output format: csv | bin (binary, for large caches)")
+	)
+	flag.Parse()
+
+	ds, err := generate(*kind, *n, *d, *k, *name, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+	switch *format {
+	case "csv":
+		err = data.WriteCSV(os.Stdout, ds, nil)
+	case "bin":
+		err = data.WriteBinary(os.Stdout, ds)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func generate(kind string, n, d, k int, name string, seed int64) (*vec.Dataset, error) {
+	switch kind {
+	case "spreader":
+		return data.SeedSpreader{N: n, D: d, Seed: seed}.Generate(), nil
+	case "blobs":
+		return data.Blobs(n, d, k, 2, 100, 0.02, seed), nil
+	case "t4.8k":
+		return data.Chameleon48K(seed), nil
+	case "t7.10k":
+		return data.Chameleon710K(seed), nil
+	case "d31":
+		return data.D31(seed), nil
+	case "dim32":
+		return data.DimSet(1024, 32, seed), nil
+	case "dim64":
+		return data.DimSet(1024, 64, seed), nil
+	case "roadmap":
+		return data.RoadMap(n, k, seed), nil
+	case "uniform":
+		return data.Uniform(n, d, 1e5, seed), nil
+	case "ring":
+		return data.Ring(n, 100, 1, seed), nil
+	case "suite":
+		e, err := data.SuiteByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return e.Gen(seed), nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestGenerateKinds(t *testing.T) {
+	cases := []struct {
+		kind    string
+		n, d, k int
+		name    string
+		wantN   int
+		wantD   int
+	}{
+		{"spreader", 500, 4, 0, "", 500, 4},
+		{"blobs", 300, 3, 4, "", 300, 3},
+		{"t4.8k", 0, 0, 0, "", 8000, 2},
+		{"t7.10k", 0, 0, 0, "", 10000, 2},
+		{"d31", 0, 0, 0, "", 3100, 2},
+		{"dim32", 0, 0, 0, "", 1024, 32},
+		{"dim64", 0, 0, 0, "", 1024, 64},
+		{"roadmap", 400, 0, 5, "", 400, 2},
+		{"uniform", 200, 6, 0, "", 200, 6},
+		{"ring", 150, 2, 0, "", 150, 2},
+		{"suite", 0, 0, 0, "Seeds", 210, 7},
+	}
+	for _, c := range cases {
+		ds, err := generate(c.kind, c.n, c.d, c.k, c.name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		if ds.Len() != c.wantN || ds.Dim() != c.wantD {
+			t.Errorf("%s: got %dx%d, want %dx%d", c.kind, ds.Len(), ds.Dim(), c.wantN, c.wantD)
+		}
+		if err := ds.Validate(); err != nil {
+			t.Errorf("%s: %v", c.kind, err)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := generate("bogus", 10, 2, 2, "", 1); err == nil {
+		t.Error("unknown kind should error")
+	}
+	if _, err := generate("suite", 0, 0, 0, "nope", 1); err == nil {
+		t.Error("unknown suite name should error")
+	}
+}

@@ -1,0 +1,126 @@
+// Command dbsvec clusters a CSV file of numeric rows and writes the input
+// back with a cluster-label column appended (-1 = noise).
+//
+// Usage:
+//
+//	dbsvec -eps 5000 -minpts 100 [-algo dbsvec] [-in points.csv] [-out labeled.csv]
+//	       [-nu 0] [-normalize 0] [-index linear] [-seed 1] [-stats]
+//
+// Algorithms: dbsvec (default), dbscan, rho, lsh, nq, kmeans (with -k).
+// Reading from stdin and writing to stdout are the defaults.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"dbsvec"
+)
+
+func main() {
+	var (
+		algo      = flag.String("algo", "dbsvec", "algorithm: dbsvec|dbscan|rho|lsh|nq|kmeans")
+		eps       = flag.Float64("eps", 0, "epsilon radius (required for density-based algorithms)")
+		minPts    = flag.Int("minpts", 0, "density threshold MinPts")
+		k         = flag.Int("k", 0, "cluster count for kmeans")
+		nu        = flag.Float64("nu", 0, "DBSVEC penalty factor nu (0 = adaptive nu*)")
+		inPath    = flag.String("in", "", "input CSV (default stdin)")
+		outPath   = flag.String("out", "", "output CSV with labels (default stdout)")
+		normalize = flag.Float64("normalize", 0, "rescale every dimension to [0,S] before clustering (0 = off)")
+		indexKind = flag.String("index", "linear", "range-query index: linear|kdtree|rtree|grid")
+		seed      = flag.Int64("seed", 1, "random seed")
+		stats     = flag.Bool("stats", false, "print run statistics to stderr")
+	)
+	flag.Parse()
+
+	if err := run(*algo, *eps, *minPts, *k, *nu, *inPath, *outPath, *normalize, *indexKind, *seed, *stats); err != nil {
+		fmt.Fprintf(os.Stderr, "dbsvec: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(algo string, eps float64, minPts, k int, nu float64, inPath, outPath string, normalize float64, indexKind string, seed int64, stats bool) error {
+	var in io.Reader = os.Stdin
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	ds, err := dbsvec.ReadCSV(in)
+	if err != nil {
+		return err
+	}
+	if normalize > 0 {
+		ds.Normalize(normalize)
+	}
+
+	var idx dbsvec.IndexKind
+	switch indexKind {
+	case "linear":
+		idx = dbsvec.IndexLinear
+	case "kdtree":
+		idx = dbsvec.IndexKDTree
+	case "rtree":
+		idx = dbsvec.IndexRTree
+	case "grid":
+		idx = dbsvec.IndexGrid
+	default:
+		return fmt.Errorf("unknown index %q", indexKind)
+	}
+
+	start := time.Now()
+	var res *dbsvec.Result
+	switch algo {
+	case "dbsvec":
+		res, err = dbsvec.Cluster(ds, dbsvec.Options{Eps: eps, MinPts: minPts, Nu: nu, Index: idx, Seed: seed})
+	case "dbscan":
+		res, err = dbsvec.DBSCAN(ds, eps, minPts, idx)
+	case "rho":
+		res, err = dbsvec.RhoApproximate(ds, dbsvec.RhoOptions{Eps: eps, MinPts: minPts})
+	case "lsh":
+		res, err = dbsvec.DBSCANLSH(ds, dbsvec.LSHOptions{Eps: eps, MinPts: minPts, Seed: seed})
+	case "nq":
+		res, err = dbsvec.NQDBSCAN(ds, eps, minPts)
+	case "kmeans":
+		var km *dbsvec.KMeansResult
+		km, err = dbsvec.KMeans(ds, k, seed)
+		if km != nil {
+			res = km.Result
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	var out io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := ds.WriteCSV(out, res); err != nil {
+		return err
+	}
+	if stats {
+		fmt.Fprintf(os.Stderr, "algorithm=%s n=%d d=%d clusters=%d noise=%d time=%s\n",
+			algo, ds.Len(), ds.Dim(), res.Clusters, res.NoiseCount(), elapsed.Round(time.Millisecond))
+		if algo == "dbsvec" {
+			s := res.Stats
+			fmt.Fprintf(os.Stderr, "seeds=%d supportVectors=%d merges=%d noiseList=%d rangeQueries=%d rangeCounts=%d svddTrainings=%d\n",
+				s.Seeds, s.SupportVectors, s.Merges, s.NoiseList, s.RangeQueries, s.RangeCounts, s.SVDDTrainings)
+		}
+	}
+	return nil
+}

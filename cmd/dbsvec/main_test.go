@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeInput(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "in.csv")
+	var sb strings.Builder
+	// Two tight clumps of 10 points each plus one outlier.
+	for i := 0; i < 10; i++ {
+		sb.WriteString("0.1,0.1\n")
+		sb.WriteString("50.0,50.0\n")
+	}
+	sb.WriteString("500,500\n")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	in := writeInput(t)
+	for _, algo := range []string{"dbsvec", "dbscan", "rho", "lsh", "nq"} {
+		out := filepath.Join(t.TempDir(), "out.csv")
+		if err := run(algo, 5, 5, 0, 0, in, out, 0, "linear", 1, false); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) != 21 {
+			t.Fatalf("%s: wrote %d lines, want 21", algo, len(lines))
+		}
+		// Outlier must be noise for the density algorithms.
+		if !strings.HasSuffix(lines[20], ",-1") {
+			t.Errorf("%s: outlier line %q not labeled noise", algo, lines[20])
+		}
+	}
+}
+
+func TestRunKMeans(t *testing.T) {
+	in := writeInput(t)
+	out := filepath.Join(t.TempDir(), "out.csv")
+	if err := run("kmeans", 0, 0, 2, 0, in, out, 0, "linear", 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunIndexKinds(t *testing.T) {
+	in := writeInput(t)
+	for _, idx := range []string{"linear", "kdtree", "rtree", "grid"} {
+		out := filepath.Join(t.TempDir(), "out.csv")
+		if err := run("dbscan", 5, 5, 0, 0, in, out, 0, idx, 1, false); err != nil {
+			t.Fatalf("index %s: %v", idx, err)
+		}
+	}
+}
+
+func TestRunNormalize(t *testing.T) {
+	in := writeInput(t)
+	out := filepath.Join(t.TempDir(), "out.csv")
+	// After normalization to [0,1000], eps must be rescaled accordingly;
+	// eps=20 separates clumps at 0 and ~100 (of 1000).
+	if err := run("dbsvec", 20, 5, 0, 0, in, out, 1000, "linear", 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	in := writeInput(t)
+	if err := run("bogus", 5, 5, 0, 0, in, "", 0, "linear", 1, false); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+	if err := run("dbscan", 5, 5, 0, 0, in, "", 0, "bogus", 1, false); err == nil {
+		t.Error("unknown index should error")
+	}
+	if err := run("dbscan", 5, 5, 0, 0, "/nonexistent/file.csv", "", 0, "linear", 1, false); err == nil {
+		t.Error("missing input file should error")
+	}
+	if err := run("dbscan", -5, 5, 0, 0, in, "", 0, "linear", 1, false); err == nil {
+		t.Error("invalid eps should error")
+	}
+}

@@ -1,0 +1,152 @@
+// Command evaluate compares two clustering outputs (CSV files whose last
+// column is a cluster label, as written by cmd/dbsvec) and prints the
+// paper's quality metrics: pair recall of the candidate against the
+// reference, the Adjusted Rand Index, noise agreement, and — when the
+// coordinate columns are present — silhouette compactness and
+// Davies–Bouldin separation for each labeling.
+//
+// Usage:
+//
+//	evaluate -ref exact.csv -cand approx.csv [-sample 3000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"dbsvec/internal/cluster"
+	"dbsvec/internal/data"
+	"dbsvec/internal/eval"
+	"dbsvec/internal/vec"
+)
+
+func main() {
+	var (
+		refPath  = flag.String("ref", "", "reference labeled CSV (required)")
+		candPath = flag.String("cand", "", "candidate labeled CSV (required)")
+		sample   = flag.Int("sample", 3000, "metric sample cap for O(n^2) internal metrics (0 disables them)")
+		seed     = flag.Int64("seed", 1, "sampling seed")
+	)
+	flag.Parse()
+	if *refPath == "" || *candPath == "" {
+		fmt.Fprintln(os.Stderr, "evaluate: -ref and -cand are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, *refPath, *candPath, *sample, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "evaluate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(out *os.File, refPath, candPath string, sample int, seed int64) error {
+	refDS, refRes, err := loadLabeled(refPath)
+	if err != nil {
+		return fmt.Errorf("reference: %w", err)
+	}
+	candDS, candRes, err := loadLabeled(candPath)
+	if err != nil {
+		return fmt.Errorf("candidate: %w", err)
+	}
+	if refDS.Len() != candDS.Len() {
+		return fmt.Errorf("cardinality mismatch: %d vs %d points", refDS.Len(), candDS.Len())
+	}
+
+	recall, err := eval.PairRecall(refRes, candRes)
+	if err != nil {
+		return err
+	}
+	ari, err := eval.AdjustedRandIndex(refRes, candRes)
+	if err != nil {
+		return err
+	}
+	agree, err := eval.NoiseAgreement(refRes, candRes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "points:            %d\n", refDS.Len())
+	fmt.Fprintf(out, "reference:         %d clusters, %d noise\n", refRes.Clusters, refRes.NoiseCount())
+	fmt.Fprintf(out, "candidate:         %d clusters, %d noise\n", candRes.Clusters, candRes.NoiseCount())
+	fmt.Fprintf(out, "pair recall:       %.4f\n", recall)
+	fmt.Fprintf(out, "adjusted rand:     %.4f\n", ari)
+	fmt.Fprintf(out, "noise agreement:   %.4f\n", agree)
+
+	if sample > 0 && refDS.Dim() > 0 {
+		ids := sampleIDs(refDS.Len(), sample, seed)
+		sub := refDS.Subset(ids)
+		for _, side := range []struct {
+			name string
+			res  *cluster.Result
+		}{{"reference", refRes}, {"candidate", candRes}} {
+			sres := subLabels(side.res, ids)
+			c, err := eval.Silhouette(sub, sres)
+			if err != nil {
+				return err
+			}
+			s, err := eval.DaviesBouldin(sub, sres)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%s compactness=%.4f separation=%.4f\n", side.name, c, s)
+		}
+	}
+	return nil
+}
+
+// loadLabeled reads a CSV whose final column is the cluster label and
+// splits it into coordinates and a Result.
+func loadLabeled(path string) (*vec.Dataset, *cluster.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	raw, err := data.ReadCSV(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	if raw.Dim() < 2 {
+		return nil, nil, fmt.Errorf("%s: need at least one coordinate column plus the label column", path)
+	}
+	d := raw.Dim() - 1
+	coords := make([]float64, 0, raw.Len()*d)
+	labels := make([]int32, raw.Len())
+	for i := 0; i < raw.Len(); i++ {
+		row := raw.Point(i)
+		coords = append(coords, row[:d]...)
+		labels[i] = int32(row[d])
+	}
+	ds, err := vec.NewDataset(coords, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := (&cluster.Result{Labels: labels}).Compact()
+	return ds, res, nil
+}
+
+func sampleIDs(n, cap int, seed int64) []int32 {
+	if n <= cap {
+		ids := make([]int32, n)
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		return ids
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)[:cap]
+	ids := make([]int32, cap)
+	for i, p := range perm {
+		ids[i] = int32(p)
+	}
+	return ids
+}
+
+func subLabels(res *cluster.Result, ids []int32) *cluster.Result {
+	labels := make([]int32, len(ids))
+	for i, id := range ids {
+		labels[i] = res.Labels[id]
+	}
+	return (&cluster.Result{Labels: labels}).Compact()
+}

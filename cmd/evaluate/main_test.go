@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeLabeled(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestEvaluateIdentical(t *testing.T) {
+	csv := "0,0,0\n0.1,0,0\n5,5,1\n5.1,5,1\n99,99,-1\n"
+	ref := writeLabeled(t, "ref.csv", csv)
+	cand := writeLabeled(t, "cand.csv", csv)
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if err := run(out, ref, cand, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out.Name())
+	s := string(data)
+	for _, want := range []string{"pair recall:       1.0000", "adjusted rand:     1.0000", "noise agreement:   1.0000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestEvaluateSplit(t *testing.T) {
+	ref := writeLabeled(t, "ref.csv", "0,0,0\n1,0,0\n2,0,0\n3,0,0\n")
+	cand := writeLabeled(t, "cand.csv", "0,0,0\n1,0,0\n2,0,1\n3,0,1\n")
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if err := run(out, ref, cand, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out.Name())
+	if !strings.Contains(string(data), "pair recall:       0.3333") {
+		t.Errorf("expected recall 1/3:\n%s", string(data))
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	good := writeLabeled(t, "g.csv", "0,0,0\n")
+	if err := run(out, "/nonexistent.csv", good, 0, 1); err == nil {
+		t.Error("missing ref should error")
+	}
+	short := writeLabeled(t, "s.csv", "0,0,0\n1,1,0\n")
+	if err := run(out, good, short, 0, 1); err == nil {
+		t.Error("cardinality mismatch should error")
+	}
+	oneCol := writeLabeled(t, "one.csv", "0\n")
+	if err := run(out, oneCol, oneCol, 0, 1); err == nil {
+		t.Error("label-only file should error")
+	}
+}

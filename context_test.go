@@ -1,0 +1,40 @@
+package dbsvec
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestClusterContextCancelled(t *testing.T) {
+	ds, _ := NewDataset(blobRows(2000, 31))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the run must abort immediately
+	_, err := ClusterContext(ctx, ds, Options{Eps: 4, MinPts: 8})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestClusterContextDeadline(t *testing.T) {
+	ds, _ := NewDataset(blobRows(2000, 32))
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	_, err := ClusterContext(ctx, ds, Options{Eps: 4, MinPts: 8})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestClusterContextBackgroundSucceeds(t *testing.T) {
+	ds, _ := NewDataset(blobRows(400, 33))
+	res, err := ClusterContext(context.Background(), ds, Options{Eps: 4, MinPts: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 2 {
+		t.Errorf("clusters = %d, want 2", res.Clusters)
+	}
+}

@@ -1,0 +1,204 @@
+package dbsvec
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"dbsvec/internal/cluster"
+	"dbsvec/internal/core"
+	"dbsvec/internal/index"
+	"dbsvec/internal/index/grid"
+	"dbsvec/internal/index/kdtree"
+	"dbsvec/internal/index/pyramid"
+	"dbsvec/internal/index/rtree"
+	"dbsvec/internal/index/vptree"
+)
+
+// Noise is the label assigned to noise points in Result.Labels.
+const Noise int32 = cluster.Noise
+
+// IndexKind selects the range-query backend for the algorithms that accept
+// one.
+type IndexKind int
+
+// Supported index kinds.
+const (
+	// IndexLinear is the brute-force scan — DBSVEC's default, since it
+	// needs no index structure.
+	IndexLinear IndexKind = iota
+	// IndexKDTree is a bulk-loaded kd-tree.
+	IndexKDTree
+	// IndexRTree is an STR bulk-loaded R*-tree (the paper's R-DBSCAN
+	// ground-truth configuration).
+	IndexRTree
+	// IndexGrid is a cell grid of width eps/√d with exact query semantics.
+	IndexGrid
+	// IndexParallel is a linear scan fanned out across all CPUs — exact
+	// semantics, zero build cost, lower wall-clock per query.
+	IndexParallel
+	// IndexPyramid is the Pyramid technique (cited by the paper via the
+	// P⁺-tree) — exact range queries that stay effective in high
+	// dimensional spaces.
+	IndexPyramid
+	// IndexVPTree is a vantage-point tree: metric pruning via the triangle
+	// inequality, a strong exact backend in high dimensions.
+	IndexVPTree
+)
+
+func (k IndexKind) builder(eps float64, dim int) (index.Builder, error) {
+	switch k {
+	case IndexLinear:
+		return index.BuildLinear, nil
+	case IndexKDTree:
+		return kdtree.Build, nil
+	case IndexRTree:
+		return rtree.Build, nil
+	case IndexGrid:
+		w := eps
+		if dim > 0 && eps > 0 {
+			w = eps / math.Sqrt(float64(dim))
+		}
+		if w <= 0 {
+			return nil, fmt.Errorf("dbsvec: grid index requires eps > 0")
+		}
+		return grid.BuildWidth(w), nil
+	case IndexParallel:
+		return index.BuildParallel, nil
+	case IndexPyramid:
+		return pyramid.Build, nil
+	case IndexVPTree:
+		return vptree.Build, nil
+	default:
+		return nil, fmt.Errorf("dbsvec: unknown index kind %d", k)
+	}
+}
+
+// Options configures Cluster. Zero values of optional fields select the
+// paper's defaults.
+type Options struct {
+	// Eps is the ε-neighborhood radius (required, > 0 for meaningful
+	// results).
+	Eps float64
+	// MinPts is the density threshold, counting the point itself
+	// (required, >= 1).
+	MinPts int
+
+	// Nu overrides the SVDD penalty factor ν ∈ (0,1]; 0 selects the
+	// adaptive ν* of Eq. 20. NuMin selects the paper's DBSVEC_min variant
+	// (ν = 1/ñ, a single support vector per training in the limit).
+	Nu    float64
+	NuMin bool
+
+	// MemoryFactor is the λ > 1 of the adaptive penalty weights; 0 selects
+	// 1.5.
+	MemoryFactor float64
+
+	// LearnThreshold is the incremental-learning threshold T; 0 selects the
+	// paper's 3, negative disables incremental learning.
+	LearnThreshold int
+
+	// DisableWeights turns off adaptive penalty weights (plain SVDD).
+	DisableWeights bool
+
+	// RandomKernel replaces the σ = r/√2 kernel width rule with a random
+	// draw (ablation).
+	RandomKernel bool
+
+	// Seed drives all randomized choices; runs with equal seeds are
+	// reproducible.
+	Seed int64
+
+	// Index selects the range-query backend (default IndexLinear).
+	Index IndexKind
+
+	// MaxSVDDTarget caps the SVDD target-set size (default 1024).
+	MaxSVDDTarget int
+}
+
+// Stats reports the work a DBSVEC run performed, exposing every term of the
+// paper's θ = s + 1 + k + m + MinPts·l cost model.
+type Stats struct {
+	// Seeds is the number of sub-cluster seeds (s).
+	Seeds int
+	// SupportVectors is the total number of support vectors (k).
+	SupportVectors int64
+	// Merges is the number of sub-cluster merges (m).
+	Merges int
+	// NoiseList is the number of potential noise points (l).
+	NoiseList int
+	// RangeQueries and RangeCounts count the ε-queries actually issued.
+	RangeQueries int64
+	RangeCounts  int64
+	// SVDDTrainings is the number of SVDD models fitted.
+	SVDDTrainings int
+}
+
+// Result is the outcome of a clustering run.
+type Result struct {
+	// Labels assigns each input point a cluster id in [0, Clusters) or
+	// Noise (-1).
+	Labels []int32
+	// Clusters is the number of clusters found.
+	Clusters int
+	// Stats holds DBSVEC work counters; zero for other algorithms unless
+	// documented.
+	Stats Stats
+
+	inner *cluster.Result
+}
+
+// NoiseCount returns the number of noise points.
+func (r *Result) NoiseCount() int { return r.inner.NoiseCount() }
+
+// ClusterSizes returns the size of each cluster indexed by cluster id.
+func (r *Result) ClusterSizes() []int { return r.inner.Sizes() }
+
+func wrapResult(res *cluster.Result) *Result {
+	return &Result{Labels: res.Labels, Clusters: res.Clusters, inner: res}
+}
+
+// Cluster runs DBSVEC over the dataset.
+func Cluster(d *Dataset, opts Options) (*Result, error) {
+	return ClusterContext(context.Background(), d, opts)
+}
+
+// ClusterContext runs DBSVEC with cancellation: when ctx is cancelled the
+// run stops between phases and returns ctx's error.
+func ClusterContext(ctx context.Context, d *Dataset, opts Options) (*Result, error) {
+	if d == nil {
+		return nil, core.ErrNilDataset
+	}
+	build, err := opts.Index.builder(opts.Eps, d.Dim())
+	if err != nil {
+		return nil, err
+	}
+	res, st, err := core.Run(d.ds, core.Options{
+		Context:        ctx,
+		Eps:            opts.Eps,
+		MinPts:         opts.MinPts,
+		Nu:             opts.Nu,
+		NuMin:          opts.NuMin,
+		MemoryFactor:   opts.MemoryFactor,
+		LearnThreshold: opts.LearnThreshold,
+		DisableWeights: opts.DisableWeights,
+		RandomKernel:   opts.RandomKernel,
+		Seed:           opts.Seed,
+		IndexBuilder:   build,
+		MaxSVDDTarget:  opts.MaxSVDDTarget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := wrapResult(res)
+	out.Stats = Stats{
+		Seeds:          st.Seeds,
+		SupportVectors: st.SupportVectors,
+		Merges:         st.Merges,
+		NoiseList:      st.NoiseList,
+		RangeQueries:   st.RangeQueries,
+		RangeCounts:    st.RangeCounts,
+		SVDDTrainings:  st.SVDDTrainings,
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+// Comparison: run every algorithm in the library on one dataset and print a
+// small scoreboard — runtime, cluster count, noise, and pair recall against
+// exact DBSCAN. A miniature of the paper's evaluation, runnable in seconds.
+//
+// Run with:
+//
+//	go run ./examples/comparison [-n 30000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"dbsvec"
+)
+
+func main() {
+	n := flag.Int("n", 30000, "dataset cardinality")
+	flag.Parse()
+
+	ds, err := dbsvec.NewDataset(generate(*n, 8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds.Normalize(1e5)
+	const (
+		eps    = 5000.0
+		minPts = 100
+	)
+
+	exact, exactTime, err := run("DBSCAN (R-tree)", func() (*dbsvec.Result, error) {
+		return dbsvec.DBSCAN(ds, eps, minPts, dbsvec.IndexRTree)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-18s %10s %9s %8s %8s\n", "algorithm", "time", "clusters", "noise", "recall")
+	report("DBSCAN (R-tree)", exact, exactTime, exact)
+
+	algos := []struct {
+		name string
+		fn   func() (*dbsvec.Result, error)
+	}{
+		{"DBSVEC", func() (*dbsvec.Result, error) {
+			return dbsvec.Cluster(ds, dbsvec.Options{Eps: eps, MinPts: minPts})
+		}},
+		{"DBSVEC_min", func() (*dbsvec.Result, error) {
+			return dbsvec.Cluster(ds, dbsvec.Options{Eps: eps, MinPts: minPts, NuMin: true})
+		}},
+		{"rho-approx", func() (*dbsvec.Result, error) {
+			return dbsvec.RhoApproximate(ds, dbsvec.RhoOptions{Eps: eps, MinPts: minPts})
+		}},
+		{"DBSCAN-LSH", func() (*dbsvec.Result, error) {
+			return dbsvec.DBSCANLSH(ds, dbsvec.LSHOptions{Eps: eps, MinPts: minPts, Seed: 1})
+		}},
+		{"NQ-DBSCAN", func() (*dbsvec.Result, error) {
+			return dbsvec.NQDBSCAN(ds, eps, minPts)
+		}},
+	}
+	for _, a := range algos {
+		res, elapsed, err := run(a.name, a.fn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(a.name, res, elapsed, exact)
+	}
+}
+
+func run(name string, fn func() (*dbsvec.Result, error)) (*dbsvec.Result, time.Duration, error) {
+	start := time.Now()
+	res, err := fn()
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", name, err)
+	}
+	return res, time.Since(start), nil
+}
+
+func report(name string, res *dbsvec.Result, elapsed time.Duration, exact *dbsvec.Result) {
+	recall, err := dbsvec.PairRecall(exact, res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-18s %10s %9d %8d %8.3f\n",
+		name, elapsed.Round(time.Millisecond), res.Clusters, res.NoiseCount(), recall)
+}
+
+// generate emits paper-style synthetic data: dense walker-spread regions in
+// [0,1e5]^d plus a trace of uniform noise.
+func generate(n, d int) [][]float64 {
+	rng := rand.New(rand.NewSource(3))
+	const span = 1e5
+	rows := make([][]float64, 0, n)
+	regions := 10
+	per := n / regions
+	pos := make([]float64, d)
+	for r := 0; r < regions; r++ {
+		for j := range pos {
+			pos[j] = span * (0.05 + 0.9*rng.Float64())
+		}
+		for i := 0; i < per; i++ {
+			row := make([]float64, d)
+			for j := 0; j < d; j++ {
+				row[j] = pos[j] + rng.NormFloat64()*span/200
+			}
+			rows = append(rows, row)
+			for j := range pos {
+				pos[j] += (rng.Float64()*2 - 1) * span / 400
+			}
+		}
+	}
+	for len(rows) < n {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.Float64() * span
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,103 @@
+// Novelty: use the library's SVDD engine directly as a one-class learner.
+// A boundary is trained on a reference window of normal observations; new
+// observations are scored against it — the standalone use of the same
+// support-vector machinery DBSVEC uses to expand clusters.
+//
+// Run with:
+//
+//	go run ./examples/novelty
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+
+	"dbsvec"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+
+	// Reference window: a banana-shaped normal region (one-class methods
+	// must handle non-elliptic shapes; that is SVDD's selling point).
+	train := make([][]float64, 0, 600)
+	for i := 0; i < 600; i++ {
+		theta := rng.Float64() * math.Pi
+		r := 10 + rng.NormFloat64()*0.8
+		train = append(train, []float64{r * math.Cos(theta), r * math.Sin(theta)})
+	}
+	ds, err := dbsvec.NewDataset(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	model, err := dbsvec.TrainOneClass(ds, dbsvec.OneClassOptions{Nu: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d points, %d support vectors, sigma=%.2f\n",
+		ds.Len(), len(model.SupportVectors()), model.Sigma())
+
+	// Probe points: on the banana, at its center of curvature (a hole —
+	// outside the data's support), and far away.
+	probes := []struct {
+		name string
+		p    []float64
+	}{
+		{"on the band", []float64{10, 0.5}},
+		{"top of the band", []float64{0, 10}},
+		{"inside the hole", []float64{0, 2}},
+		{"far away", []float64{40, -20}},
+	}
+	for _, pr := range probes {
+		fmt.Printf("%-18s score=%+.4f normal=%v\n", pr.name, model.Score(pr.p), model.Contains(pr.p))
+	}
+
+	// The default sigma = r/sqrt(2) is the paper's anti-overfitting lower
+	// bound, which keeps the boundary loose — loose enough to cover the
+	// banana's hole. A smaller sigma hugs the band tightly and exposes the
+	// hole, at the risk of overfitting (Section IV-B2's trade-off).
+	tight, err := dbsvec.TrainOneClass(ds, dbsvec.OneClassOptions{Nu: 0.05, Sigma: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntight model (sigma=3, %d support vectors):\n", len(tight.SupportVectors()))
+	for _, pr := range probes {
+		fmt.Printf("%-18s score=%+.4f normal=%v\n", pr.name, tight.Score(pr.p), tight.Contains(pr.p))
+	}
+	fmt.Println()
+
+	// Batch evaluation: how well does the boundary separate held-out normal
+	// points from scattered anomalies?
+	normalOK, anomalyCaught := 0, 0
+	const nHold = 300
+	for i := 0; i < nHold; i++ {
+		theta := rng.Float64() * math.Pi
+		r := 10 + rng.NormFloat64()*0.8
+		if model.Contains([]float64{r * math.Cos(theta), r * math.Sin(theta)}) {
+			normalOK++
+		}
+		if !model.Contains([]float64{(rng.Float64() - 0.5) * 60, (rng.Float64() - 0.5) * 60}) {
+			anomalyCaught++
+		}
+	}
+	fmt.Printf("held-out normals accepted: %d/%d, uniform anomalies rejected: %d/%d\n",
+		normalOK, nHold, anomalyCaught, nHold)
+
+	// Render the tight model's decision region (the paper's Figure 3-style
+	// boundary picture) to boundary.svg in the working directory.
+	f, err := os.Create("boundary.svg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	err = dbsvec.WriteDecisionSVG(f, ds, nil, tight.Contains,
+		dbsvec.PlotOptions{Title: "SVDD decision region (sigma=3)", PointRadius: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote boundary.svg")
+}

@@ -1,0 +1,3 @@
+module dbsvec
+
+go 1.22

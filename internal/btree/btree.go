@@ -1,0 +1,193 @@
+// Package btree implements an in-memory B+-tree keyed by float64 with
+// int32 payloads — the classic database index structure the original
+// Pyramid technique (and the paper's P⁺-tree reference) is built on. Keys
+// may repeat; range scans visit entries in non-decreasing key order with
+// ties in insertion order.
+package btree
+
+import "sort"
+
+// degree is the fan-out: internal nodes hold up to degree children, leaves
+// up to degree-1 entries.
+const degree = 32
+
+// Tree is a B+-tree from float64 keys to int32 values. The zero value is
+// an empty tree ready for use. Not safe for concurrent writers.
+type Tree struct {
+	root *node
+	size int
+}
+
+type node struct {
+	leaf bool
+	// Leaf nodes: keys/vals hold entries, next links the leaf chain.
+	// Internal nodes: keys[i] is the smallest key in children[i+1]'s
+	// subtree; len(children) == len(keys)+1.
+	keys     []float64
+	vals     []int32
+	children []*node
+	next     *node
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds a key/value pair.
+func (t *Tree) Insert(key float64, val int32) {
+	if t.root == nil {
+		t.root = &node{leaf: true}
+	}
+	splitKey, sibling := t.root.insert(key, val)
+	if sibling != nil {
+		t.root = &node{
+			keys:     []float64{splitKey},
+			children: []*node{t.root, sibling},
+		}
+	}
+	t.size++
+}
+
+// insert places the pair under n. A non-nil sibling return means n split;
+// splitKey is the smallest key of the sibling's subtree.
+func (n *node) insert(key float64, val int32) (float64, *node) {
+	if n.leaf {
+		// Insert after the last equal key to keep ties in insertion order.
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
+		n.keys = append(n.keys, 0)
+		n.vals = append(n.vals, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		copy(n.vals[i+1:], n.vals[i:])
+		n.keys[i] = key
+		n.vals[i] = val
+		if len(n.keys) < degree {
+			return 0, nil
+		}
+		// Split leaf.
+		mid := len(n.keys) / 2
+		sib := &node{
+			leaf: true,
+			keys: append([]float64(nil), n.keys[mid:]...),
+			vals: append([]int32(nil), n.vals[mid:]...),
+			next: n.next,
+		}
+		n.keys = n.keys[:mid:mid]
+		n.vals = n.vals[:mid:mid]
+		n.next = sib
+		return sib.keys[0], sib
+	}
+	// Internal: descend into the child covering key.
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
+	splitKey, sib := n.children[i].insert(key, val)
+	if sib == nil {
+		return 0, nil
+	}
+	n.keys = append(n.keys, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = splitKey
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = sib
+	if len(n.children) <= degree {
+		return 0, nil
+	}
+	// Split internal node: middle key moves up.
+	midKey := len(n.keys) / 2
+	up := n.keys[midKey]
+	sibN := &node{
+		keys:     append([]float64(nil), n.keys[midKey+1:]...),
+		children: append([]*node(nil), n.children[midKey+1:]...),
+	}
+	n.keys = n.keys[:midKey:midKey]
+	n.children = n.children[: midKey+1 : midKey+1]
+	return up, sibN
+}
+
+// leafFor returns the leftmost leaf that can contain key. Because
+// duplicates may straddle a separator (the separator is the smallest key of
+// the right subtree, and equal keys can remain in the left one), descent
+// takes the lower-bound branch.
+func (t *Tree) leafFor(key float64) *node {
+	n := t.root
+	if n == nil {
+		return nil
+	}
+	for !n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+		n = n.children[i]
+	}
+	return n
+}
+
+// AscendRange invokes fn for every entry with lo <= key <= hi in key order;
+// fn returns false to stop early.
+func (t *Tree) AscendRange(lo, hi float64, fn func(key float64, val int32) bool) {
+	leaf := t.leafFor(lo)
+	for leaf != nil {
+		start := sort.Search(len(leaf.keys), func(i int) bool { return leaf.keys[i] >= lo })
+		for i := start; i < len(leaf.keys); i++ {
+			if leaf.keys[i] > hi {
+				return
+			}
+			if !fn(leaf.keys[i], leaf.vals[i]) {
+				return
+			}
+		}
+		leaf = leaf.next
+	}
+}
+
+// Min returns the smallest key and its value; ok is false on an empty tree.
+func (t *Tree) Min() (key float64, val int32, ok bool) {
+	n := t.root
+	if n == nil || t.size == 0 {
+		return 0, 0, false
+	}
+	for !n.leaf {
+		n = n.children[0]
+	}
+	if len(n.keys) == 0 {
+		return 0, 0, false
+	}
+	return n.keys[0], n.vals[0], true
+}
+
+// Max returns the largest key and its value; ok is false on an empty tree.
+func (t *Tree) Max() (key float64, val int32, ok bool) {
+	n := t.root
+	if n == nil || t.size == 0 {
+		return 0, 0, false
+	}
+	for !n.leaf {
+		n = n.children[len(n.children)-1]
+	}
+	if len(n.keys) == 0 {
+		return 0, 0, false
+	}
+	return n.keys[len(n.keys)-1], n.vals[len(n.vals)-1], true
+}
+
+// Depth returns the tree height (0 for empty, 1 for a single leaf).
+func (t *Tree) Depth() int {
+	if t.root == nil {
+		return 0
+	}
+	d := 1
+	n := t.root
+	for !n.leaf {
+		d++
+		n = n.children[0]
+	}
+	return d
+}
+
+// checkInvariants validates ordering and structural rules; used by tests.
+func (t *Tree) checkInvariants() error {
+	if t.root == nil {
+		return nil
+	}
+	_, _, err := checkNode(t.root, true)
+	if err != nil {
+		return err
+	}
+	return t.checkLeafChain()
+}

@@ -1,0 +1,153 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	var tr Tree
+	if tr.Len() != 0 || tr.Depth() != 0 {
+		t.Error("zero value should be empty")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Error("Min on empty should report !ok")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Error("Max on empty should report !ok")
+	}
+	called := false
+	tr.AscendRange(0, 100, func(float64, int32) bool { called = true; return true })
+	if called {
+		t.Error("range over empty tree should not call fn")
+	}
+}
+
+func TestInsertAndScan(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 1000; i++ {
+		tr.Insert(float64(999-i), int32(999-i))
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var got []float64
+	tr.AscendRange(100, 199.5, func(k float64, v int32) bool {
+		if float64(v) != k {
+			t.Fatalf("value %d does not match key %g", v, k)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 100 || got[0] != 100 || got[99] != 199 {
+		t.Fatalf("range scan wrong: %d results, first %v last %v", len(got), got[0], got[len(got)-1])
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Error("scan not sorted")
+	}
+	k, _, _ := tr.Min()
+	if k != 0 {
+		t.Errorf("Min = %v", k)
+	}
+	k, _, _ = tr.Max()
+	if k != 999 {
+		t.Errorf("Max = %v", k)
+	}
+	if tr.Depth() < 2 {
+		t.Errorf("1000 entries should split: depth %d", tr.Depth())
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 200; i++ {
+		tr.Insert(7, int32(i))
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	tr.AscendRange(7, 7, func(k float64, v int32) bool {
+		count++
+		return true
+	})
+	if count != 200 {
+		t.Errorf("scanned %d duplicates, want 200", count)
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 100; i++ {
+		tr.Insert(float64(i), int32(i))
+	}
+	count := 0
+	tr.AscendRange(0, 99, func(float64, int32) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+// Property: tree scan matches a sorted reference for random insert
+// sequences, and invariants hold throughout.
+func TestAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		var tr Tree
+		ref := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			k := float64(rng.Intn(50)) + rng.Float64() // duplicates likely
+			tr.Insert(k, int32(i))
+			ref = append(ref, k)
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		sort.Float64s(ref)
+		lo := ref[rng.Intn(len(ref))]
+		hi := lo + rng.Float64()*20
+		var want []float64
+		for _, k := range ref {
+			if k >= lo && k <= hi {
+				want = append(want, k)
+			}
+		}
+		var got []float64
+		tr.AscendRange(lo, hi, func(k float64, _ int32) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(want) {
+			t.Logf("seed %d: got %d entries, want %d", seed, len(got), len(want))
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	var tr Tree
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rng.Float64()*1e6, int32(i))
+	}
+}

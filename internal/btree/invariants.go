@@ -1,0 +1,81 @@
+package btree
+
+import (
+	"fmt"
+	"math"
+)
+
+// checkNode verifies key ordering and separator correctness, returning the
+// subtree's min and max keys.
+func checkNode(n *node, isRoot bool) (min, max float64, err error) {
+	if n.leaf {
+		if len(n.keys) != len(n.vals) {
+			return 0, 0, fmt.Errorf("btree: leaf keys/vals length mismatch")
+		}
+		if len(n.keys) >= degree {
+			return 0, 0, fmt.Errorf("btree: leaf overfull: %d", len(n.keys))
+		}
+		if !isRoot && len(n.keys) == 0 {
+			return 0, 0, fmt.Errorf("btree: empty non-root leaf")
+		}
+		for i := 1; i < len(n.keys); i++ {
+			if n.keys[i] < n.keys[i-1] {
+				return 0, 0, fmt.Errorf("btree: leaf keys out of order at %d", i)
+			}
+		}
+		if len(n.keys) == 0 {
+			return math.Inf(1), math.Inf(-1), nil
+		}
+		return n.keys[0], n.keys[len(n.keys)-1], nil
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return 0, 0, fmt.Errorf("btree: internal children %d != keys %d + 1", len(n.children), len(n.keys))
+	}
+	if len(n.children) > degree {
+		return 0, 0, fmt.Errorf("btree: internal overfull: %d children", len(n.children))
+	}
+	min, max = math.Inf(1), math.Inf(-1)
+	for i, c := range n.children {
+		cmin, cmax, err := checkNode(c, false)
+		if err != nil {
+			return 0, 0, err
+		}
+		if i > 0 && cmin < n.keys[i-1] {
+			return 0, 0, fmt.Errorf("btree: child %d min %g below separator %g", i, cmin, n.keys[i-1])
+		}
+		if i < len(n.keys) && cmax > n.keys[i] {
+			return 0, 0, fmt.Errorf("btree: child %d max %g above separator %g", i, cmax, n.keys[i])
+		}
+		if cmin < min {
+			min = cmin
+		}
+		if cmax > max {
+			max = cmax
+		}
+	}
+	return min, max, nil
+}
+
+// checkLeafChain verifies the linked leaf list visits exactly size entries
+// in non-decreasing key order.
+func (t *Tree) checkLeafChain() error {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	count := 0
+	last := math.Inf(-1)
+	for leaf := n; leaf != nil; leaf = leaf.next {
+		for _, k := range leaf.keys {
+			if k < last {
+				return fmt.Errorf("btree: leaf chain key %g after %g", k, last)
+			}
+			last = k
+			count++
+		}
+	}
+	if count != t.size {
+		return fmt.Errorf("btree: leaf chain has %d entries, size says %d", count, t.size)
+	}
+	return nil
+}

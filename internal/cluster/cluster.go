@@ -1,0 +1,78 @@
+// Package cluster defines the labeling conventions shared by every
+// clustering algorithm in this repository and small helpers over them.
+package cluster
+
+// Label values. Non-negative labels are cluster ids (dense, starting at 0).
+const (
+	// Noise marks points assigned to no cluster.
+	Noise int32 = -1
+	// Unclassified marks points not yet visited; it never appears in a
+	// finished Result.
+	Unclassified int32 = -2
+)
+
+// Result is the outcome of a clustering run.
+type Result struct {
+	// Labels holds one entry per input point: a cluster id in
+	// [0, Clusters) or Noise.
+	Labels []int32
+	// Clusters is the number of distinct clusters found.
+	Clusters int
+}
+
+// NoiseCount returns the number of noise points.
+func (r *Result) NoiseCount() int {
+	n := 0
+	for _, l := range r.Labels {
+		if l == Noise {
+			n++
+		}
+	}
+	return n
+}
+
+// Sizes returns the size of each cluster, indexed by cluster id.
+func (r *Result) Sizes() []int {
+	s := make([]int, r.Clusters)
+	for _, l := range r.Labels {
+		if l >= 0 {
+			s[l]++
+		}
+	}
+	return s
+}
+
+// Members returns the point ids of each cluster, indexed by cluster id.
+func (r *Result) Members() [][]int32 {
+	m := make([][]int32, r.Clusters)
+	for i, l := range r.Labels {
+		if l >= 0 {
+			m[l] = append(m[l], int32(i))
+		}
+	}
+	return m
+}
+
+// Compact renumbers labels so cluster ids are dense in first-appearance
+// order and recomputes Clusters. Noise is preserved. It returns the receiver
+// for chaining. Algorithms whose internal ids become sparse (e.g. after
+// union-find merging) call this before returning.
+func (r *Result) Compact() *Result {
+	remap := make(map[int32]int32)
+	next := int32(0)
+	for i, l := range r.Labels {
+		if l < 0 {
+			r.Labels[i] = Noise
+			continue
+		}
+		c, ok := remap[l]
+		if !ok {
+			c = next
+			remap[l] = c
+			next++
+		}
+		r.Labels[i] = c
+	}
+	r.Clusters = int(next)
+	return r
+}

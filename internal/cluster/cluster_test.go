@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNoiseCountSizesMembers(t *testing.T) {
+	r := &Result{Labels: []int32{0, 0, 1, Noise, 1, 1}, Clusters: 2}
+	if got := r.NoiseCount(); got != 1 {
+		t.Errorf("NoiseCount = %d", got)
+	}
+	if got := r.Sizes(); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Errorf("Sizes = %v", got)
+	}
+	m := r.Members()
+	if !reflect.DeepEqual(m[0], []int32{0, 1}) || !reflect.DeepEqual(m[1], []int32{2, 4, 5}) {
+		t.Errorf("Members = %v", m)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	r := &Result{Labels: []int32{7, 7, 3, Noise, 3, 12}}
+	r.Compact()
+	if r.Clusters != 3 {
+		t.Fatalf("Clusters = %d, want 3", r.Clusters)
+	}
+	want := []int32{0, 0, 1, Noise, 1, 2}
+	if !reflect.DeepEqual(r.Labels, want) {
+		t.Errorf("Labels = %v, want %v", r.Labels, want)
+	}
+}
+
+func TestCompactAllNoise(t *testing.T) {
+	r := &Result{Labels: []int32{Noise, Unclassified, Noise}}
+	r.Compact()
+	if r.Clusters != 0 {
+		t.Errorf("Clusters = %d, want 0", r.Clusters)
+	}
+	for i, l := range r.Labels {
+		if l != Noise {
+			t.Errorf("label %d = %d, want Noise", i, l)
+		}
+	}
+}
+
+func TestCompactEmpty(t *testing.T) {
+	r := &Result{}
+	r.Compact()
+	if r.Clusters != 0 || len(r.Labels) != 0 {
+		t.Error("empty compact should stay empty")
+	}
+}

@@ -1,0 +1,531 @@
+// Package core implements DBSVEC (Algorithms 2 and 3 of the paper):
+// density-based clustering that expands sub-clusters by running range
+// queries only on *core support vectors* found by SVDD, instead of on every
+// point as DBSCAN does.
+//
+// The four phases of the algorithm map to this implementation as follows:
+//
+//   - initialization: scan for an unclassified point, test it with one range
+//     query, and seed a new sub-cluster from its ε-neighborhood
+//     (Algorithm 2 lines 2–8);
+//   - support vector expansion: train (weighted, incremental) SVDD on the
+//     sub-cluster and grow it from the ε-neighborhoods of the core support
+//     vectors until no new points arrive (Algorithm 3);
+//   - sub-cluster merging: when an expansion touches a point already owned
+//     by another sub-cluster and that point proves to be a core point, the
+//     two sub-clusters are united (Algorithm 2 line 11, Algorithm 3
+//     line 13) — implemented with a union–find over cluster ids;
+//   - noise verification: each potential noise point is confirmed as noise
+//     or attached to the cluster of its nearest core neighbor, reusing the
+//     ε-neighborhood already computed during initialization (Algorithm 2
+//     line 16).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dbsvec/internal/cluster"
+	"dbsvec/internal/index"
+	"dbsvec/internal/svdd"
+	"dbsvec/internal/unionfind"
+	"dbsvec/internal/vec"
+)
+
+// Options configures a DBSVEC run. The zero value of every optional field
+// selects the paper's default behaviour.
+type Options struct {
+	// Eps is the ε radius (required, >= 0).
+	Eps float64
+	// MinPts is the density threshold (required, >= 1).
+	MinPts int
+
+	// Nu overrides the penalty factor ν. 0 selects the adaptive ν* of
+	// Eq. 20. Set NuMin for the paper's DBSVEC_min variant (ν = 1/ñ).
+	Nu    float64
+	NuMin bool
+
+	// MemoryFactor is the λ > 1 coefficient of the penalty weights (Eq. 7).
+	// 0 selects 1.5.
+	MemoryFactor float64
+
+	// LearnThreshold is the incremental-learning threshold T: points that
+	// participated in more than T SVDD trainings leave the target set.
+	// 0 selects the paper's T = 3; negative disables incremental learning
+	// (the DBSVEC\IL ablation).
+	LearnThreshold int
+
+	// DisableWeights turns off the adaptive penalty weights (the DBSVEC\WF
+	// ablation): plain SVDD with uniform ω_i = 1.
+	DisableWeights bool
+
+	// RandomKernel replaces the σ = r/√2 rule with a σ drawn uniformly from
+	// [min pairwise distance, max pairwise distance] of the target set (the
+	// DBSVEC\OK ablation).
+	RandomKernel bool
+
+	// Seed drives the RandomKernel draw. Ignored otherwise.
+	Seed int64
+
+	// IndexBuilder supplies the range-query backend. nil selects the linear
+	// scan — DBSVEC needs no index (Section III-D).
+	IndexBuilder index.Builder
+
+	// MaxSVDDTarget caps the SVDD target-set size; larger targets are
+	// deterministically subsampled before training. 0 selects 1024. The cap
+	// bounds the O(ñ²) kernel work per training round; incremental learning
+	// keeps targets under it in normal operation.
+	MaxSVDDTarget int
+
+	// Context, when non-nil, allows cancelling a long run: Run returns
+	// ctx.Err() with partial work discarded. Checked between seeds and
+	// between expansion rounds.
+	Context context.Context
+}
+
+func (o Options) validate() error {
+	if o.Eps < 0 {
+		return fmt.Errorf("dbsvec: eps %g must be non-negative", o.Eps)
+	}
+	if o.MinPts < 1 {
+		return fmt.Errorf("dbsvec: MinPts %d must be at least 1", o.MinPts)
+	}
+	if o.Nu < 0 || o.Nu > 1 {
+		return fmt.Errorf("dbsvec: nu %g must be in [0,1]", o.Nu)
+	}
+	if o.MemoryFactor < 0 || (o.MemoryFactor > 0 && o.MemoryFactor <= 1) {
+		return fmt.Errorf("dbsvec: memory factor λ %g must exceed 1", o.MemoryFactor)
+	}
+	return nil
+}
+
+// Stats reports the work a run performed. The paper's cost model
+// (Section III-D) is O(θn) with θ = s + 1 + k + m + MinPts·l; the fields
+// expose every term so tests and the experiment harness can validate that
+// θ ≪ n.
+type Stats struct {
+	// Seeds is s: the number of sub-cluster seeds.
+	Seeds int
+	// SupportVectors is k: total support vectors across all SVDD trainings.
+	SupportVectors int64
+	// Merges is m: the number of sub-cluster merges.
+	Merges int
+	// NoiseList is l: the number of potential noise points.
+	NoiseList int
+	// RangeQueries counts full ε-range queries (neighbor materialization).
+	RangeQueries int64
+	// RangeCounts counts core-point tests answered with counting queries.
+	RangeCounts int64
+	// SVDDTrainings is the number of SVDD models fitted.
+	SVDDTrainings int
+	// SVDDIterations is the total number of SMO pair updates.
+	SVDDIterations int64
+}
+
+// Theta returns the paper's θ = s + 1 + k + m + MinPts·l for a run over a
+// dataset clustered with the given MinPts.
+func (s Stats) Theta(minPts int) float64 {
+	return float64(s.Seeds) + 1 + float64(s.SupportVectors) + float64(s.Merges) + float64(minPts*s.NoiseList)
+}
+
+// ErrNilDataset is returned for a nil dataset.
+var ErrNilDataset = errors.New("dbsvec: nil dataset")
+
+const (
+	defaultMemoryFactor  = 1.5
+	defaultLearnThresh   = 3
+	defaultMaxSVDDTarget = 1024
+)
+
+// coreState is tri-state knowledge about the core-point property.
+type coreState int8
+
+const (
+	coreUnknown coreState = iota
+	coreYes
+	coreNo
+)
+
+type runner struct {
+	ds     *vec.Dataset
+	opts   Options
+	idx    index.Index
+	labels []int32
+	// clusterSet maps raw cluster ids (one per seed) to merged sets.
+	clusterSet *unionfind.DSU
+	core       []coreState
+	stats      Stats
+	rng        *rand.Rand
+	// counters holds the SVDD participation counts t_i of the current
+	// sub-cluster's target points (reset per expansion).
+	counters map[int32]int
+
+	// Potential noise points and the ε-neighborhoods captured when they
+	// failed the seed test (reused by noise verification).
+	noiseIDs   []int32
+	noiseHoods [][]int32
+
+	buf []int32
+}
+
+// Run executes DBSVEC over ds and returns the clustering, run statistics,
+// and an error for invalid inputs.
+func Run(ds *vec.Dataset, opts Options) (*cluster.Result, Stats, error) {
+	if ds == nil {
+		return nil, Stats{}, ErrNilDataset
+	}
+	if err := opts.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if opts.MemoryFactor == 0 {
+		opts.MemoryFactor = defaultMemoryFactor
+	}
+	if opts.LearnThreshold == 0 {
+		opts.LearnThreshold = defaultLearnThresh
+	}
+	if opts.MaxSVDDTarget == 0 {
+		opts.MaxSVDDTarget = defaultMaxSVDDTarget
+	}
+	build := opts.IndexBuilder
+	if build == nil {
+		build = index.BuildLinear
+	}
+
+	n := ds.Len()
+	r := &runner{
+		ds:         ds,
+		opts:       opts,
+		idx:        build(ds),
+		labels:     make([]int32, n),
+		clusterSet: unionfind.New(0),
+		core:       make([]coreState, n),
+		rng:        rand.New(rand.NewSource(opts.Seed)),
+	}
+	for i := range r.labels {
+		r.labels[i] = cluster.Unclassified
+	}
+
+	if n == 0 {
+		return &cluster.Result{Labels: r.labels}, r.stats, nil
+	}
+
+	// Initialization sweep (Algorithm 2).
+	for i := 0; i < n; i++ {
+		if opts.Context != nil && i%1024 == 0 {
+			if err := opts.Context.Err(); err != nil {
+				return nil, r.stats, err
+			}
+		}
+		if r.labels[i] != cluster.Unclassified {
+			continue
+		}
+		hood := r.rangeQuery(int32(i))
+		if len(hood) < opts.MinPts {
+			r.core[i] = coreNo
+			r.labels[i] = cluster.Noise
+			r.noiseIDs = append(r.noiseIDs, int32(i))
+			r.noiseHoods = append(r.noiseHoods, append([]int32(nil), hood...))
+			continue
+		}
+		r.core[i] = coreYes
+		cid := r.clusterSet.Add()
+		r.stats.Seeds++
+		r.labels[i] = cid
+		newClu := make([]int32, 0, len(hood))
+		newClu = append(newClu, int32(i))
+		for _, j := range hood {
+			if j == int32(i) {
+				continue
+			}
+			switch r.labels[j] {
+			case cluster.Unclassified, cluster.Noise:
+				r.labels[j] = cid
+				newClu = append(newClu, j)
+			default:
+				r.maybeMerge(j, cid)
+			}
+		}
+		r.svExpandCluster(newClu, cid)
+		if opts.Context != nil {
+			if err := opts.Context.Err(); err != nil {
+				return nil, r.stats, err
+			}
+		}
+	}
+
+	r.stats.NoiseList = len(r.noiseIDs)
+	r.noiseVerification()
+
+	// Canonicalize merged cluster ids into dense labels.
+	for i, l := range r.labels {
+		if l >= 0 {
+			r.labels[i] = r.clusterSet.Find(l)
+		}
+	}
+	res := (&cluster.Result{Labels: r.labels}).Compact()
+	return res, r.stats, nil
+}
+
+// rangeQuery materializes the ε-neighborhood of point id (shared buffer).
+func (r *runner) rangeQuery(id int32) []int32 {
+	r.stats.RangeQueries++
+	r.buf = r.idx.RangeQuery(r.ds.Point(int(id)), r.opts.Eps, r.buf[:0])
+	return r.buf
+}
+
+// isCore answers the core-point test with caching; counting queries stop at
+// MinPts.
+func (r *runner) isCore(id int32) bool {
+	switch r.core[id] {
+	case coreYes:
+		return true
+	case coreNo:
+		return false
+	}
+	r.stats.RangeCounts++
+	ok := r.idx.RangeCount(r.ds.Point(int(id)), r.opts.Eps, r.opts.MinPts) >= r.opts.MinPts
+	if ok {
+		r.core[id] = coreYes
+	} else {
+		r.core[id] = coreNo
+	}
+	return ok
+}
+
+// maybeMerge unites the cluster owning point j with cid when j is a core
+// point (Lemma 3). Non-core overlap points stay where they are.
+func (r *runner) maybeMerge(j, cid int32) {
+	owner := r.labels[j]
+	if owner < 0 || r.clusterSet.Same(owner, cid) {
+		return
+	}
+	if r.isCore(j) {
+		r.clusterSet.Union(owner, cid)
+		r.stats.Merges++
+	}
+}
+
+// target tracks one SVDD target point and its participation counter t_i.
+type target struct {
+	id    int32
+	times int
+}
+
+// svExpandCluster is Algorithm 3, iteratively: train SVDD on the target
+// set, range-query the core support vectors, absorb their neighborhoods,
+// and repeat until the sub-cluster stops growing.
+func (r *runner) svExpandCluster(initial []int32, cid int32) {
+	targets := make([]target, 0, len(initial))
+	r.counters = make(map[int32]int, len(initial))
+	for _, id := range initial {
+		targets = append(targets, target{id: id})
+		r.counters[id] = 0
+	}
+
+	for len(targets) > 0 {
+		if r.opts.Context != nil && r.opts.Context.Err() != nil {
+			return // Run's outer loop surfaces the error
+		}
+		ids := r.sampleTargets(targets)
+		model, err := r.trainSVDD(ids)
+		if err != nil {
+			return // degenerate target set; nothing to expand from
+		}
+		r.stats.SVDDTrainings++
+		r.stats.SVDDIterations += int64(model.Iterations)
+		budget := r.svBudget(len(ids))
+		svs := model.TopSupportVectors(budget)
+		r.stats.SupportVectors += int64(len(svs))
+
+		fresh := r.expandFrom(svs, cid, nil)
+		if len(fresh) == 0 {
+			// Stall escalation: the ν budget may have trimmed exactly the
+			// support vector that would have advanced the frontier (e.g. a
+			// thin bridge). Retry once with the solver's full SV set before
+			// declaring the sub-cluster closed — this happens at most once
+			// per sub-cluster lifetime stall, so the amortized cost is
+			// negligible while it removes most budget-induced splits.
+			rest := model.TopSupportVectors(0)
+			if len(rest) > len(svs) {
+				r.stats.SupportVectors += int64(len(rest) - len(svs))
+				fresh = r.expandFrom(rest, cid, svs)
+			}
+			if len(fresh) == 0 {
+				return
+			}
+		}
+		targets = r.nextTargets(targets, fresh)
+	}
+}
+
+// expandFrom range-queries each core support vector and absorbs its
+// ε-neighborhood into cluster cid, returning the newly labeled points.
+// Support vectors present in skip are not re-queried.
+func (r *runner) expandFrom(svs []int32, cid int32, skip []int32) []int32 {
+	var skipSet map[int32]bool
+	if len(skip) > 0 {
+		skipSet = make(map[int32]bool, len(skip))
+		for _, s := range skip {
+			skipSet[s] = true
+		}
+	}
+	var fresh []int32
+	for _, sv := range svs {
+		if skipSet[sv] {
+			continue
+		}
+		if r.core[sv] == coreNo {
+			continue
+		}
+		hood := r.rangeQuery(sv)
+		if len(hood) < r.opts.MinPts {
+			r.core[sv] = coreNo
+			continue
+		}
+		r.core[sv] = coreYes
+		for _, p := range hood {
+			switch r.labels[p] {
+			case cluster.Unclassified, cluster.Noise:
+				r.labels[p] = cid
+				fresh = append(fresh, p)
+			default:
+				r.maybeMerge(p, cid)
+			}
+		}
+	}
+	return fresh
+}
+
+// nextTargets applies incremental learning (Section IV-B1): bump every
+// participation counter, drop points beyond the threshold T, then append
+// the freshly absorbed points with t = 0.
+func (r *runner) nextTargets(targets []target, fresh []int32) []target {
+	out := targets[:0]
+	for _, tg := range targets {
+		tg.times++
+		if r.opts.LearnThreshold >= 0 && tg.times > r.opts.LearnThreshold {
+			delete(r.counters, tg.id)
+			continue
+		}
+		r.counters[tg.id] = tg.times
+		out = append(out, tg)
+	}
+	for _, id := range fresh {
+		out = append(out, target{id: id})
+		r.counters[id] = 0
+	}
+	return out
+}
+
+// sampleTargets extracts the id list for SVDD training, deterministically
+// subsampling when the target set exceeds the cap.
+func (r *runner) sampleTargets(targets []target) []int32 {
+	capN := r.opts.MaxSVDDTarget
+	if len(targets) <= capN {
+		ids := make([]int32, len(targets))
+		for i, tg := range targets {
+			ids[i] = tg.id
+		}
+		return ids
+	}
+	ids := make([]int32, 0, capN)
+	stride := float64(len(targets)) / float64(capN)
+	for i := 0; i < capN; i++ {
+		ids = append(ids, targets[int(float64(i)*stride)].id)
+	}
+	return ids
+}
+
+// svBudget returns the number of support vectors whose ε-neighborhoods are
+// queried per training round: the ν budget of Section IV-C (ν bounds the
+// SV fraction from below, and the paper controls the query cost — and hence
+// the accuracy/efficiency trade-off of Figure 8 — through it), with 50%
+// slack because solver solutions carry slightly more mass than the bound.
+func (r *runner) svBudget(targetSize int) int {
+	if r.opts.NuMin {
+		// DBSVEC_min deliberately runs at the single-vector minimum.
+		return 1
+	}
+	nu := r.effectiveNu(targetSize)
+	k := int(math.Ceil(1.5 * nu * float64(targetSize)))
+	// Floor the budget so low-dimensional runs (where ν*·ñ is tiny) still
+	// advance the frontier by several neighborhoods per round.
+	if k < 6 {
+		k = 6
+	}
+	return k
+}
+
+// effectiveNu resolves the ν actually used for a target of the given size.
+func (r *runner) effectiveNu(targetSize int) float64 {
+	switch {
+	case r.opts.NuMin:
+		return 1 / float64(targetSize)
+	case r.opts.Nu > 0:
+		return r.opts.Nu
+	default:
+		return svdd.NuStar(r.ds.Dim(), r.opts.MinPts, targetSize)
+	}
+}
+
+// trainSVDD fits the (weighted) SVDD model for the current target ids.
+func (r *runner) trainSVDD(ids []int32) (*svdd.Model, error) {
+	cfg := svdd.Config{
+		Dim:    r.ds.Dim(),
+		MinPts: r.opts.MinPts,
+	}
+	switch {
+	case r.opts.NuMin:
+		cfg.Nu = 1 / float64(len(ids))
+	case r.opts.Nu > 0:
+		cfg.Nu = r.opts.Nu
+	}
+
+	if r.opts.RandomKernel {
+		cfg.Sigma = r.randomSigma(ids)
+	}
+
+	if !r.opts.DisableWeights {
+		// Adaptive penalty weights (Eq. 7): the SVDD solver computes them
+		// from its own kernel matrix; we supply each point's participation
+		// count t_i. Fresh points (t = 0) far from the kernel centroid get
+		// the smallest weights and the loosest multiplier caps — exactly
+		// the points the paper wants selected as support vectors.
+		times := make([]int, len(ids))
+		for i, id := range ids {
+			times[i] = r.counters[id]
+		}
+		cfg.Times = times
+		cfg.Lambda = r.opts.MemoryFactor
+	}
+	return svdd.Train(r.ds, ids, cfg)
+}
+
+// randomSigma draws σ uniformly from [min,max] pairwise distance of the
+// target (the DBSVEC\OK ablation). Pairwise extremes are estimated from a
+// bounded sample to stay subquadratic.
+func (r *runner) randomSigma(ids []int32) float64 {
+	sample := ids
+	if len(sample) > 256 {
+		sample = sample[:256]
+	}
+	minD, maxD := math.Inf(1), 0.0
+	for i := 0; i < len(sample); i++ {
+		for j := i + 1; j < len(sample); j++ {
+			d := r.ds.Dist(int(sample[i]), int(sample[j]))
+			if d < minD && d > 0 {
+				minD = d
+			}
+			if d > maxD {
+				maxD = d
+			}
+		}
+	}
+	if math.IsInf(minD, 1) || maxD <= 0 {
+		return 1e-9
+	}
+	return minD + r.rng.Float64()*(maxD-minD)
+}

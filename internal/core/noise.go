@@ -1,0 +1,41 @@
+package core
+
+import (
+	"math"
+
+	"dbsvec/internal/cluster"
+)
+
+// noiseVerification is the final DBSVEC phase (Algorithm 2 line 16): every
+// potential noise point either joins the cluster of its nearest core
+// neighbor or is confirmed as noise. The ε-neighborhoods stored during
+// initialization are reused, so the only new work is core-point tests on
+// the (fewer than MinPts) neighbors of each candidate — the paper's
+// O(MinPts·l·n) term.
+func (r *runner) noiseVerification() {
+	for k, id := range r.noiseIDs {
+		if r.labels[id] != cluster.Noise {
+			continue // absorbed by an expansion in the meantime
+		}
+		hood := r.noiseHoods[k]
+		best := int32(-1)
+		bestD := math.Inf(1)
+		for _, q := range hood {
+			if q == id {
+				continue
+			}
+			// A core neighbor must itself be clustered; a core point is
+			// never noise, and every core point seen by the main loop was
+			// assigned a cluster.
+			if !r.isCore(q) || r.labels[q] < 0 {
+				continue
+			}
+			if d := r.ds.Dist2(int(id), int(q)); d < bestD {
+				best, bestD = q, d
+			}
+		}
+		if best >= 0 {
+			r.labels[id] = r.labels[best]
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dbsvec/internal/cluster"
+	"dbsvec/internal/dbscan"
+	"dbsvec/internal/vec"
+)
+
+// randomWorkload builds a random mixture of blobs and noise plus random
+// clustering parameters from a seed.
+func randomWorkload(seed int64) (*vec.Dataset, Options) {
+	rng := rand.New(rand.NewSource(seed))
+	blobs := 1 + rng.Intn(4)
+	per := 40 + rng.Intn(120)
+	sd := 0.5 + rng.Float64()*2.5
+	d := 2 + rng.Intn(3)
+	rows := make([][]float64, 0, blobs*per+30)
+	for b := 0; b < blobs; b++ {
+		c := make([]float64, d)
+		for j := range c {
+			c[j] = rng.Float64() * 80
+		}
+		for i := 0; i < per; i++ {
+			p := make([]float64, d)
+			for j := 0; j < d; j++ {
+				p[j] = c[j] + rng.NormFloat64()*sd
+			}
+			rows = append(rows, p)
+		}
+	}
+	noise := rng.Intn(30)
+	for i := 0; i < noise; i++ {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.Float64() * 100
+		}
+		rows = append(rows, p)
+	}
+	ds, _ := vec.FromRows(rows)
+	opts := Options{
+		Eps:    sd * (1.5 + rng.Float64()*2),
+		MinPts: 3 + rng.Intn(10),
+		Seed:   seed,
+	}
+	return ds, opts
+}
+
+// Property (Theorem 3): over random workloads and parameters, DBSVEC's
+// noise set equals DBSCAN's.
+func TestQuickNoiseEquality(t *testing.T) {
+	f := func(seed int64) bool {
+		ds, opts := randomWorkload(seed)
+		truth, _, err := dbscan.Run(ds, dbscan.Params{Eps: opts.Eps, MinPts: opts.MinPts}, nil)
+		if err != nil {
+			return false
+		}
+		got, _, err := Run(ds, opts)
+		if err != nil {
+			return false
+		}
+		for i := range got.Labels {
+			if (got.Labels[i] == cluster.Noise) != (truth.Labels[i] == cluster.Noise) {
+				t.Logf("seed %d: noise mismatch at %d", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (Theorem 1): over random workloads, no DBSVEC cluster mixes core
+// points from two different DBSCAN clusters.
+func TestQuickNecessity(t *testing.T) {
+	f := func(seed int64) bool {
+		ds, opts := randomWorkload(seed)
+		p := dbscan.Params{Eps: opts.Eps, MinPts: opts.MinPts}
+		truth, _, err := dbscan.Run(ds, p, nil)
+		if err != nil {
+			return false
+		}
+		mask, err := dbscan.CoreMask(ds, p, nil)
+		if err != nil {
+			return false
+		}
+		got, _, err := Run(ds, opts)
+		if err != nil {
+			return false
+		}
+		owner := map[int32]int32{}
+		for i, l := range got.Labels {
+			if l < 0 || !mask[i] {
+				continue
+			}
+			dl := truth.Labels[i]
+			if dl < 0 {
+				t.Logf("seed %d: clustered core point %d is DBSCAN noise", seed, i)
+				return false
+			}
+			if prev, ok := owner[l]; ok && prev != dl {
+				t.Logf("seed %d: DBSVEC cluster %d spans DBSCAN clusters %d,%d", seed, l, prev, dl)
+				return false
+			}
+			owner[l] = dl
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: labels are always a valid Result — dense ids, Clusters
+// consistent, every point labeled.
+func TestQuickResultWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		ds, opts := randomWorkload(seed)
+		got, _, err := Run(ds, opts)
+		if err != nil {
+			return false
+		}
+		if len(got.Labels) != ds.Len() {
+			return false
+		}
+		seen := map[int32]bool{}
+		for _, l := range got.Labels {
+			if l == cluster.Unclassified {
+				t.Logf("seed %d: unclassified label leaked", seed)
+				return false
+			}
+			if l >= 0 {
+				if int(l) >= got.Clusters {
+					t.Logf("seed %d: label %d >= Clusters %d", seed, l, got.Clusters)
+					return false
+				}
+				seen[l] = true
+			}
+		}
+		return len(seen) == got.Clusters
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

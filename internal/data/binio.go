@@ -1,0 +1,98 @@
+package data
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"dbsvec/internal/vec"
+)
+
+// Binary dataset format: a fixed little-endian header followed by the flat
+// coordinate array. Used by the full-scale harness to cache multi-million
+// point generated datasets across runs (parsing CSV at 10M×8 floats costs
+// more than generating the data).
+//
+//	offset  size  field
+//	0       4     magic "DBSV"
+//	4       4     format version (uint32, currently 1)
+//	8       8     n (uint64)
+//	16      8     d (uint64)
+//	24      8*n*d coordinates, row-major float64 bits
+const (
+	binMagic   = "DBSV"
+	binVersion = 1
+)
+
+// WriteBinary streams the dataset to w in the binary format.
+func WriteBinary(w io.Writer, ds *vec.Dataset) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return err
+	}
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:], binVersion)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(ds.Len()))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(ds.Dim()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, v := range ds.Coords() {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a dataset written by WriteBinary.
+func ReadBinary(r io.Reader) (*vec.Dataset, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	head := make([]byte, 4+20)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("data: reading binary header: %w", err)
+	}
+	if string(head[:4]) != binMagic {
+		return nil, fmt.Errorf("data: bad magic %q", head[:4])
+	}
+	if v := binary.LittleEndian.Uint32(head[4:]); v != binVersion {
+		return nil, fmt.Errorf("data: unsupported binary version %d", v)
+	}
+	n := binary.LittleEndian.Uint64(head[8:])
+	d := binary.LittleEndian.Uint64(head[16:])
+	if d == 0 || d > 1<<20 {
+		return nil, fmt.Errorf("data: implausible dimensionality %d", d)
+	}
+	total := n * d
+	if total > (1<<40)/8 {
+		return nil, fmt.Errorf("data: dataset too large: %d values", total)
+	}
+	coords := make([]float64, total)
+	raw := make([]byte, 8*4096)
+	idx := 0
+	for idx < len(coords) {
+		want := (len(coords) - idx) * 8
+		if want > len(raw) {
+			want = len(raw)
+		}
+		if _, err := io.ReadFull(br, raw[:want]); err != nil {
+			return nil, fmt.Errorf("data: truncated coordinates: %w", err)
+		}
+		for off := 0; off < want; off += 8 {
+			coords[idx] = math.Float64frombits(binary.LittleEndian.Uint64(raw[off:]))
+			idx++
+		}
+	}
+	ds, err := vec.NewDataset(coords, int(d))
+	if err != nil {
+		return nil, fmt.Errorf("data: %w", err)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("data: %w", err)
+	}
+	return ds, nil
+}

@@ -1,0 +1,88 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dbsvec/internal/cluster"
+	"dbsvec/internal/vec"
+)
+
+// ReadCSV parses comma-separated numeric rows into a dataset. Blank lines
+// and lines starting with '#' are skipped; a first row that fails numeric
+// parsing entirely is treated as a header. All data rows must share one
+// dimensionality and contain only finite values.
+func ReadCSV(r io.Reader) (*vec.Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var rows [][]float64
+	lineNo := 0
+	headerAllowed := true
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		row := make([]float64, 0, len(fields))
+		ok := true
+		for _, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			row = append(row, v)
+		}
+		if !ok {
+			if headerAllowed {
+				headerAllowed = false
+				continue
+			}
+			return nil, fmt.Errorf("data: line %d: non-numeric field", lineNo)
+		}
+		headerAllowed = false
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("data: reading csv: %w", err)
+	}
+	ds, err := vec.FromRows(rows)
+	if err != nil {
+		return nil, fmt.Errorf("data: %w", err)
+	}
+	return ds, nil
+}
+
+// WriteCSV writes the dataset as comma-separated rows, optionally appending
+// each point's cluster label as a final column when res is non-nil.
+func WriteCSV(w io.Writer, ds *vec.Dataset, res *cluster.Result) error {
+	bw := bufio.NewWriter(w)
+	d := ds.Dim()
+	for i := 0; i < ds.Len(); i++ {
+		p := ds.Point(i)
+		for j := 0; j < d; j++ {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(p[j], 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if res != nil {
+			if _, err := fmt.Fprintf(bw, ",%d", res.Labels[i]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

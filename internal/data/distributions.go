@@ -1,0 +1,183 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+
+	"dbsvec/internal/vec"
+)
+
+// Distribution is one entry of the ten-distribution robustness suite the
+// paper refers to in Section III-C ("confirmed by experiments ... on
+// datasets of ten different distributions"): DBSVEC's split conditions must
+// stay rare across qualitatively different density structures.
+type Distribution struct {
+	Name   string
+	Eps    float64
+	MinPts int
+	Gen    func(n int, seed int64) *vec.Dataset
+}
+
+// Distributions returns the ten-distribution suite. Every generator yields
+// 2-D data in roughly [0,100]² so one (Eps, MinPts) works per entry.
+func Distributions() []Distribution {
+	return []Distribution{
+		{Name: "gaussian-blobs", Eps: 3, MinPts: 8,
+			Gen: func(n int, seed int64) *vec.Dataset { return Blobs(n, 2, 4, 2, 100, 0.02, seed) }},
+		{Name: "uniform-noise", Eps: 3, MinPts: 8,
+			Gen: func(n int, seed int64) *vec.Dataset { return Uniform(n, 2, 100, seed) }},
+		{Name: "moons", Eps: 3, MinPts: 8, Gen: Moons},
+		{Name: "spirals", Eps: 3.5, MinPts: 6, Gen: Spirals},
+		{Name: "anisotropic", Eps: 3, MinPts: 8, Gen: Anisotropic},
+		{Name: "varied-density", Eps: 3, MinPts: 8, Gen: VariedDensity},
+		{Name: "lattice", Eps: 4, MinPts: 6, Gen: Lattice},
+		{Name: "ring-and-core", Eps: 4, MinPts: 8, Gen: RingAndCore},
+		{Name: "exponential", Eps: 3, MinPts: 8, Gen: ExponentialClusters},
+		{Name: "filaments", Eps: 3, MinPts: 6,
+			Gen: func(n int, seed int64) *vec.Dataset { return RoadMap(n, 6, seed) }},
+	}
+}
+
+// Moons generates two interleaving half-moons, the classic non-convex
+// clustering benchmark.
+func Moons(n int, seed int64) *vec.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	coords := make([]float64, 0, n*2)
+	half := n / 2
+	for i := 0; i < half; i++ {
+		theta := math.Pi * rng.Float64()
+		coords = append(coords,
+			50+30*math.Cos(theta)+rng.NormFloat64()*1.5,
+			30+30*math.Sin(theta)+rng.NormFloat64()*1.5)
+	}
+	for i := half; i < n; i++ {
+		theta := math.Pi * rng.Float64()
+		coords = append(coords,
+			65-30*math.Cos(theta)+rng.NormFloat64()*1.5,
+			45-30*math.Sin(theta)+rng.NormFloat64()*1.5)
+	}
+	ds, _ := vec.NewDataset(coords, 2)
+	return ds
+}
+
+// Spirals generates two interleaved Archimedean spirals.
+func Spirals(n int, seed int64) *vec.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	coords := make([]float64, 0, n*2)
+	half := n / 2
+	emit := func(count int, phase float64) {
+		for i := 0; i < count; i++ {
+			t := 0.5 + 3*math.Pi*float64(i)/float64(count)
+			r := 2.2 * t
+			coords = append(coords,
+				50+r*math.Cos(t+phase)+rng.NormFloat64()*0.8,
+				50+r*math.Sin(t+phase)+rng.NormFloat64()*0.8)
+		}
+	}
+	emit(half, 0)
+	emit(n-half, math.Pi)
+	ds, _ := vec.NewDataset(coords, 2)
+	return ds
+}
+
+// Anisotropic generates stretched, rotated Gaussian clusters.
+func Anisotropic(n int, seed int64) *vec.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][2]float64{{25, 25}, {70, 30}, {45, 75}}
+	angles := []float64{0.5, 2.0, 1.1}
+	coords := make([]float64, 0, n*2)
+	for i := 0; i < n; i++ {
+		c := i % len(centers)
+		x := rng.NormFloat64() * 6 // long axis
+		y := rng.NormFloat64() * 1 // short axis
+		sin, cos := math.Sin(angles[c]), math.Cos(angles[c])
+		coords = append(coords,
+			centers[c][0]+x*cos-y*sin,
+			centers[c][1]+x*sin+y*cos)
+	}
+	ds, _ := vec.NewDataset(coords, 2)
+	return ds
+}
+
+// VariedDensity generates three clusters with very different densities.
+func VariedDensity(n int, seed int64) *vec.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	coords := make([]float64, 0, n*2)
+	specs := []struct {
+		cx, cy, sd float64
+		frac       float64
+	}{
+		{20, 20, 1.0, 0.5}, // dense
+		{60, 30, 3.0, 0.3}, // medium
+		{40, 75, 6.0, 0.2}, // sparse
+	}
+	for _, s := range specs {
+		count := int(float64(n) * s.frac)
+		for i := 0; i < count; i++ {
+			coords = append(coords, s.cx+rng.NormFloat64()*s.sd, s.cy+rng.NormFloat64()*s.sd)
+		}
+	}
+	for len(coords) < n*2 {
+		coords = append(coords, rng.Float64()*100, rng.Float64()*100)
+	}
+	ds, _ := vec.NewDataset(coords, 2)
+	return ds
+}
+
+// Lattice scatters points around a grid of lattice nodes — many small
+// clusters in a regular arrangement.
+func Lattice(n int, seed int64) *vec.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	coords := make([]float64, 0, n*2)
+	const cells = 4
+	for i := 0; i < n; i++ {
+		gx := float64(rng.Intn(cells))
+		gy := float64(rng.Intn(cells))
+		coords = append(coords,
+			12+gx*25+rng.NormFloat64()*1.2,
+			12+gy*25+rng.NormFloat64()*1.2)
+	}
+	ds, _ := vec.NewDataset(coords, 2)
+	return ds
+}
+
+// RingAndCore generates a dense core surrounded by a separate ring — the
+// shape that defeats centroid methods and motivates density clustering.
+func RingAndCore(n int, seed int64) *vec.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	coords := make([]float64, 0, n*2)
+	half := n / 2
+	for i := 0; i < half; i++ { // core
+		coords = append(coords, 50+rng.NormFloat64()*4, 50+rng.NormFloat64()*4)
+	}
+	for i := half; i < n; i++ { // ring
+		theta := rng.Float64() * 2 * math.Pi
+		r := 30 + rng.NormFloat64()*1.5
+		coords = append(coords, 50+r*math.Cos(theta), 50+r*math.Sin(theta))
+	}
+	ds, _ := vec.NewDataset(coords, 2)
+	return ds
+}
+
+// ExponentialClusters draws cluster offsets from an exponential
+// distribution, producing dense cores with heavy one-sided tails.
+func ExponentialClusters(n int, seed int64) *vec.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][2]float64{{20, 20}, {70, 60}}
+	coords := make([]float64, 0, n*2)
+	for i := 0; i < n; i++ {
+		c := centers[i%len(centers)]
+		coords = append(coords,
+			c[0]+rng.ExpFloat64()*3*sign(rng),
+			c[1]+rng.ExpFloat64()*3*sign(rng))
+	}
+	ds, _ := vec.NewDataset(coords, 2)
+	return ds
+}
+
+func sign(rng *rand.Rand) float64 {
+	if rng.Intn(2) == 0 {
+		return -1
+	}
+	return 1
+}

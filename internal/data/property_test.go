@@ -1,0 +1,126 @@
+package data
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dbsvec/internal/vec"
+)
+
+// Property: CSV round trips preserve every coordinate bit-for-bit for
+// random datasets (the 'g'/-1 float format is lossless).
+func TestQuickCSVRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		d := 1 + rng.Intn(6)
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, d)
+			for j := range rows[i] {
+				rows[i][j] = rng.NormFloat64() * 1e6
+			}
+		}
+		ds, _ := vec.FromRows(rows)
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, ds, nil); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if got.Len() != n || got.Dim() != d {
+			return false
+		}
+		for i, v := range ds.Coords() {
+			if got.Coords()[i] != v {
+				t.Logf("seed %d: coord %d %v != %v", seed, i, got.Coords()[i], v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: binary round trips preserve coordinates exactly too.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		d := 1 + rng.Intn(8)
+		coords := make([]float64, n*d)
+		for i := range coords {
+			coords[i] = rng.NormFloat64()
+		}
+		ds, _ := vec.NewDataset(coords, d)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, ds); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != n || got.Dim() != d {
+			return false
+		}
+		for i, v := range coords {
+			if got.Coords()[i] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Fuzz-flavored robustness: arbitrary junk lines must produce an error or a
+// valid dataset, never a panic.
+func TestReadCSVNeverPanics(t *testing.T) {
+	inputs := []string{
+		"",
+		",,,\n",
+		"1,2\n,\n",
+		"1e309,2\n", // overflow parses to +Inf -> must be rejected
+		"#only,a,comment\n",
+		"a,b\n1,2\n3,x\n",
+		strings.Repeat("1,2,3\n", 1000) + "oops\n",
+		"\x00\x01\x02\n",
+		"1,2\r\n3,4\r\n", // CRLF
+	}
+	for i, in := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("input %d panicked: %v", i, r)
+				}
+			}()
+			ds, err := ReadCSV(strings.NewReader(in))
+			if err == nil && ds != nil {
+				if verr := ds.Validate(); verr != nil {
+					t.Errorf("input %d: accepted invalid data: %v", i, verr)
+				}
+			}
+		}()
+	}
+}
+
+func TestReadCSVCRLF(t *testing.T) {
+	ds, err := ReadCSV(strings.NewReader("1,2\r\n3,4\r\n"))
+	if err != nil {
+		t.Fatalf("CRLF input rejected: %v", err)
+	}
+	if ds.Len() != 2 || ds.Point(0)[1] != 2 {
+		t.Errorf("CRLF parse wrong: %+v", ds.Coords())
+	}
+}

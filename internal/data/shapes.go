@@ -1,0 +1,149 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+
+	"dbsvec/internal/vec"
+)
+
+// shapeEmitter accumulates 2-D points for the arbitrary-shape benchmark
+// analogues.
+type shapeEmitter struct {
+	rng    *rand.Rand
+	coords []float64
+}
+
+func (e *shapeEmitter) point(x, y float64) {
+	e.coords = append(e.coords, x, y)
+}
+
+// band emits n points along the parametric curve fn(t), t in [0,1], with
+// the given orthogonal thickness.
+func (e *shapeEmitter) band(n int, thickness float64, fn func(t float64) (x, y float64)) {
+	for i := 0; i < n; i++ {
+		t := e.rng.Float64()
+		x, y := fn(t)
+		e.point(x+e.rng.NormFloat64()*thickness, y+e.rng.NormFloat64()*thickness)
+	}
+}
+
+// disk emits n points uniformly in a disk.
+func (e *shapeEmitter) disk(n int, cx, cy, r float64) {
+	for i := 0; i < n; i++ {
+		theta := e.rng.Float64() * 2 * math.Pi
+		rr := r * math.Sqrt(e.rng.Float64())
+		e.point(cx+rr*math.Cos(theta), cy+rr*math.Sin(theta))
+	}
+}
+
+// annulus emits n points in a ring between r0 and r1.
+func (e *shapeEmitter) annulus(n int, cx, cy, r0, r1 float64) {
+	for i := 0; i < n; i++ {
+		theta := e.rng.Float64() * 2 * math.Pi
+		rr := r0 + (r1-r0)*e.rng.Float64()
+		e.point(cx+rr*math.Cos(theta), cy+rr*math.Sin(theta))
+	}
+}
+
+// uniformNoise scatters n points in the box [0,w]×[0,h].
+func (e *shapeEmitter) uniformNoise(n int, w, h float64) {
+	for i := 0; i < n; i++ {
+		e.point(e.rng.Float64()*w, e.rng.Float64()*h)
+	}
+}
+
+// Chameleon48K is an analogue of the chameleon benchmark t4.8k (Karypis et
+// al.): 8000 2-D points forming six arbitrary shapes — two sine bands, a
+// horizontal bar, two disks and an annulus — over ~10% uniform noise, in a
+// [0,640]×[0,320] canvas (the original raster extent).
+func Chameleon48K(seed int64) *vec.Dataset {
+	e := &shapeEmitter{rng: rand.New(rand.NewSource(seed))}
+	const w, h = 640.0, 320.0
+	// Upper sine band.
+	e.band(1500, 6, func(t float64) (float64, float64) {
+		return 40 + t*560, 240 + 40*math.Sin(t*4*math.Pi)
+	})
+	// Lower sine band, phase shifted.
+	e.band(1500, 6, func(t float64) (float64, float64) {
+		return 40 + t*560, 120 + 40*math.Sin(t*4*math.Pi+math.Pi)
+	})
+	// Horizontal bar.
+	e.band(1200, 5, func(t float64) (float64, float64) {
+		return 80 + t*480, 40
+	})
+	// Two dense disks.
+	e.disk(1200, 150, 180, 28)
+	e.disk(1200, 460, 180, 28)
+	// Annulus around the right disk region.
+	e.annulus(600, 320, 60, 22, 30)
+	// ~10% noise.
+	e.uniformNoise(800, w, h)
+	ds, _ := vec.NewDataset(e.coords, 2)
+	return ds
+}
+
+// Chameleon710K is an analogue of chameleon t7.10k: 10000 2-D points in
+// nine snake-like and compact shapes over uniform noise.
+func Chameleon710K(seed int64) *vec.Dataset {
+	e := &shapeEmitter{rng: rand.New(rand.NewSource(seed))}
+	const w, h = 700.0, 500.0
+	// Three nested arcs.
+	for k := 0; k < 3; k++ {
+		r := 80 + float64(k)*35
+		e.band(900, 5, func(t float64) (float64, float64) {
+			theta := math.Pi * (0.15 + 0.7*t)
+			return 220 + r*math.Cos(theta), 120 + r*math.Sin(theta)
+		})
+	}
+	// An S-curve.
+	e.band(1100, 6, func(t float64) (float64, float64) {
+		return 420 + 120*t, 250 + 90*math.Sin(t*2*math.Pi)
+	})
+	// Diagonal filament.
+	e.band(900, 5, func(t float64) (float64, float64) {
+		return 60 + 250*t, 350 + 120*t
+	})
+	// Two disks and two small annuli.
+	e.disk(1300, 560, 120, 35)
+	e.disk(1200, 120, 80, 30)
+	e.annulus(700, 600, 380, 25, 35)
+	e.annulus(700, 350, 420, 20, 30)
+	// Noise.
+	e.uniformNoise(1400, w, h)
+	ds, _ := vec.NewDataset(e.coords, 2)
+	return ds
+}
+
+// RoadMap is an analogue of the Mopsi location datasets (Map-Joensuu,
+// Map-Finland): n 2-D points scattered along a network of random polyline
+// "roads" connecting town hubs, with towns contributing dense disks.
+func RoadMap(n int, towns int, seed int64) *vec.Dataset {
+	e := &shapeEmitter{rng: rand.New(rand.NewSource(seed))}
+	const w, h = 1000.0, 1000.0
+	hubs := make([][2]float64, towns)
+	for i := range hubs {
+		hubs[i] = [2]float64{e.rng.Float64() * w, e.rng.Float64() * h}
+	}
+	townPts := n / 2
+	roadPts := n - townPts
+	// Towns: dense disks of varying radius.
+	for i := 0; i < townPts; i++ {
+		hb := hubs[e.rng.Intn(towns)]
+		r := 8 + e.rng.Float64()*20
+		theta := e.rng.Float64() * 2 * math.Pi
+		rr := r * math.Sqrt(e.rng.Float64())
+		e.point(hb[0]+rr*math.Cos(theta), hb[1]+rr*math.Sin(theta))
+	}
+	// Roads: points jittered along hub-to-hub segments.
+	for i := 0; i < roadPts; i++ {
+		a := hubs[e.rng.Intn(towns)]
+		b := hubs[e.rng.Intn(towns)]
+		t := e.rng.Float64()
+		x := a[0] + t*(b[0]-a[0])
+		y := a[1] + t*(b[1]-a[1])
+		e.point(x+e.rng.NormFloat64()*3, y+e.rng.NormFloat64()*3)
+	}
+	ds, _ := vec.NewDataset(e.coords, 2)
+	return ds
+}

@@ -1,0 +1,95 @@
+package data
+
+import (
+	"fmt"
+
+	"dbsvec/internal/vec"
+)
+
+// SuiteEntry describes one dataset of the accuracy suite (the stand-ins for
+// Table III's open datasets) together with the clustering parameters used
+// for it.
+type SuiteEntry struct {
+	// Name matches the paper's dataset label.
+	Name string
+	// N and D are the original dataset's cardinality and dimensionality,
+	// which the stand-in reproduces exactly.
+	N, D int
+	// Eps and MinPts are the clustering parameters used in experiments.
+	Eps    float64
+	MinPts int
+	// Gen materializes the stand-in.
+	Gen func(seed int64) *vec.Dataset
+}
+
+// OpenSuite returns the stand-ins for the eleven open datasets of
+// Table III, in the paper's column order. Every entry keeps the original
+// (n, d); densities are calibrated so DBSCAN produces meaningful clusters
+// at the listed parameters.
+func OpenSuite() []SuiteEntry {
+	return []SuiteEntry{
+		{Name: "Seeds", N: 210, D: 7, Eps: 7, MinPts: 5,
+			Gen: func(seed int64) *vec.Dataset { return UCIAnalog(210, 7, 3, seed) }},
+		{Name: "Map-Jo.", N: 6014, D: 2, Eps: 8, MinPts: 8,
+			Gen: func(seed int64) *vec.Dataset { return RoadMap(6014, 12, seed) }},
+		{Name: "Map-Fi.", N: 13467, D: 2, Eps: 8, MinPts: 8,
+			Gen: func(seed int64) *vec.Dataset { return RoadMap(13467, 25, seed) }},
+		{Name: "Breast.", N: 669, D: 9, Eps: 9, MinPts: 5,
+			Gen: func(seed int64) *vec.Dataset { return UCIAnalog(669, 9, 2, seed) }},
+		{Name: "House", N: 34112, D: 3, Eps: 3, MinPts: 10,
+			Gen: func(seed int64) *vec.Dataset { return UCIAnalog(34112, 3, 10, seed) }},
+		{Name: "Miss.", N: 6480, D: 16, Eps: 14, MinPts: 8,
+			Gen: func(seed int64) *vec.Dataset { return UCIAnalog(6480, 16, 6, seed) }},
+		{Name: "Dim32", N: 1024, D: 32, Eps: 25, MinPts: 8,
+			Gen: func(seed int64) *vec.Dataset { return DimSet(1024, 32, seed) }},
+		{Name: "Dim64", N: 1024, D: 64, Eps: 35, MinPts: 8,
+			Gen: func(seed int64) *vec.Dataset { return DimSet(1024, 64, seed) }},
+		{Name: "Data31", N: 3100, D: 2, Eps: 2.5, MinPts: 8,
+			Gen: func(seed int64) *vec.Dataset { return D31(seed) }},
+		{Name: "t4.8k", N: 8000, D: 2, Eps: 8.5, MinPts: 20,
+			Gen: Chameleon48K},
+		{Name: "t7.10k", N: 10000, D: 2, Eps: 8.5, MinPts: 18,
+			Gen: Chameleon710K},
+	}
+}
+
+// SuiteByName returns the entry with the given name.
+func SuiteByName(name string) (SuiteEntry, error) {
+	for _, e := range OpenSuite() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return SuiteEntry{}, fmt.Errorf("data: unknown suite dataset %q", name)
+}
+
+// RealWorldEntry is a stand-in for one of the paper's large real datasets
+// (Section V-C). Cardinality is scalable so the harness can run reduced
+// sizes; Scale(1) reproduces the original cardinality.
+type RealWorldEntry struct {
+	Name string
+	// FullN and D are the original cardinality and dimensionality.
+	FullN, D int
+	// Gen materializes the stand-in with the requested cardinality.
+	Gen func(n int, seed int64) *vec.Dataset
+}
+
+// RealWorldSuite returns stand-ins for PAMAP2 (17-d activity monitoring),
+// Sensors (11-d sensor readings) and Corel-Image (32-d image features),
+// used by the Figure 7 radius sweeps.
+func RealWorldSuite() []RealWorldEntry {
+	return []RealWorldEntry{
+		{Name: "PAMAP2", FullN: 1050199, D: 17,
+			Gen: func(n int, seed int64) *vec.Dataset {
+				return SeedSpreader{N: n, D: 17, Clusters: 12, Seed: seed}.Generate()
+			}},
+		{Name: "Sensors", FullN: 919438, D: 11,
+			Gen: func(n int, seed int64) *vec.Dataset {
+				return SeedSpreader{N: n, D: 11, Clusters: 15, Seed: seed}.Generate()
+			}},
+		{Name: "Corel-Image", FullN: 68040, D: 32,
+			Gen: func(n int, seed int64) *vec.Dataset {
+				return Blobs(n, 32, 60, 900, 1e5, 0.01, seed)
+			}},
+	}
+}

@@ -1,0 +1,123 @@
+package dbscan
+
+import (
+	"runtime"
+	"sync"
+
+	"dbsvec/internal/cluster"
+	"dbsvec/internal/index"
+	"dbsvec/internal/unionfind"
+	"dbsvec/internal/vec"
+)
+
+// RunParallel clusters ds with exact DBSCAN semantics using a two-phase
+// parallel formulation (the disjoint-set approach of Patwary et al.):
+//
+//  1. every point's ε-neighborhood is materialized concurrently, deciding
+//     core membership;
+//  2. core points are unioned with their core neighbors (a connected-
+//     components pass over the core graph), then border points attach to
+//     an arbitrary adjacent core point, exactly as sequential DBSCAN would
+//     up to border-point tie-breaking.
+//
+// The output is therefore identical to Run up to the usual border-point
+// ambiguity (a border point within ε of two clusters may land in either).
+// workers <= 0 selects GOMAXPROCS.
+func RunParallel(ds *vec.Dataset, p Params, build index.Builder, workers int) (*cluster.Result, Stats, error) {
+	var st Stats
+	if ds == nil {
+		return nil, st, ErrNilDataset
+	}
+	if err := p.Validate(); err != nil {
+		return nil, st, err
+	}
+	if build == nil {
+		build = index.BuildLinear
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := ds.Len()
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = cluster.Noise
+	}
+	res := &cluster.Result{Labels: labels}
+	if n == 0 {
+		return res, st, nil
+	}
+	idx := build(ds)
+
+	// Phase 1: parallel neighborhood materialization + core test.
+	hoods := make([][]int32, n)
+	isCore := make([]bool, n)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	var queries int64
+	var queriesMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		if start >= end {
+			break
+		}
+		wg.Add(1)
+		go func(start, end int) {
+			defer wg.Done()
+			local := int64(0)
+			for i := start; i < end; i++ {
+				h := idx.RangeQuery(ds.Point(i), p.Eps, nil)
+				local++
+				hoods[i] = h
+				isCore[i] = len(h) >= p.MinPts
+			}
+			queriesMu.Lock()
+			queries += local
+			queriesMu.Unlock()
+		}(start, end)
+	}
+	wg.Wait()
+	st.RangeQueries = queries
+	for _, c := range isCore {
+		if c {
+			st.CorePoints++
+		}
+	}
+
+	// Phase 2: union core points with their core neighbors (sequential;
+	// union-find dominates nothing next to phase 1).
+	dsu := unionfind.New(n)
+	for i := 0; i < n; i++ {
+		if !isCore[i] {
+			continue
+		}
+		for _, nb := range hoods[i] {
+			if isCore[nb] {
+				dsu.Union(int32(i), nb)
+			}
+		}
+	}
+
+	// Phase 3: label core components, then attach border points.
+	for i := 0; i < n; i++ {
+		if isCore[i] {
+			labels[i] = dsu.Find(int32(i))
+		}
+	}
+	for i := 0; i < n; i++ {
+		if isCore[i] || len(hoods[i]) == 0 {
+			continue
+		}
+		for _, nb := range hoods[i] {
+			if isCore[nb] {
+				labels[i] = labels[nb]
+				break
+			}
+		}
+	}
+	res.Compact()
+	return res, st, nil
+}

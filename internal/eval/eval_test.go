@@ -1,0 +1,313 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dbsvec/internal/cluster"
+	"dbsvec/internal/vec"
+)
+
+func res(labels ...int32) *cluster.Result {
+	max := int32(-1)
+	for _, l := range labels {
+		if l > max {
+			max = l
+		}
+	}
+	return &cluster.Result{Labels: labels, Clusters: int(max) + 1}
+}
+
+func TestPairRecallIdentical(t *testing.T) {
+	a := res(0, 0, 1, 1, cluster.Noise)
+	r, err := PairRecall(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Errorf("recall = %v, want 1", r)
+	}
+}
+
+func TestPairRecallSplit(t *testing.T) {
+	// Reference: one cluster of 4 (6 pairs). Candidate splits it 2+2
+	// (2 pairs kept).
+	ref := res(0, 0, 0, 0)
+	cand := res(0, 0, 1, 1)
+	r, err := PairRecall(ref, cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2.0 / 6.0; math.Abs(r-want) > 1e-12 {
+		t.Errorf("recall = %v, want %v", r, want)
+	}
+}
+
+func TestPairRecallNoiseMismatch(t *testing.T) {
+	// Candidate turns one clustered point into noise: pairs involving it
+	// are lost.
+	ref := res(0, 0, 0)
+	cand := &cluster.Result{Labels: []int32{0, 0, cluster.Noise}, Clusters: 1}
+	r, err := PairRecall(ref, cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1.0 / 3.0; math.Abs(r-want) > 1e-12 {
+		t.Errorf("recall = %v, want %v", r, want)
+	}
+}
+
+func TestPairRecallMergeIsPerfect(t *testing.T) {
+	// Candidate merging two reference clusters keeps all reference pairs:
+	// recall 1 (precision would drop, but the metric is recall).
+	ref := res(0, 0, 1, 1)
+	cand := res(0, 0, 0, 0)
+	r, err := PairRecall(ref, cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Errorf("recall = %v, want 1", r)
+	}
+}
+
+func TestPairRecallNoPairs(t *testing.T) {
+	ref := &cluster.Result{Labels: []int32{cluster.Noise, cluster.Noise}}
+	cand := res(0, 1)
+	r, err := PairRecall(ref, cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Errorf("recall with no reference pairs = %v, want 1", r)
+	}
+}
+
+func TestPairRecallLengthMismatch(t *testing.T) {
+	if _, err := PairRecall(res(0), res(0, 0)); err == nil {
+		t.Error("want length mismatch error")
+	}
+}
+
+// Brute-force cross-check of the contingency computation.
+func TestPairRecallAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 50; iter++ {
+		n := 2 + rng.Intn(40)
+		ref := make([]int32, n)
+		cand := make([]int32, n)
+		for i := 0; i < n; i++ {
+			ref[i] = int32(rng.Intn(4)) - 1 // -1..2
+			cand[i] = int32(rng.Intn(4)) - 1
+		}
+		a := &cluster.Result{Labels: ref}
+		b := &cluster.Result{Labels: cand}
+		got, err := PairRecall(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var refPairs, both int
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if ref[i] >= 0 && ref[i] == ref[j] {
+					refPairs++
+					if cand[i] >= 0 && cand[i] == cand[j] {
+						both++
+					}
+				}
+			}
+		}
+		want := 1.0
+		if refPairs > 0 {
+			want = float64(both) / float64(refPairs)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("iter %d: got %v want %v (ref=%v cand=%v)", iter, got, want, ref, cand)
+		}
+	}
+}
+
+func TestPairPrecisionAndF1(t *testing.T) {
+	// Candidate splits a reference cluster: recall drops, precision stays 1.
+	ref := res(0, 0, 0, 0)
+	cand := res(0, 0, 1, 1)
+	p, err := PairPrecision(ref, cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("precision after split = %v, want 1", p)
+	}
+	// Candidate merges two reference clusters: precision drops, recall 1.
+	ref2 := res(0, 0, 1, 1)
+	cand2 := res(0, 0, 0, 0)
+	p2, _ := PairPrecision(ref2, cand2)
+	if want := 2.0 / 6.0; math.Abs(p2-want) > 1e-12 {
+		t.Errorf("precision after merge = %v, want %v", p2, want)
+	}
+	f1, err := PairF1(ref2, cand2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 1 * (2.0 / 6.0) / (1 + 2.0/6.0); math.Abs(f1-want) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", f1, want)
+	}
+	// Identical: everything 1.
+	if f1, _ := PairF1(ref, ref); f1 != 1 {
+		t.Errorf("F1 identical = %v", f1)
+	}
+}
+
+func TestSilhouetteSeparatedVsOverlapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	mk := func(sep float64) (*vec.Dataset, *cluster.Result) {
+		rows := make([][]float64, 0, 200)
+		labels := make([]int32, 0, 200)
+		for i := 0; i < 100; i++ {
+			rows = append(rows, []float64{rng.NormFloat64(), rng.NormFloat64()})
+			labels = append(labels, 0)
+		}
+		for i := 0; i < 100; i++ {
+			rows = append(rows, []float64{sep + rng.NormFloat64(), rng.NormFloat64()})
+			labels = append(labels, 1)
+		}
+		ds, _ := vec.FromRows(rows)
+		return ds, &cluster.Result{Labels: labels, Clusters: 2}
+	}
+	dsFar, rFar := mk(50)
+	dsNear, rNear := mk(1)
+	sFar, err := Silhouette(dsFar, rFar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sNear, err := Silhouette(dsNear, rNear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sFar < 0.8 {
+		t.Errorf("well separated silhouette %v, want > 0.8", sFar)
+	}
+	if sNear >= sFar {
+		t.Errorf("overlapping silhouette %v should be below separated %v", sNear, sFar)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	ds, _ := vec.FromRows([][]float64{{0, 0}, {1, 1}})
+	one := &cluster.Result{Labels: []int32{0, 0}, Clusters: 1}
+	if s, err := Silhouette(ds, one); err != nil || s != 0 {
+		t.Errorf("single cluster silhouette = %v, %v; want 0, nil", s, err)
+	}
+	mismatch := &cluster.Result{Labels: []int32{0}}
+	if _, err := Silhouette(ds, mismatch); err == nil {
+		t.Error("want length mismatch error")
+	}
+}
+
+func TestDaviesBouldinOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mk := func(sep float64) (*vec.Dataset, *cluster.Result) {
+		rows := make([][]float64, 0, 120)
+		labels := make([]int32, 0, 120)
+		for c := 0; c < 3; c++ {
+			for i := 0; i < 40; i++ {
+				rows = append(rows, []float64{float64(c) * sep * 1.0, float64(c)*sep + rng.NormFloat64()})
+				labels = append(labels, int32(c))
+			}
+		}
+		ds, _ := vec.FromRows(rows)
+		return ds, &cluster.Result{Labels: labels, Clusters: 3}
+	}
+	dsFar, rFar := mk(60)
+	dsNear, rNear := mk(4)
+	far, err := DaviesBouldin(dsFar, rFar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, err := DaviesBouldin(dsNear, rNear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far >= near {
+		t.Errorf("DB far=%v should be lower than near=%v", far, near)
+	}
+	if far < 0 {
+		t.Errorf("DB index must be non-negative: %v", far)
+	}
+}
+
+func TestDaviesBouldinDegenerate(t *testing.T) {
+	ds, _ := vec.FromRows([][]float64{{0, 0}, {1, 1}})
+	one := &cluster.Result{Labels: []int32{0, 0}, Clusters: 1}
+	if v, err := DaviesBouldin(ds, one); err != nil || v != 0 {
+		t.Errorf("single cluster DB = %v, %v; want 0, nil", v, err)
+	}
+}
+
+func TestAdjustedRandIndex(t *testing.T) {
+	a := res(0, 0, 1, 1, 2, 2)
+	ident, err := AdjustedRandIndex(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ident-1) > 1e-12 {
+		t.Errorf("ARI of identical partitions = %v, want 1", ident)
+	}
+	// Relabeled but identical partition.
+	b := res(2, 2, 0, 0, 1, 1)
+	if v, _ := AdjustedRandIndex(a, b); math.Abs(v-1) > 1e-12 {
+		t.Errorf("ARI invariant to relabeling, got %v", v)
+	}
+	// A merge should reduce ARI below 1 but keep it positive.
+	merged := res(0, 0, 0, 0, 1, 1)
+	v, _ := AdjustedRandIndex(a, merged)
+	if v >= 1 || v <= 0 {
+		t.Errorf("ARI after merge = %v, want (0,1)", v)
+	}
+	// Independence: a partition of all-singletons vs all-one-block.
+	ones := res(0, 0, 0, 0, 0, 0)
+	singles := res(0, 1, 2, 3, 4, 5)
+	if v, _ := AdjustedRandIndex(ones, singles); v > 0.2 {
+		t.Errorf("ARI of unrelated partitions = %v, want ~0", v)
+	}
+	// Empty inputs agree trivially.
+	if v, _ := AdjustedRandIndex(&cluster.Result{}, &cluster.Result{}); v != 1 {
+		t.Errorf("empty ARI = %v", v)
+	}
+	if _, err := AdjustedRandIndex(a, res(0)); err == nil {
+		t.Error("want length mismatch error")
+	}
+}
+
+func TestAdjustedRandIndexNoiseAsSingletons(t *testing.T) {
+	// Two results differing only in noise placement must not score 1.
+	a := &cluster.Result{Labels: []int32{0, 0, cluster.Noise, cluster.Noise}}
+	b := &cluster.Result{Labels: []int32{0, 0, 0, 0}}
+	v, err := AdjustedRandIndex(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v >= 1 {
+		t.Errorf("ARI = %v, want < 1 when noise differs", v)
+	}
+}
+
+func TestNoiseAgreement(t *testing.T) {
+	a := &cluster.Result{Labels: []int32{0, cluster.Noise, 1, cluster.Noise}}
+	b := &cluster.Result{Labels: []int32{5, cluster.Noise, cluster.Noise, cluster.Noise}}
+	v, err := NoiseAgreement(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-0.75) > 1e-12 {
+		t.Errorf("agreement = %v, want 0.75", v)
+	}
+	empty := &cluster.Result{}
+	if v, err := NoiseAgreement(empty, empty); err != nil || v != 1 {
+		t.Errorf("empty agreement = %v, %v", v, err)
+	}
+	if _, err := NoiseAgreement(a, empty); err == nil {
+		t.Error("want length mismatch error")
+	}
+}

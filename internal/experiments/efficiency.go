@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dbsvec/internal/core"
+	"dbsvec/internal/data"
+	"dbsvec/internal/eval"
+	"dbsvec/internal/svdd"
+	"dbsvec/internal/vec"
+)
+
+// Paper defaults for the efficiency experiments (Section V-C): coordinates
+// normalized to [0,10^5], MinPts=100, eps=5000.
+const (
+	effEps    = 5000.0
+	effMinPts = 100
+)
+
+// sweepAlgo is one competitor in an efficiency sweep. disabled latches true
+// once a run exceeds the budget, standing in for the paper's 10-hour cap.
+type sweepAlgo struct {
+	name     string
+	run      func(ds *vec.Dataset) func() (*clusterResult, error)
+	disabled bool
+}
+
+func effAlgos(seed int64) []*sweepAlgo {
+	return []*sweepAlgo{
+		{name: "DBSVEC", run: func(ds *vec.Dataset) func() (*clusterResult, error) {
+			return runDBSVEC(ds, effEps, effMinPts, seed)
+		}},
+		{name: "R-DBSCAN", run: func(ds *vec.Dataset) func() (*clusterResult, error) {
+			return runRDBSCAN(ds, effEps, effMinPts)
+		}},
+		{name: "kd-DBSCAN", run: func(ds *vec.Dataset) func() (*clusterResult, error) {
+			return runKDDBSCAN(ds, effEps, effMinPts)
+		}},
+		{name: "rho-Appr", run: func(ds *vec.Dataset) func() (*clusterResult, error) {
+			return runRho(ds, effEps, effMinPts)
+		}},
+		{name: "DBSCAN-LSH", run: func(ds *vec.Dataset) func() (*clusterResult, error) {
+			return runLSH(ds, effEps, effMinPts, seed)
+		}},
+		{name: "NQ-DBSCAN", run: func(ds *vec.Dataset) func() (*clusterResult, error) {
+			return runNQ(ds, effEps, effMinPts)
+		}},
+	}
+}
+
+// runSweep times every algorithm on every dataset of the sweep, printing a
+// row per dataset. Algorithms whose previous run blew the budget are
+// skipped for the remaining (larger) inputs.
+func runSweep(w io.Writer, algos []*sweepAlgo, labels []string, gen func(i int) *vec.Dataset, budget time.Duration) error {
+	fmt.Fprintf(w, "%-12s", "")
+	for _, a := range algos {
+		fmt.Fprintf(w, " %12s", a.name)
+	}
+	fmt.Fprintln(w)
+	for i, label := range labels {
+		ds := gen(i)
+		fmt.Fprintf(w, "%-12s", label)
+		for _, a := range algos {
+			if a.disabled {
+				fmt.Fprintf(w, " %12s", "-")
+				continue
+			}
+			run, err := timed(a.run(ds))
+			if err != nil {
+				return fmt.Errorf("%s on %s: %w", a.name, label, err)
+			}
+			if run.elapsed > budget {
+				a.disabled = true
+			}
+			fmt.Fprintf(w, " %12s", fmtDur(run))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Fig6a reproduces Figure 6a: runtime vs cardinality on 8-dimensional
+// synthetic data (paper: 100k..10M; quick mode: 5k..100k).
+func Fig6a(w io.Writer, cfg Config) error {
+	header(w, "Figure 6a: effect of cardinality n (d=8, MinPts=100, eps=5000)")
+	sizes := []int{100000, 500000, 1000000, 2000000, 5000000, 10000000}
+	if cfg.Quick {
+		sizes = []int{5000, 10000, 20000, 50000, 100000}
+	}
+	labels := make([]string, len(sizes))
+	for i, n := range sizes {
+		labels[i] = fmt.Sprintf("n=%d", n)
+	}
+	return runSweep(w, effAlgos(cfg.Seed), labels, func(i int) *vec.Dataset {
+		return data.SeedSpreader{N: sizes[i], D: 8, Seed: cfg.Seed}.Generate()
+	}, cfg.budget())
+}
+
+// Fig6b reproduces Figure 6b: runtime vs dimensionality at fixed
+// cardinality (paper: d=2..24 at n=2M; quick mode n=20k).
+func Fig6b(w io.Writer, cfg Config) error {
+	header(w, "Figure 6b: effect of dimensionality d (MinPts=100, eps=5000)")
+	n := 2000000
+	if cfg.Quick {
+		n = 20000
+	}
+	dims := []int{2, 4, 8, 16, 24}
+	labels := make([]string, len(dims))
+	for i, d := range dims {
+		labels[i] = fmt.Sprintf("d=%d", d)
+	}
+	return runSweep(w, effAlgos(cfg.Seed), labels, func(i int) *vec.Dataset {
+		return data.SeedSpreader{N: n, D: dims[i], Seed: cfg.Seed}.Generate()
+	}, cfg.budget())
+}
+
+// Fig7 reproduces Figure 7: runtime vs radius eps on the synthetic dataset
+// (a) and the three real-world stand-ins (b: PAMAP2, c: Sensors,
+// d: Corel-Image).
+func Fig7(w io.Writer, cfg Config) error {
+	radii := []float64{5000, 15000, 25000, 35000, 45000, 55000}
+	nSynth, nReal := 2000000, 0 // real suites use their full cardinality
+	if cfg.Quick {
+		nSynth, nReal = 20000, 20000
+	}
+
+	sweepEps := func(title string, ds *vec.Dataset) error {
+		header(w, title)
+		algos := effAlgos(cfg.Seed)
+		labels := make([]string, len(radii))
+		for i, r := range radii {
+			labels[i] = fmt.Sprintf("eps=%.0f", r)
+		}
+		fmt.Fprintf(w, "%-12s", "")
+		for _, a := range algos {
+			fmt.Fprintf(w, " %12s", a.name)
+		}
+		fmt.Fprintln(w)
+		for i, label := range labels {
+			eps := radii[i]
+			fmt.Fprintf(w, "%-12s", label)
+			for _, a := range algos {
+				if a.disabled {
+					fmt.Fprintf(w, " %12s", "-")
+					continue
+				}
+				// Re-bind eps by shadowing the standard runners.
+				var fn func() (*clusterResult, error)
+				switch a.name {
+				case "DBSVEC":
+					fn = runDBSVEC(ds, eps, effMinPts, cfg.Seed)
+				case "R-DBSCAN":
+					fn = runRDBSCAN(ds, eps, effMinPts)
+				case "kd-DBSCAN":
+					fn = runKDDBSCAN(ds, eps, effMinPts)
+				case "rho-Appr":
+					fn = runRho(ds, eps, effMinPts)
+				case "DBSCAN-LSH":
+					fn = runLSH(ds, eps, effMinPts, cfg.Seed)
+				case "NQ-DBSCAN":
+					fn = runNQ(ds, eps, effMinPts)
+				}
+				run, err := timed(fn)
+				if err != nil {
+					return fmt.Errorf("%s at %s: %w", a.name, label, err)
+				}
+				if run.elapsed > cfg.budget() {
+					a.disabled = true
+				}
+				fmt.Fprintf(w, " %12s", fmtDur(run))
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+
+	synth := data.SeedSpreader{N: nSynth, D: 8, Seed: cfg.Seed}.Generate()
+	if err := sweepEps("Figure 7a: effect of eps (synthetic, d=8)", synth); err != nil {
+		return err
+	}
+	for _, e := range data.RealWorldSuite() {
+		n := e.FullN
+		if nReal > 0 && n > nReal {
+			n = nReal
+		}
+		ds := e.Gen(n, cfg.Seed).NormalizeTo(1e5)
+		if err := sweepEps(fmt.Sprintf("Figure 7: effect of eps (%s stand-in, n=%d, d=%d)", e.Name, n, e.D), ds); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig8 reproduces Figure 8: DBSVEC runtime as the penalty factor ν grows
+// (multiples of ν*), on synthetic data and a real-world stand-in.
+func Fig8(w io.Writer, cfg Config) error {
+	header(w, "Figure 8: effect of penalty factor nu (multiples of nu*)")
+	n := 2000000
+	if cfg.Quick {
+		n = 20000
+	}
+	ds := data.SeedSpreader{N: n, D: 8, Seed: cfg.Seed}.Generate()
+	mults := []float64{1, 2, 4, 8, 16}
+	// Estimate the typical target size from MinPts-scale neighborhoods to
+	// report nu* context.
+	nuStar := svdd.NuStar(8, effMinPts, 1024)
+	fmt.Fprintf(w, "(nu* at a 1024-point target: %.4f)\n", nuStar)
+	fmt.Fprintf(w, "%-12s %12s %12s\n", "nu", "time", "clusters")
+	for _, m := range mults {
+		nu := nuStar * m
+		if nu > 1 {
+			nu = 1
+		}
+		run, err := timed(runDBSVECOpts(ds, core.Options{Eps: effEps, MinPts: effMinPts, Nu: nu, Seed: cfg.Seed}))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-12s %12s %12d\n", fmt.Sprintf("%.1fx nu*", m), fmtDur(run), run.res.Clusters)
+	}
+	return nil
+}
+
+// Fig9b reproduces Figure 9b: the efficiency effect of incremental learning
+// (\IL disables it) and kernel parameter selection (\OK randomizes σ) on
+// 8-dimensional synthetic data.
+func Fig9b(w io.Writer, cfg Config) error {
+	header(w, "Figure 9b: effect of SVDD improvements on efficiency")
+	n := 2000000
+	if cfg.Quick {
+		n = 20000
+	}
+	ds := data.SeedSpreader{N: n, D: 8, Seed: cfg.Seed}.Generate()
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"DBSVEC\\IL", core.Options{Eps: effEps, MinPts: effMinPts, LearnThreshold: -1, Seed: cfg.Seed}},
+		{"DBSVEC\\OK", core.Options{Eps: effEps, MinPts: effMinPts, RandomKernel: true, Seed: cfg.Seed}},
+		{"DBSVEC", core.Options{Eps: effEps, MinPts: effMinPts, Seed: cfg.Seed}},
+	}
+	fmt.Fprintf(w, "%-12s %12s %12s %12s\n", "variant", "time", "clusters", "recallVsFull")
+	var full *clusterResult
+	// Run the full variant first to serve as the reference.
+	ref, err := timed(runDBSVECOpts(ds, variants[2].opts))
+	if err != nil {
+		return err
+	}
+	full = ref.res
+	for _, v := range variants {
+		var run algoResult
+		if v.name == "DBSVEC" {
+			run = ref
+		} else {
+			run, err = timed(runDBSVECOpts(ds, v.opts))
+			if err != nil {
+				return err
+			}
+		}
+		rec, err := eval.PairRecall(full, run.res)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-12s %12s %12d %12.3f\n", v.name, fmtDur(run), run.res.Clusters, rec)
+	}
+	return nil
+}

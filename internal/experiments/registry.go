@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	// ID is the harness name (e.g. "fig6a").
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Run regenerates it.
+	Run func(w io.Writer, cfg Config) error
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig1", "Figure 1: DBSCAN vs DBSVEC on t4.8k", Fig1},
+		{"table2", "Table II / Sec III-D: O(theta*n) cost model validation", Table2},
+		{"table3", "Table III: clustering accuracy (recall)", Table3},
+		{"table4", "Table IV: clustering validation vs k-MEANS", Table4},
+		{"fig6a", "Figure 6a: runtime vs cardinality", Fig6a},
+		{"fig6b", "Figure 6b: runtime vs dimensionality", Fig6b},
+		{"fig7", "Figure 7: runtime vs radius (synthetic + real stand-ins)", Fig7},
+		{"fig8", "Figure 8: runtime vs penalty factor nu", Fig8},
+		{"fig9a", "Figure 9a: SVDD improvements, recall", Fig9a},
+		{"fig9b", "Figure 9b: SVDD improvements, efficiency", Fig9b},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}
+
+// RunAll executes every experiment against w.
+func RunAll(w io.Writer, cfg Config) error {
+	for _, e := range All() {
+		if err := e.Run(w, cfg); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"dbsvec/internal/cluster"
+	"dbsvec/internal/data"
+	"dbsvec/internal/vec"
+)
+
+// The sweep budget must latch: once an algorithm exceeds it, later (larger)
+// inputs print "-" instead of running.
+func TestRunSweepBudgetLatches(t *testing.T) {
+	calls := 0
+	slow := &sweepAlgo{
+		name: "slow",
+		run: func(ds *vec.Dataset) func() (*clusterResult, error) {
+			return func() (*clusterResult, error) {
+				calls++
+				// Burn measurable wall time so budget 1ns is exceeded.
+				deadline := time.Now().Add(2 * time.Millisecond)
+				for time.Now().Before(deadline) {
+				}
+				return &cluster.Result{Labels: make([]int32, ds.Len())}, nil
+			}
+		},
+	}
+	fast := &sweepAlgo{
+		name: "fast",
+		run: func(ds *vec.Dataset) func() (*clusterResult, error) {
+			return func() (*clusterResult, error) {
+				return &cluster.Result{Labels: make([]int32, ds.Len())}, nil
+			}
+		},
+	}
+	var buf bytes.Buffer
+	gen := func(i int) *vec.Dataset { return data.Uniform(10, 2, 1, int64(i)) }
+	err := runSweep(&buf, []*sweepAlgo{slow, fast}, []string{"a", "b", "c"}, gen, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("slow algorithm ran %d times, want 1 (budget latch)", calls)
+	}
+	out := buf.String()
+	if strings.Count(out, "-") < 2 {
+		t.Errorf("expected skip markers for rows b and c:\n%s", out)
+	}
+	if !slow.disabled {
+		t.Error("slow algorithm should be disabled")
+	}
+	if fast.disabled {
+		t.Error("fast algorithm should not be disabled")
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	if got := fmtDur(skipped()); got != "-" {
+		t.Errorf("skipped duration = %q", got)
+	}
+	if got := fmtDur(algoResult{elapsed: 1500 * time.Millisecond}); got != "1.500s" {
+		t.Errorf("duration format = %q", got)
+	}
+}

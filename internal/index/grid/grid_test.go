@@ -1,0 +1,157 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dbsvec/internal/index"
+	"dbsvec/internal/index/indextest"
+	"dbsvec/internal/vec"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, "grid", func(ds *vec.Dataset) index.Index {
+		w := 10.0
+		if ds.Dim() > 0 {
+			w = 10 / math.Sqrt(float64(ds.Dim()))
+		}
+		return New(ds, w)
+	})
+}
+
+func TestCellBucketing(t *testing.T) {
+	ds, _ := vec.FromRows([][]float64{{0.5, 0.5}, {0.6, 0.4}, {5.5, 5.5}})
+	g := New(ds, 1.0)
+	if g.NumCells() != 2 {
+		t.Fatalf("NumCells = %d, want 2", g.NumCells())
+	}
+	k := g.CellOf([]float64{0.5, 0.5})
+	if got := g.Points(k); len(got) != 2 {
+		t.Errorf("cell should hold 2 points, got %v", got)
+	}
+}
+
+func TestCellsIteration(t *testing.T) {
+	ds, _ := vec.FromRows([][]float64{{0, 0}, {10, 10}, {20, 20}})
+	g := New(ds, 1.0)
+	total := 0
+	g.Cells(func(_ string, pts []int32) { total += len(pts) })
+	if total != 3 {
+		t.Errorf("iterated %d points, want 3", total)
+	}
+}
+
+func TestApproxRangeCountSemantics(t *testing.T) {
+	// Points at distances 1, 2, 3 from origin; eps=2, rho=0.5 -> outer=3.
+	// Exact in-eps points (d<=2) must always count; d=3 is optional; beyond
+	// outer must never count.
+	ds, _ := vec.FromRows([][]float64{{0}, {1}, {2}, {2.9}, {10}})
+	g := New(ds, 0.5)
+	got := g.ApproxRangeCount([]float64{0}, 2, 0.5, 0)
+	if got < 3 {
+		t.Errorf("approx count %d must include the 3 points within eps", got)
+	}
+	if got > 4 {
+		t.Errorf("approx count %d must exclude the point at distance 10", got)
+	}
+}
+
+func TestApproxRangeCountMatchesExactWhenRhoZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := make([][]float64, 500)
+	for i := range rows {
+		rows[i] = []float64{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	ds, _ := vec.FromRows(rows)
+	g := New(ds, 3.0)
+	oracle := index.NewLinear(ds)
+	for iter := 0; iter < 40; iter++ {
+		q := []float64{rng.Float64() * 100, rng.Float64() * 100}
+		eps := 2 + rng.Float64()*20
+		got := g.ApproxRangeCount(q, eps, 0, 0)
+		want := oracle.RangeCount(q, eps, 0)
+		if got != want {
+			t.Fatalf("rho=0 approx=%d exact=%d (q=%v eps=%g)", got, want, q, eps)
+		}
+	}
+}
+
+func TestApproxRangeCountBounds(t *testing.T) {
+	// For any rho, exact(eps) <= approx <= exact(eps*(1+rho)).
+	rng := rand.New(rand.NewSource(6))
+	rows := make([][]float64, 600)
+	for i := range rows {
+		rows[i] = []float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+	}
+	ds, _ := vec.FromRows(rows)
+	oracle := index.NewLinear(ds)
+	for _, rho := range []float64{0.001, 0.1, 0.5} {
+		g := New(ds, 5.0)
+		for iter := 0; iter < 30; iter++ {
+			q := rows[rng.Intn(len(rows))]
+			eps := 5 + rng.Float64()*25
+			got := g.ApproxRangeCount(q, eps, rho, 0)
+			lo := oracle.RangeCount(q, eps, 0)
+			hi := oracle.RangeCount(q, eps*(1+rho), 0)
+			if got < lo || got > hi {
+				t.Fatalf("rho=%g: approx=%d outside [%d,%d]", rho, got, lo, hi)
+			}
+		}
+	}
+}
+
+func TestApproxRangeCountLimit(t *testing.T) {
+	rows := make([][]float64, 100)
+	for i := range rows {
+		rows[i] = []float64{0, 0}
+	}
+	ds, _ := vec.FromRows(rows)
+	g := New(ds, 1.0)
+	if got := g.ApproxRangeCount([]float64{0, 0}, 1, 0.001, 7); got != 7 {
+		t.Errorf("limited approx count = %d, want 7", got)
+	}
+}
+
+func TestHighDimDirectoryScanPath(t *testing.T) {
+	// d large enough that offset enumeration would explode; the directory
+	// scan must still answer exactly.
+	rng := rand.New(rand.NewSource(8))
+	d := 20
+	rows := make([][]float64, 300)
+	for i := range rows {
+		rows[i] = make([]float64, d)
+		for j := range rows[i] {
+			rows[i][j] = rng.Float64() * 10
+		}
+	}
+	ds, _ := vec.FromRows(rows)
+	g := New(ds, 0.5)
+	oracle := index.NewLinear(ds)
+	for iter := 0; iter < 20; iter++ {
+		q := rows[rng.Intn(len(rows))]
+		eps := 2 + rng.Float64()*8
+		if got, want := g.RangeCount(q, eps, 0), oracle.RangeCount(q, eps, 0); got != want {
+			t.Fatalf("high-dim count %d != %d", got, want)
+		}
+	}
+}
+
+func TestNonPositiveWidthPanics(t *testing.T) {
+	ds, _ := vec.FromRows([][]float64{{0, 0}})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for width 0")
+		}
+	}()
+	New(ds, 0)
+}
+
+func TestNegativeCoordinates(t *testing.T) {
+	ds, _ := vec.FromRows([][]float64{{-5.5, -3.3}, {-5.4, -3.2}, {4, 4}})
+	g := New(ds, 1.0)
+	got := g.RangeQuery([]float64{-5.45, -3.25}, 0.2, nil)
+	if len(got) != 2 {
+		t.Errorf("negative-coordinate query returned %v, want 2 ids", got)
+	}
+}

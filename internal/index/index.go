@@ -1,0 +1,108 @@
+// Package index defines the spatial-index contract shared by every
+// clustering algorithm in this repository and provides the brute-force
+// linear-scan implementation that serves both as the correctness oracle in
+// property tests and as DBSVEC's default backend (the paper's DBSVEC needs
+// no extra index structure).
+package index
+
+import (
+	"dbsvec/internal/vec"
+)
+
+// Index answers Euclidean range queries over a fixed dataset. Implementations
+// are safe for concurrent readers after construction.
+//
+// Query results contain point ids (0..n-1) including the query point itself
+// when the query coincides with an indexed point; order is unspecified.
+type Index interface {
+	// RangeQuery appends the ids of all points within distance eps of q to
+	// buf and returns the extended slice. Passing a reused buf[:0] keeps the
+	// hot path allocation free.
+	RangeQuery(q []float64, eps float64, buf []int32) []int32
+
+	// RangeCount returns |{p : dist(p,q) <= eps}| without materializing ids.
+	// limit > 0 allows early exit once the count reaches limit; limit <= 0
+	// counts exhaustively.
+	RangeCount(q []float64, eps float64, limit int) int
+
+	// Len returns the number of indexed points.
+	Len() int
+}
+
+// Builder constructs an Index over a dataset. Algorithms that accept a
+// pluggable index take a Builder so each run indexes its own data.
+type Builder func(ds *vec.Dataset) Index
+
+// Linear is the exhaustive-scan index: O(n) per query, zero build cost,
+// no extra memory. It is the ground-truth oracle for all other indexes.
+type Linear struct {
+	ds *vec.Dataset
+}
+
+// NewLinear wraps a dataset in a linear-scan index.
+func NewLinear(ds *vec.Dataset) *Linear { return &Linear{ds: ds} }
+
+// BuildLinear is a Builder for Linear.
+func BuildLinear(ds *vec.Dataset) Index { return NewLinear(ds) }
+
+// Len returns the number of indexed points.
+func (l *Linear) Len() int { return l.ds.Len() }
+
+// RangeQuery implements Index.
+func (l *Linear) RangeQuery(q []float64, eps float64, buf []int32) []int32 {
+	eps2 := eps * eps
+	n := l.ds.Len()
+	for i := 0; i < n; i++ {
+		if l.ds.Dist2To(i, q) <= eps2 {
+			buf = append(buf, int32(i))
+		}
+	}
+	return buf
+}
+
+// RangeCount implements Index.
+func (l *Linear) RangeCount(q []float64, eps float64, limit int) int {
+	eps2 := eps * eps
+	n := l.ds.Len()
+	count := 0
+	for i := 0; i < n; i++ {
+		if l.ds.Dist2To(i, q) <= eps2 {
+			count++
+			if limit > 0 && count >= limit {
+				return count
+			}
+		}
+	}
+	return count
+}
+
+var _ Index = (*Linear)(nil)
+
+// CountingIndex wraps another index and counts the number of range queries
+// and range counts issued through it. It is used by the experiment harness
+// to validate the paper's O(θn) cost analysis (Section III-D).
+type CountingIndex struct {
+	Inner   Index
+	Queries int64
+	Counts  int64
+}
+
+// NewCounting wraps inner.
+func NewCounting(inner Index) *CountingIndex { return &CountingIndex{Inner: inner} }
+
+// Len returns the number of indexed points.
+func (c *CountingIndex) Len() int { return c.Inner.Len() }
+
+// RangeQuery implements Index and increments the query counter.
+func (c *CountingIndex) RangeQuery(q []float64, eps float64, buf []int32) []int32 {
+	c.Queries++
+	return c.Inner.RangeQuery(q, eps, buf)
+}
+
+// RangeCount implements Index and increments the count counter.
+func (c *CountingIndex) RangeCount(q []float64, eps float64, limit int) int {
+	c.Counts++
+	return c.Inner.RangeCount(q, eps, limit)
+}
+
+var _ Index = (*CountingIndex)(nil)

@@ -1,0 +1,147 @@
+// Package indextest provides a reusable conformance suite that validates any
+// index.Index implementation against the linear-scan oracle on randomized
+// workloads. Each index package's tests call Run with its Builder.
+package indextest
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dbsvec/internal/index"
+	"dbsvec/internal/vec"
+)
+
+// Run exercises the builder on a battery of datasets and query mixes and
+// fails the test on any divergence from the linear-scan oracle.
+func Run(t *testing.T, name string, build index.Builder) {
+	t.Helper()
+	t.Run(name+"/uniform2d", func(t *testing.T) { compare(t, build, uniform(400, 2, 1), 25, 2) })
+	t.Run(name+"/uniform5d", func(t *testing.T) { compare(t, build, uniform(400, 5, 2), 35, 3) })
+	t.Run(name+"/clustered3d", func(t *testing.T) { compare(t, build, clustered(500, 3, 3), 12, 4) })
+	t.Run(name+"/duplicates", func(t *testing.T) { compare(t, build, duplicates(200, 2, 5), 10, 6) })
+	t.Run(name+"/line1d", func(t *testing.T) { compare(t, build, uniform(300, 1, 7), 8, 8) })
+	t.Run(name+"/tiny", func(t *testing.T) { compare(t, build, uniform(3, 2, 9), 50, 10) })
+	t.Run(name+"/single", func(t *testing.T) { compare(t, build, uniform(1, 4, 11), 50, 12) })
+	t.Run(name+"/empty", func(t *testing.T) {
+		ds, _ := vec.FromRows(nil)
+		idx := build(ds)
+		if idx.Len() != 0 {
+			t.Errorf("Len = %d on empty dataset", idx.Len())
+		}
+	})
+	t.Run(name+"/zeroeps", func(t *testing.T) {
+		ds := duplicates(100, 2, 13)
+		idx := build(ds)
+		oracle := index.NewLinear(ds)
+		for i := 0; i < ds.Len(); i += 7 {
+			got := sorted(idx.RangeQuery(ds.Point(i), 0, nil))
+			want := sorted(oracle.RangeQuery(ds.Point(i), 0, nil))
+			if !equal(got, want) {
+				t.Fatalf("eps=0 query %d: got %v want %v", i, got, want)
+			}
+		}
+	})
+}
+
+func compare(t *testing.T, build index.Builder, ds *vec.Dataset, eps float64, seed int64) {
+	t.Helper()
+	idx := build(ds)
+	oracle := index.NewLinear(ds)
+	if idx.Len() != ds.Len() {
+		t.Fatalf("Len = %d, want %d", idx.Len(), ds.Len())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	lo, hi := ds.Bounds()
+	for iter := 0; iter < 60; iter++ {
+		var q []float64
+		if iter%2 == 0 && ds.Len() > 0 {
+			q = ds.Point(rng.Intn(ds.Len())) // on-point queries
+		} else {
+			q = make([]float64, ds.Dim())
+			for j := range q {
+				span := hi[j] - lo[j]
+				q[j] = lo[j] - 0.2*span + rng.Float64()*1.4*span // may fall outside
+			}
+		}
+		e := eps * (0.2 + rng.Float64()*1.6)
+		got := sorted(idx.RangeQuery(q, e, nil))
+		want := sorted(oracle.RangeQuery(q, e, nil))
+		if !equal(got, want) {
+			t.Fatalf("RangeQuery(q=%v eps=%g): got %d ids %v, want %d ids %v", q, e, len(got), got, len(want), want)
+		}
+		if c := idx.RangeCount(q, e, 0); c != len(want) {
+			t.Fatalf("RangeCount(q=%v eps=%g) = %d, want %d", q, e, c, len(want))
+		}
+		if len(want) >= 2 {
+			if c := idx.RangeCount(q, e, 2); c != 2 {
+				t.Fatalf("RangeCount limit=2 = %d, want 2", c)
+			}
+		}
+	}
+}
+
+func uniform(n, d int, seed int64) *vec.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	coords := make([]float64, n*d)
+	for i := range coords {
+		coords[i] = rng.Float64() * 100
+	}
+	ds, _ := vec.NewDataset(coords, d)
+	return ds
+}
+
+func clustered(n, d int, seed int64) *vec.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, 5)
+	for c := range centers {
+		centers[c] = make([]float64, d)
+		for j := range centers[c] {
+			centers[c][j] = rng.Float64() * 100
+		}
+	}
+	coords := make([]float64, 0, n*d)
+	for i := 0; i < n; i++ {
+		c := centers[rng.Intn(len(centers))]
+		for j := 0; j < d; j++ {
+			coords = append(coords, c[j]+rng.NormFloat64()*3)
+		}
+	}
+	ds, _ := vec.NewDataset(coords, d)
+	return ds
+}
+
+func duplicates(n, d int, seed int64) *vec.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	distinct := n / 4
+	pts := make([][]float64, distinct)
+	for i := range pts {
+		pts[i] = make([]float64, d)
+		for j := range pts[i] {
+			pts[i][j] = rng.Float64() * 50
+		}
+	}
+	coords := make([]float64, 0, n*d)
+	for i := 0; i < n; i++ {
+		coords = append(coords, pts[rng.Intn(distinct)]...)
+	}
+	ds, _ := vec.NewDataset(coords, d)
+	return ds
+}
+
+func sorted(ids []int32) []int32 {
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+func equal(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

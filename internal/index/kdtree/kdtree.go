@@ -1,0 +1,244 @@
+// Package kdtree implements a static bulk-loaded kd-tree (Bentley, 1975)
+// over a vec.Dataset. It backs the kd-DBSCAN baseline from the paper's
+// experiment section and doubles as a general exact range-query index.
+//
+// The tree is built once by recursive median splitting (Hoare selection on
+// the widest-spread dimension) and stored in an implicit array layout: node
+// i has children 2i+1 and 2i+2. Leaves hold small runs of point ids that are
+// scanned linearly, which in practice beats splitting to single points.
+package kdtree
+
+import (
+	"math"
+
+	"dbsvec/internal/index"
+	"dbsvec/internal/vec"
+)
+
+// LeafSize is the maximum number of points kept in a leaf before splitting.
+const LeafSize = 16
+
+// Tree is an immutable kd-tree. Safe for concurrent readers.
+type Tree struct {
+	ds    *vec.Dataset
+	ids   []int32 // permutation of 0..n-1; leaves own contiguous runs
+	nodes []node
+}
+
+type node struct {
+	// Internal nodes: split dimension and value; leaf == false.
+	// Leaf nodes: [start,end) run in ids; leaf == true.
+	splitDim int32
+	splitVal float64
+	start    int32
+	end      int32
+	left     int32 // index of left child node, -1 for leaf
+	right    int32
+}
+
+// New bulk-loads a kd-tree over ds.
+func New(ds *vec.Dataset) *Tree {
+	n := ds.Len()
+	t := &Tree{ds: ds, ids: make([]int32, n)}
+	for i := range t.ids {
+		t.ids[i] = int32(i)
+	}
+	if n > 0 {
+		t.build(0, n)
+	}
+	return t
+}
+
+// Build is an index.Builder for Tree.
+func Build(ds *vec.Dataset) index.Index { return New(ds) }
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.ds.Len() }
+
+// build recursively partitions ids[start:end) and returns the node index.
+func (t *Tree) build(start, end int) int32 {
+	self := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{})
+	if end-start <= LeafSize {
+		t.nodes[self] = node{start: int32(start), end: int32(end), left: -1, right: -1}
+		return self
+	}
+	dim := t.widestDim(start, end)
+	mid := (start + end) / 2
+	t.selectNth(start, end, mid, dim)
+	splitVal := t.ds.Point(int(t.ids[mid]))[dim]
+	left := t.build(start, mid)
+	right := t.build(mid, end)
+	t.nodes[self] = node{splitDim: int32(dim), splitVal: splitVal, left: left, right: right}
+	return self
+}
+
+// widestDim returns the dimension with the largest coordinate spread over
+// ids[start:end).
+func (t *Tree) widestDim(start, end int) int {
+	d := t.ds.Dim()
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	p0 := t.ds.Point(int(t.ids[start]))
+	copy(lo, p0)
+	copy(hi, p0)
+	for i := start + 1; i < end; i++ {
+		p := t.ds.Point(int(t.ids[i]))
+		for j, v := range p {
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	best, bestExt := 0, hi[0]-lo[0]
+	for j := 1; j < d; j++ {
+		if ext := hi[j] - lo[j]; ext > bestExt {
+			best, bestExt = j, ext
+		}
+	}
+	return best
+}
+
+// selectNth partially sorts ids[start:end) so that the element with rank
+// nth sits at position nth (quickselect with median-of-three pivot).
+func (t *Tree) selectNth(start, end, nth, dim int) {
+	key := func(i int) float64 { return t.ds.Point(int(t.ids[i]))[dim] }
+	lo, hi := start, end-1
+	for lo < hi {
+		// Median-of-three pivot selection resists sorted inputs.
+		mid := (lo + hi) / 2
+		if key(mid) < key(lo) {
+			t.ids[mid], t.ids[lo] = t.ids[lo], t.ids[mid]
+		}
+		if key(hi) < key(lo) {
+			t.ids[hi], t.ids[lo] = t.ids[lo], t.ids[hi]
+		}
+		if key(hi) < key(mid) {
+			t.ids[hi], t.ids[mid] = t.ids[mid], t.ids[hi]
+		}
+		pivot := key(mid)
+		i, j := lo, hi
+		for i <= j {
+			for key(i) < pivot {
+				i++
+			}
+			for key(j) > pivot {
+				j--
+			}
+			if i <= j {
+				t.ids[i], t.ids[j] = t.ids[j], t.ids[i]
+				i++
+				j--
+			}
+		}
+		if nth <= j {
+			hi = j
+		} else if nth >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
+
+// RangeQuery implements index.Index.
+func (t *Tree) RangeQuery(q []float64, eps float64, buf []int32) []int32 {
+	if t.ds.Len() == 0 {
+		return buf
+	}
+	eps2 := eps * eps
+	var rec func(ni int32)
+	rec = func(ni int32) {
+		nd := &t.nodes[ni]
+		if nd.left < 0 { // leaf
+			for _, id := range t.ids[nd.start:nd.end] {
+				if t.ds.Dist2To(int(id), q) <= eps2 {
+					buf = append(buf, id)
+				}
+			}
+			return
+		}
+		diff := q[nd.splitDim] - nd.splitVal
+		if diff <= eps {
+			rec(nd.left)
+		}
+		if diff >= -eps {
+			rec(nd.right)
+		}
+	}
+	rec(0)
+	return buf
+}
+
+// RangeCount implements index.Index.
+func (t *Tree) RangeCount(q []float64, eps float64, limit int) int {
+	if t.ds.Len() == 0 {
+		return 0
+	}
+	eps2 := eps * eps
+	count := 0
+	var rec func(ni int32) bool // returns true when limit reached
+	rec = func(ni int32) bool {
+		nd := &t.nodes[ni]
+		if nd.left < 0 {
+			for _, id := range t.ids[nd.start:nd.end] {
+				if t.ds.Dist2To(int(id), q) <= eps2 {
+					count++
+					if limit > 0 && count >= limit {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		diff := q[nd.splitDim] - nd.splitVal
+		if diff <= eps && rec(nd.left) {
+			return true
+		}
+		if diff >= -eps && rec(nd.right) {
+			return true
+		}
+		return false
+	}
+	rec(0)
+	return count
+}
+
+// Nearest returns the id of the indexed point closest to q and the squared
+// distance to it. It returns (-1, +Inf) on an empty tree. Ties break toward
+// the lower id encountered first in traversal order.
+func (t *Tree) Nearest(q []float64) (int32, float64) {
+	if t.ds.Len() == 0 {
+		return -1, math.Inf(1)
+	}
+	best := int32(-1)
+	bestD := math.Inf(1)
+	var rec func(ni int32)
+	rec = func(ni int32) {
+		nd := &t.nodes[ni]
+		if nd.left < 0 {
+			for _, id := range t.ids[nd.start:nd.end] {
+				if d := t.ds.Dist2To(int(id), q); d < bestD {
+					best, bestD = id, d
+				}
+			}
+			return
+		}
+		diff := q[nd.splitDim] - nd.splitVal
+		near, far := nd.left, nd.right
+		if diff > 0 {
+			near, far = far, near
+		}
+		rec(near)
+		if diff*diff < bestD {
+			rec(far)
+		}
+	}
+	rec(0)
+	return best, bestD
+}
+
+var _ index.Index = (*Tree)(nil)

@@ -1,0 +1,72 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dbsvec/internal/index/indextest"
+	dbssrc "dbsvec/internal/vec"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, "kdtree", Build)
+}
+
+func TestNearest(t *testing.T) {
+	ds, _ := dbssrc.FromRows([][]float64{{0, 0}, {10, 10}, {3, 4}})
+	tr := New(ds)
+	id, d2 := tr.Nearest([]float64{2.9, 4.1})
+	if id != 2 {
+		t.Errorf("Nearest id = %d, want 2", id)
+	}
+	if math.Abs(d2-(0.1*0.1+0.1*0.1)) > 1e-9 {
+		t.Errorf("Nearest d2 = %v", d2)
+	}
+}
+
+func TestNearestEmpty(t *testing.T) {
+	ds, _ := dbssrc.FromRows(nil)
+	tr := New(ds)
+	id, d2 := tr.Nearest([]float64{0})
+	if id != -1 || !math.IsInf(d2, 1) {
+		t.Errorf("Nearest on empty = %d,%v", id, d2)
+	}
+}
+
+func TestNearestMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows := make([][]float64, 500)
+	for i := range rows {
+		rows[i] = []float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+	}
+	ds, _ := dbssrc.FromRows(rows)
+	tr := New(ds)
+	for iter := 0; iter < 100; iter++ {
+		q := []float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+		_, gotD := tr.Nearest(q)
+		bestD := math.Inf(1)
+		for i := 0; i < ds.Len(); i++ {
+			if d := ds.Dist2To(i, q); d < bestD {
+				bestD = d
+			}
+		}
+		if math.Abs(gotD-bestD) > 1e-9 {
+			t.Fatalf("Nearest distance %v, brute force %v", gotD, bestD)
+		}
+	}
+}
+
+func TestBuildSortedInput(t *testing.T) {
+	// Pre-sorted input exercises the median-of-three path.
+	rows := make([][]float64, 2000)
+	for i := range rows {
+		rows[i] = []float64{float64(i), float64(i % 7)}
+	}
+	ds, _ := dbssrc.FromRows(rows)
+	tr := New(ds)
+	got := tr.RangeQuery([]float64{1000, 3}, 5, nil)
+	if len(got) == 0 {
+		t.Error("expected hits near the middle of a sorted run")
+	}
+}

@@ -1,0 +1,71 @@
+package index_test
+
+import (
+	"testing"
+
+	"dbsvec/internal/index"
+	"dbsvec/internal/index/indextest"
+	"dbsvec/internal/vec"
+)
+
+func TestParallelConformance(t *testing.T) {
+	indextest.Run(t, "parallel", index.BuildParallel)
+}
+
+func TestParallelWorkerCounts(t *testing.T) {
+	rows := make([][]float64, 100)
+	for i := range rows {
+		rows[i] = []float64{float64(i), 0}
+	}
+	ds, _ := vec.FromRows(rows)
+	oracle := index.NewLinear(ds)
+	for _, workers := range []int{1, 2, 3, 7, 100, 1000} {
+		p := index.NewParallel(ds, workers)
+		got := p.RangeQuery([]float64{50, 0}, 10.5, nil)
+		want := oracle.RangeQuery([]float64{50, 0}, 10.5, nil)
+		if len(got) != len(want) {
+			t.Errorf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		if c := p.RangeCount([]float64{50, 0}, 10.5, 0); c != len(want) {
+			t.Errorf("workers=%d: count %d, want %d", workers, c, len(want))
+		}
+		if c := p.RangeCount([]float64{50, 0}, 10.5, 3); c > len(want) || c < 3 {
+			t.Errorf("workers=%d: limited count %d out of range", workers, c)
+		}
+	}
+}
+
+func TestParallelDeterministicOrder(t *testing.T) {
+	rows := make([][]float64, 500)
+	for i := range rows {
+		rows[i] = []float64{float64(i % 10), float64(i / 10)}
+	}
+	ds, _ := vec.FromRows(rows)
+	p := index.NewParallel(ds, 4)
+	a := p.RangeQuery([]float64{5, 25}, 20, nil)
+	for iter := 0; iter < 10; iter++ {
+		b := p.RangeQuery([]float64{5, 25}, 20, nil)
+		if len(a) != len(b) {
+			t.Fatal("length varies across runs")
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("order varies across runs")
+			}
+		}
+	}
+}
+
+func TestParallelEmpty(t *testing.T) {
+	ds, _ := vec.FromRows(nil)
+	p := index.NewParallel(ds, 4)
+	if p.Len() != 0 {
+		t.Error("Len should be 0")
+	}
+	if got := p.RangeQuery([]float64{0}, 1, nil); len(got) != 0 {
+		t.Error("query on empty index should return nothing")
+	}
+	if got := p.RangeCount([]float64{0}, 1, 0); got != 0 {
+		t.Error("count on empty index should be 0")
+	}
+}

@@ -1,0 +1,161 @@
+package pyramid
+
+import (
+	"dbsvec/internal/btree"
+	"dbsvec/internal/index"
+	"dbsvec/internal/vec"
+)
+
+// Dynamic is the pyramid technique over a B+-tree, as in the original
+// design: points can be added after construction (the data-space
+// normalization is fixed at build time, so later points should fall inside
+// the initial bounds for good pyramid balance — out-of-bounds points are
+// still indexed correctly, only less selectively).
+type Dynamic struct {
+	ds   *vec.Dataset
+	d    int
+	lo   []float64
+	inv  []float64
+	tree btree.Tree
+	n    int
+}
+
+// NewDynamic builds an empty dynamic pyramid index whose normalization is
+// derived from ds's current bounds; call Insert to add points.
+func NewDynamic(ds *vec.Dataset) *Dynamic {
+	px := &Dynamic{ds: ds, d: ds.Dim()}
+	px.lo, px.inv = normalization(ds)
+	return px
+}
+
+// BuildDynamic is an index.Builder that inserts every point one at a time.
+func BuildDynamic(ds *vec.Dataset) index.Index {
+	px := NewDynamic(ds)
+	for i := 0; i < ds.Len(); i++ {
+		px.Insert(int32(i))
+	}
+	return px
+}
+
+// Insert indexes point id.
+func (px *Dynamic) Insert(id int32) {
+	norm := make([]float64, px.d)
+	px.normalizeInto(px.ds.Point(int(id)), norm)
+	px.tree.Insert(pyramidValue(norm), id)
+	px.n++
+}
+
+func (px *Dynamic) normalizeInto(p, dst []float64) {
+	for j := 0; j < px.d; j++ {
+		dst[j] = (p[j] - px.lo[j]) * px.inv[j]
+	}
+}
+
+// Len returns the number of indexed points.
+func (px *Dynamic) Len() int { return px.n }
+
+// RangeQuery implements index.Index.
+func (px *Dynamic) RangeQuery(q []float64, eps float64, buf []int32) []int32 {
+	if px.n == 0 {
+		return buf
+	}
+	eps2 := eps * eps
+	px.forRuns(q, eps, func(lo, hi float64) bool {
+		px.tree.AscendRange(lo, hi, func(_ float64, id int32) bool {
+			if px.ds.Dist2To(int(id), q) <= eps2 {
+				buf = append(buf, id)
+			}
+			return true
+		})
+		return true
+	})
+	return buf
+}
+
+// RangeCount implements index.Index.
+func (px *Dynamic) RangeCount(q []float64, eps float64, limit int) int {
+	if px.n == 0 {
+		return 0
+	}
+	eps2 := eps * eps
+	count := 0
+	px.forRuns(q, eps, func(lo, hi float64) bool {
+		stop := false
+		px.tree.AscendRange(lo, hi, func(_ float64, id int32) bool {
+			if px.ds.Dist2To(int(id), q) <= eps2 {
+				count++
+				if limit > 0 && count >= limit {
+					stop = true
+					return false
+				}
+			}
+			return true
+		})
+		return !stop
+	})
+	return count
+}
+
+// forRuns computes the candidate pyramid-value intervals for the eps-sphere
+// at q (the same derivation as the static index) and passes each to fn; fn
+// returns false to stop.
+func (px *Dynamic) forRuns(q []float64, eps float64, fn func(lo, hi float64) bool) {
+	d := px.d
+	qlo := make([]float64, d)
+	qhi := make([]float64, d)
+	for j := 0; j < d; j++ {
+		qlo[j] = (q[j] - eps - px.lo[j]) * px.inv[j]
+		qhi[j] = (q[j] + eps - px.lo[j]) * px.inv[j]
+	}
+	hFloor := 0.0
+	for j := 0; j < d; j++ {
+		lo := qlo[j] - 0.5
+		hi := qhi[j] - 0.5
+		var m float64
+		switch {
+		case lo <= 0 && hi >= 0:
+			m = 0
+		case lo > 0:
+			m = lo
+		default:
+			m = -hi
+		}
+		if m > hFloor {
+			hFloor = m
+		}
+	}
+	if hFloor > 0.5 {
+		return
+	}
+	for i := 0; i < 2*d; i++ {
+		j := i % d
+		var hmin, hmax float64
+		if i < d {
+			hmin = 0.5 - qhi[j]
+			hmax = 0.5 - qlo[j]
+		} else {
+			hmin = qlo[j] - 0.5
+			hmax = qhi[j] - 0.5
+		}
+		if hmax < 0 {
+			continue
+		}
+		if hmin < hFloor {
+			hmin = hFloor
+		}
+		if hmin < 0 {
+			hmin = 0
+		}
+		if hmax > 0.5 {
+			hmax = 0.5
+		}
+		if hmin > hmax {
+			continue
+		}
+		if !fn(float64(i)+hmin, float64(i)+hmax) {
+			return
+		}
+	}
+}
+
+var _ index.Index = (*Dynamic)(nil)

@@ -1,0 +1,232 @@
+// Package pyramid implements the Pyramid technique (Berchtold, Böhm &
+// Kriegel, SIGMOD 1998) as an in-memory range-query index — the lineage the
+// paper cites (its P⁺-tree reference) for accelerating queries in high
+// dimensional spaces where tree-based indexes stop pruning.
+//
+// Every point in the normalized space [0,1]^d maps to a single pyramid
+// value: the data space is cut into 2d pyramids meeting at the center, a
+// point belongs to the pyramid of its dominant deviation dimension, and its
+// height within the pyramid is that deviation. Points are kept sorted by
+// pyramid value (the static in-memory equivalent of the original's
+// B⁺-tree), so a range query becomes at most 2d binary-searched scans of
+// candidate runs followed by exact filtering.
+package pyramid
+
+import (
+	"math"
+	"sort"
+
+	"dbsvec/internal/index"
+	"dbsvec/internal/vec"
+)
+
+// Index is an immutable pyramid-technique index. Safe for concurrent
+// readers.
+type Index struct {
+	ds  *vec.Dataset
+	d   int
+	lo  []float64 // per-dimension offset for normalization
+	inv []float64 // per-dimension 1/extent
+	// ids sorted by pyramid value, with the parallel value array.
+	ids  []int32
+	pval []float64
+}
+
+// New builds the index over ds.
+func New(ds *vec.Dataset) *Index {
+	d := ds.Dim()
+	px := &Index{ds: ds, d: d}
+	px.lo, px.inv = normalization(ds)
+	n := ds.Len()
+	px.ids = make([]int32, n)
+	px.pval = make([]float64, n)
+	norm := make([]float64, d)
+	for i := 0; i < n; i++ {
+		px.ids[i] = int32(i)
+		px.normalize(ds.Point(i), norm)
+		px.pval[i] = pyramidValue(norm)
+	}
+	sort.Sort(byValue{px})
+	return px
+}
+
+// Build is an index.Builder.
+func Build(ds *vec.Dataset) index.Index { return New(ds) }
+
+func normalization(ds *vec.Dataset) (lo, inv []float64) {
+	d := ds.Dim()
+	bLo, bHi := ds.Bounds()
+	lo = make([]float64, d)
+	inv = make([]float64, d)
+	for j := 0; j < d; j++ {
+		ext := 1.0
+		if bLo != nil {
+			lo[j] = bLo[j]
+			if e := bHi[j] - bLo[j]; e > 0 {
+				ext = e
+			}
+		}
+		inv[j] = 1 / ext
+	}
+	return lo, inv
+}
+
+// normalize maps p into [0,1]^d (points outside the build-time bounds are
+// clamped; only queries can be outside).
+func (px *Index) normalize(p []float64, dst []float64) {
+	for j := 0; j < px.d; j++ {
+		v := (p[j] - px.lo[j]) * px.inv[j]
+		dst[j] = v
+	}
+}
+
+// pyramidValue returns i + h for a normalized point: pyramid i in [0, 2d)
+// and height h in [0, 0.5].
+func pyramidValue(v []float64) float64 {
+	jmax, hmax := 0, math.Abs(v[0]-0.5)
+	for j := 1; j < len(v); j++ {
+		if h := math.Abs(v[j] - 0.5); h > hmax {
+			jmax, hmax = j, h
+		}
+	}
+	i := jmax
+	if v[jmax] >= 0.5 {
+		i += len(v)
+	}
+	if hmax > 0.5 {
+		hmax = 0.5 // clamped: only possible for out-of-bounds queries
+	}
+	return float64(i) + hmax
+}
+
+type byValue struct{ px *Index }
+
+func (s byValue) Len() int { return len(s.px.ids) }
+func (s byValue) Less(i, j int) bool {
+	if s.px.pval[i] != s.px.pval[j] {
+		return s.px.pval[i] < s.px.pval[j]
+	}
+	return s.px.ids[i] < s.px.ids[j]
+}
+func (s byValue) Swap(i, j int) {
+	s.px.ids[i], s.px.ids[j] = s.px.ids[j], s.px.ids[i]
+	s.px.pval[i], s.px.pval[j] = s.px.pval[j], s.px.pval[i]
+}
+
+// Len returns the number of indexed points.
+func (px *Index) Len() int { return px.ds.Len() }
+
+// forCandidates invokes fn for every point whose pyramid value falls in a
+// run that can intersect the normalized query box [qlo, qhi]; fn returns
+// false to stop the scan.
+func (px *Index) forCandidates(qlo, qhi []float64, fn func(id int32) bool) {
+	d := px.d
+	// Shared refinement: any box point has |v̂_j| at least the minimum
+	// absolute centered value of the box in every dimension, and pyramid
+	// height dominates all of them.
+	hFloor := 0.0
+	for j := 0; j < d; j++ {
+		lo := qlo[j] - 0.5
+		hi := qhi[j] - 0.5
+		var m float64
+		switch {
+		case lo <= 0 && hi >= 0:
+			m = 0
+		case lo > 0:
+			m = lo
+		default:
+			m = -hi
+		}
+		if m > hFloor {
+			hFloor = m
+		}
+	}
+	if hFloor > 0.5 {
+		return // query box entirely outside the data space
+	}
+	for i := 0; i < 2*d; i++ {
+		j := i % d
+		neg := i < d
+		// Height interval induced by the query box along dimension j.
+		var hmin, hmax float64
+		if neg { // v_j < 0.5, h = 0.5 - v_j
+			hmin = 0.5 - qhi[j]
+			hmax = 0.5 - qlo[j]
+		} else { // v_j >= 0.5, h = v_j - 0.5
+			hmin = qlo[j] - 0.5
+			hmax = qhi[j] - 0.5
+		}
+		if hmax < 0 {
+			continue // box does not reach this pyramid's half-space
+		}
+		if hmin < hFloor {
+			hmin = hFloor
+		}
+		if hmin < 0 {
+			hmin = 0
+		}
+		if hmax > 0.5 {
+			hmax = 0.5
+		}
+		if hmin > hmax {
+			continue
+		}
+		loV := float64(i) + hmin
+		hiV := float64(i) + hmax
+		start := sort.SearchFloat64s(px.pval, loV)
+		for k := start; k < len(px.pval) && px.pval[k] <= hiV; k++ {
+			if !fn(px.ids[k]) {
+				return
+			}
+		}
+	}
+}
+
+// queryBox computes the normalized bounding box of the eps-sphere at q.
+func (px *Index) queryBox(q []float64, eps float64) (qlo, qhi []float64) {
+	qlo = make([]float64, px.d)
+	qhi = make([]float64, px.d)
+	for j := 0; j < px.d; j++ {
+		qlo[j] = (q[j] - eps - px.lo[j]) * px.inv[j]
+		qhi[j] = (q[j] + eps - px.lo[j]) * px.inv[j]
+	}
+	return qlo, qhi
+}
+
+// RangeQuery implements index.Index.
+func (px *Index) RangeQuery(q []float64, eps float64, buf []int32) []int32 {
+	if px.ds.Len() == 0 {
+		return buf
+	}
+	eps2 := eps * eps
+	qlo, qhi := px.queryBox(q, eps)
+	px.forCandidates(qlo, qhi, func(id int32) bool {
+		if px.ds.Dist2To(int(id), q) <= eps2 {
+			buf = append(buf, id)
+		}
+		return true
+	})
+	return buf
+}
+
+// RangeCount implements index.Index.
+func (px *Index) RangeCount(q []float64, eps float64, limit int) int {
+	if px.ds.Len() == 0 {
+		return 0
+	}
+	eps2 := eps * eps
+	qlo, qhi := px.queryBox(q, eps)
+	count := 0
+	px.forCandidates(qlo, qhi, func(id int32) bool {
+		if px.ds.Dist2To(int(id), q) <= eps2 {
+			count++
+			if limit > 0 && count >= limit {
+				return false
+			}
+		}
+		return true
+	})
+	return count
+}
+
+var _ index.Index = (*Index)(nil)

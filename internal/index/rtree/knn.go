@@ -1,0 +1,118 @@
+package rtree
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Nearest returns the id of the indexed point closest to q and its squared
+// distance, or (-1, +Inf) on an empty tree.
+func (t *Tree) Nearest(q []float64) (int32, float64) {
+	ids, d2 := t.KNearest(q, 1, nil, nil)
+	if len(ids) == 0 {
+		return -1, math.Inf(1)
+	}
+	return ids[0], d2[0]
+}
+
+// KNearest returns the ids of the k points nearest to q in ascending
+// distance order, along with their squared distances. Reusable output
+// buffers may be passed (or nil). Fewer than k results are returned when
+// the tree holds fewer points.
+//
+// The search is best-first branch-and-bound over entry rectangles: nodes
+// are visited in order of MinDist² and pruned once k candidates closer than
+// the node's rectangle are known.
+func (t *Tree) KNearest(q []float64, k int, ids []int32, dists []float64) ([]int32, []float64) {
+	ids = ids[:0]
+	dists = dists[:0]
+	if k <= 0 || t.size == 0 {
+		return ids, dists
+	}
+
+	// Max-heap of the best k candidates so far.
+	best := &candHeap{}
+	worst := func() float64 {
+		if best.Len() < k {
+			return math.Inf(1)
+		}
+		return (*best)[0].d2
+	}
+
+	// Min-heap of pending nodes by rectangle MinDist².
+	pq := &nodeHeap{{d2: 0, node: t.root}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nodeItem)
+		if it.d2 > worst() {
+			break // every remaining node is farther than the kth candidate
+		}
+		for i := range it.node.entries {
+			e := &it.node.entries[i]
+			if it.node.leaf {
+				d2 := t.ds.Dist2To(int(e.id), q)
+				if d2 < worst() {
+					if best.Len() == k {
+						heap.Pop(best)
+					}
+					heap.Push(best, cand{d2: d2, id: e.id})
+				}
+			} else {
+				d2 := e.rect.MinDist2(q)
+				if d2 <= worst() {
+					heap.Push(pq, nodeItem{d2: d2, node: e.child})
+				}
+			}
+		}
+	}
+
+	// Drain the max-heap into ascending order.
+	n := best.Len()
+	ids = append(ids, make([]int32, n)...)
+	dists = append(dists, make([]float64, n)...)
+	for i := n - 1; i >= 0; i-- {
+		c := heap.Pop(best).(cand)
+		ids[i] = c.id
+		dists[i] = c.d2
+	}
+	return ids, dists
+}
+
+type cand struct {
+	d2 float64
+	id int32
+}
+
+// candHeap is a max-heap on distance.
+type candHeap []cand
+
+func (h candHeap) Len() int            { return len(h) }
+func (h candHeap) Less(i, j int) bool  { return h[i].d2 > h[j].d2 }
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(cand)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type nodeItem struct {
+	d2   float64
+	node *nodeT
+}
+
+// nodeHeap is a min-heap on rectangle distance.
+type nodeHeap []nodeItem
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].d2 < h[j].d2 }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

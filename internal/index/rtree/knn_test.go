@@ -1,0 +1,89 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dbsvec/internal/vec"
+)
+
+func TestKNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	rows := make([][]float64, 800)
+	for i := range rows {
+		rows[i] = []float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+	}
+	ds, _ := vec.FromRows(rows)
+	tr := Bulk(ds)
+	for iter := 0; iter < 40; iter++ {
+		q := []float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+		k := 1 + rng.Intn(20)
+		ids, dists := tr.KNearest(q, k, nil, nil)
+		if len(ids) != k {
+			t.Fatalf("got %d results, want %d", len(ids), k)
+		}
+		// Brute force reference.
+		ref := make([]float64, ds.Len())
+		for i := range ref {
+			ref[i] = ds.Dist2To(i, q)
+		}
+		sorted := append([]float64(nil), ref...)
+		sort.Float64s(sorted)
+		for i := 0; i < k; i++ {
+			if math.Abs(dists[i]-sorted[i]) > 1e-9 {
+				t.Fatalf("k=%d rank %d: got %v, want %v", k, i, dists[i], sorted[i])
+			}
+			if math.Abs(ref[ids[i]]-dists[i]) > 1e-9 {
+				t.Fatalf("returned distance does not match returned id")
+			}
+		}
+		// Ascending order.
+		for i := 1; i < k; i++ {
+			if dists[i] < dists[i-1] {
+				t.Fatal("results not in ascending order")
+			}
+		}
+	}
+}
+
+func TestKNearestEdgeCases(t *testing.T) {
+	empty, _ := vec.FromRows(nil)
+	te := Bulk(empty)
+	if ids, _ := te.KNearest([]float64{0}, 3, nil, nil); len(ids) != 0 {
+		t.Error("empty tree should return nothing")
+	}
+	id, d2 := te.Nearest([]float64{0})
+	if id != -1 || !math.IsInf(d2, 1) {
+		t.Error("Nearest on empty tree wrong")
+	}
+
+	ds, _ := vec.FromRows([][]float64{{1, 1}, {2, 2}})
+	tr := Bulk(ds)
+	if ids, _ := tr.KNearest([]float64{0, 0}, 10, nil, nil); len(ids) != 2 {
+		t.Errorf("k > n should return n results, got %d", len(ids))
+	}
+	if ids, _ := tr.KNearest([]float64{0, 0}, 0, nil, nil); len(ids) != 0 {
+		t.Error("k=0 should return nothing")
+	}
+	id, _ = tr.Nearest([]float64{1.1, 1.1})
+	if id != 0 {
+		t.Errorf("Nearest = %d, want 0", id)
+	}
+}
+
+func TestKNearestBufferReuse(t *testing.T) {
+	ds, _ := vec.FromRows([][]float64{{0, 0}, {5, 5}, {9, 9}})
+	tr := Bulk(ds)
+	ids := make([]int32, 0, 8)
+	dists := make([]float64, 0, 8)
+	ids, dists = tr.KNearest([]float64{0, 0}, 2, ids, dists)
+	if len(ids) != 2 || ids[0] != 0 {
+		t.Fatalf("first query wrong: %v", ids)
+	}
+	ids, dists = tr.KNearest([]float64{9, 9}, 2, ids, dists)
+	if len(ids) != 2 || ids[0] != 2 {
+		t.Fatalf("buffer reuse broke results: %v %v", ids, dists)
+	}
+}

@@ -1,0 +1,119 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"dbsvec/internal/index/indextest"
+	"dbsvec/internal/vec"
+)
+
+func TestConformanceBulk(t *testing.T) {
+	indextest.Run(t, "rtree-bulk", Build)
+}
+
+func TestConformanceDynamic(t *testing.T) {
+	indextest.Run(t, "rtree-dynamic", BuildDynamic)
+}
+
+func TestInvariantsAfterInserts(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	rows := make([][]float64, 3000)
+	for i := range rows {
+		rows[i] = []float64{rng.Float64() * 1000, rng.Float64() * 1000}
+	}
+	ds, _ := vec.FromRows(rows)
+	tr := New(ds)
+	for i := 0; i < ds.Len(); i++ {
+		tr.Insert(int32(i))
+		if i%500 == 499 {
+			if err := tr.checkInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatalf("final invariants: %v", err)
+	}
+	if tr.Len() != ds.Len() {
+		t.Errorf("Len = %d, want %d", tr.Len(), ds.Len())
+	}
+	if tr.Depth() < 2 {
+		t.Errorf("tree of 3000 points should have split: depth=%d", tr.Depth())
+	}
+}
+
+func TestInvariantsAfterBulk(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, n := range []int{0, 1, 31, 32, 33, 1000, 5000} {
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = []float64{rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 1000}
+		}
+		ds, _ := vec.FromRows(rows)
+		if n == 0 {
+			ds, _ = vec.NewDataset(nil, 3)
+		}
+		tr := Bulk(ds)
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.Len() != n {
+			t.Errorf("n=%d: Len=%d", n, tr.Len())
+		}
+	}
+}
+
+func TestBulkMatchesDynamic(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	rows := make([][]float64, 800)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64() * 50, rng.NormFloat64() * 50}
+	}
+	ds, _ := vec.FromRows(rows)
+	bulk := Bulk(ds)
+	dyn := New(ds)
+	for i := 0; i < ds.Len(); i++ {
+		dyn.Insert(int32(i))
+	}
+	for iter := 0; iter < 50; iter++ {
+		q := []float64{rng.NormFloat64() * 60, rng.NormFloat64() * 60}
+		eps := 5 + rng.Float64()*40
+		a := bulk.RangeCount(q, eps, 0)
+		b := dyn.RangeCount(q, eps, 0)
+		if a != b {
+			t.Fatalf("bulk count %d != dynamic count %d (q=%v eps=%g)", a, b, q, eps)
+		}
+	}
+}
+
+func BenchmarkBulkLoad100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	coords := make([]float64, 100000*4)
+	for i := range coords {
+		coords[i] = rng.Float64() * 1e5
+	}
+	ds, _ := vec.NewDataset(coords, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Bulk(ds)
+	}
+}
+
+func BenchmarkRangeQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	coords := make([]float64, 100000*4)
+	for i := range coords {
+		coords[i] = rng.Float64() * 1e5
+	}
+	ds, _ := vec.NewDataset(coords, 4)
+	tr := Bulk(ds)
+	buf := make([]int32, 0, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tr.RangeQuery(ds.Point(i%ds.Len()), 5000, buf[:0])
+	}
+	_ = buf
+}

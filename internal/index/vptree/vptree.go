@@ -1,0 +1,217 @@
+// Package vptree implements a vantage-point tree (Yianilos, SODA 1993): a
+// metric-space index that partitions points by distance to a chosen
+// vantage point instead of by coordinates. Unlike kd-trees and R-trees,
+// whose axis-aligned pruning decays with dimensionality, VP-trees prune
+// with the triangle inequality alone, making them a useful exact backend
+// for the high-dimensional workloads in Figures 6b and 7.
+package vptree
+
+import (
+	"math/rand"
+
+	"dbsvec/internal/index"
+	"dbsvec/internal/vec"
+)
+
+// LeafSize is the maximum number of points stored in a leaf.
+const LeafSize = 16
+
+// Tree is an immutable vantage-point tree. Safe for concurrent readers.
+type Tree struct {
+	ds    *vec.Dataset
+	nodes []node
+	ids   []int32 // leaf storage, contiguous runs
+}
+
+type node struct {
+	// Internal: vp is the vantage point id, radius the median distance;
+	// inside/outside are child node indices.
+	vp      int32
+	radius  float64
+	inside  int32
+	outside int32
+	// Leaf: [start, end) into ids; leaf nodes have inside == -1.
+	start, end int32
+}
+
+// New builds a VP-tree over ds. Vantage points are chosen with a
+// deterministic PRNG so builds are reproducible.
+func New(ds *vec.Dataset) *Tree {
+	t := &Tree{ds: ds}
+	n := ds.Len()
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	rng := rand.New(rand.NewSource(1))
+	t.ids = make([]int32, 0, n)
+	if n > 0 {
+		t.build(ids, rng)
+	}
+	return t
+}
+
+// Build is an index.Builder.
+func Build(ds *vec.Dataset) index.Index { return New(ds) }
+
+// build recursively partitions ids and returns the node index.
+func (t *Tree) build(ids []int32, rng *rand.Rand) int32 {
+	self := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{inside: -1, outside: -1})
+	if len(ids) <= LeafSize {
+		start := int32(len(t.ids))
+		t.ids = append(t.ids, ids...)
+		t.nodes[self].start = start
+		t.nodes[self].end = start + int32(len(ids))
+		return self
+	}
+	// Choose a vantage point and move it out of the working set.
+	vi := rng.Intn(len(ids))
+	vp := ids[vi]
+	ids[vi] = ids[len(ids)-1]
+	rest := ids[:len(ids)-1]
+
+	// Partition rest by the median distance to vp.
+	dists := make([]float64, len(rest))
+	vpPoint := t.ds.Point(int(vp))
+	for i, id := range rest {
+		dists[i] = vec.Dist(t.ds.Point(int(id)), vpPoint)
+	}
+	mid := len(rest) / 2
+	quickselect(rest, dists, mid)
+	radius := dists[mid]
+
+	// The vantage point itself lives in the inside subtree (distance 0).
+	insideIDs := append([]int32{vp}, rest[:mid]...)
+	outsideIDs := rest[mid:]
+
+	t.nodes[self].vp = vp
+	t.nodes[self].radius = radius
+	inside := t.build(insideIDs, rng)
+	outside := t.build(outsideIDs, rng)
+	t.nodes[self].inside = inside
+	t.nodes[self].outside = outside
+	return self
+}
+
+// quickselect partially sorts (ids, dists) so the element with rank nth is
+// in place.
+func quickselect(ids []int32, dists []float64, nth int) {
+	lo, hi := 0, len(ids)-1
+	for lo < hi {
+		pivot := dists[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for dists[i] < pivot {
+				i++
+			}
+			for dists[j] > pivot {
+				j--
+			}
+			if i <= j {
+				dists[i], dists[j] = dists[j], dists[i]
+				ids[i], ids[j] = ids[j], ids[i]
+				i++
+				j--
+			}
+		}
+		if nth <= j {
+			hi = j
+		} else if nth >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.ds.Len() }
+
+// RangeQuery implements index.Index.
+func (t *Tree) RangeQuery(q []float64, eps float64, buf []int32) []int32 {
+	if t.ds.Len() == 0 {
+		return buf
+	}
+	eps2 := eps * eps
+	var rec func(ni int32)
+	rec = func(ni int32) {
+		nd := &t.nodes[ni]
+		if nd.inside < 0 { // leaf
+			for _, id := range t.ids[nd.start:nd.end] {
+				if t.ds.Dist2To(int(id), q) <= eps2 {
+					buf = append(buf, id)
+				}
+			}
+			return
+		}
+		d := vec.Dist(t.ds.Point(int(nd.vp)), q)
+		// Triangle inequality pruning: the inside ball holds points with
+		// dist(p, vp) <= radius, the outside shell the rest.
+		if d-eps <= nd.radius {
+			rec(nd.inside)
+		}
+		if d+eps >= nd.radius {
+			rec(nd.outside)
+		}
+	}
+	rec(0)
+	return buf
+}
+
+// RangeCount implements index.Index.
+func (t *Tree) RangeCount(q []float64, eps float64, limit int) int {
+	if t.ds.Len() == 0 {
+		return 0
+	}
+	eps2 := eps * eps
+	count := 0
+	var rec func(ni int32) bool
+	rec = func(ni int32) bool {
+		nd := &t.nodes[ni]
+		if nd.inside < 0 {
+			for _, id := range t.ids[nd.start:nd.end] {
+				if t.ds.Dist2To(int(id), q) <= eps2 {
+					count++
+					if limit > 0 && count >= limit {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		d := vec.Dist(t.ds.Point(int(nd.vp)), q)
+		if d-eps <= nd.radius && rec(nd.inside) {
+			return true
+		}
+		if d+eps >= nd.radius && rec(nd.outside) {
+			return true
+		}
+		return false
+	}
+	rec(0)
+	return count
+}
+
+// Depth returns the height of the tree.
+func (t *Tree) Depth() int {
+	var rec func(ni int32) int
+	rec = func(ni int32) int {
+		nd := &t.nodes[ni]
+		if nd.inside < 0 {
+			return 1
+		}
+		di := rec(nd.inside)
+		do := rec(nd.outside)
+		if do > di {
+			di = do
+		}
+		return di + 1
+	}
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return rec(0)
+}
+
+var _ index.Index = (*Tree)(nil)

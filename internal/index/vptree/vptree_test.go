@@ -1,0 +1,64 @@
+package vptree
+
+import (
+	"math/rand"
+	"testing"
+
+	"dbsvec/internal/index"
+	"dbsvec/internal/index/indextest"
+	"dbsvec/internal/vec"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, "vptree", Build)
+}
+
+func TestHighDimensional(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := 32
+	rows := make([][]float64, 500)
+	for i := range rows {
+		rows[i] = make([]float64, d)
+		for j := range rows[i] {
+			rows[i][j] = rng.Float64() * 1000
+		}
+	}
+	ds, _ := vec.FromRows(rows)
+	tr := New(ds)
+	oracle := index.NewLinear(ds)
+	for iter := 0; iter < 30; iter++ {
+		q := rows[rng.Intn(len(rows))]
+		eps := 500 + rng.Float64()*2000
+		if got, want := tr.RangeCount(q, eps, 0), oracle.RangeCount(q, eps, 0); got != want {
+			t.Fatalf("d=32 count %d != %d", got, want)
+		}
+	}
+}
+
+func TestDepthBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows := make([][]float64, 4096)
+	for i := range rows {
+		rows[i] = []float64{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	ds, _ := vec.FromRows(rows)
+	tr := New(ds)
+	// Median splits give ~log2(4096/16) + 1 = 9 levels; allow slack for
+	// duplicate-distance ties.
+	if d := tr.Depth(); d > 20 {
+		t.Errorf("depth %d suggests unbalanced splits", d)
+	}
+}
+
+func TestDuplicateHeavy(t *testing.T) {
+	rows := make([][]float64, 300)
+	for i := range rows {
+		rows[i] = []float64{float64(i % 3), 0}
+	}
+	ds, _ := vec.FromRows(rows)
+	tr := New(ds)
+	got := tr.RangeQuery([]float64{0, 0}, 0.5, nil)
+	if len(got) != 100 {
+		t.Errorf("got %d duplicates, want 100", len(got))
+	}
+}

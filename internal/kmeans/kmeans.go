@@ -1,0 +1,164 @@
+// Package kmeans implements Lloyd's k-means (Hartigan & Wong lineage) with
+// k-means++ seeding. It is the partitioning-based baseline of the paper's
+// Table IV clustering-validation experiment.
+package kmeans
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dbsvec/internal/cluster"
+	"dbsvec/internal/vec"
+)
+
+// Params configures a run.
+type Params struct {
+	// K is the number of clusters. Must be >= 1 and <= n.
+	K int
+	// MaxIter caps Lloyd iterations; 0 selects 100.
+	MaxIter int
+	// Tol stops iteration when total center movement falls below it;
+	// 0 selects 1e-6.
+	Tol float64
+	// Seed drives k-means++ seeding.
+	Seed int64
+}
+
+// Stats reports work performed.
+type Stats struct {
+	// Iterations is the number of Lloyd rounds executed.
+	Iterations int
+	// Inertia is the final sum of squared distances to assigned centers.
+	Inertia float64
+}
+
+// Errors.
+var (
+	ErrNilDataset = errors.New("kmeans: nil dataset")
+	ErrBadK       = errors.New("kmeans: k out of range")
+)
+
+// Run clusters ds into K groups and returns labels, the final centers, and
+// statistics.
+func Run(ds *vec.Dataset, p Params) (*cluster.Result, [][]float64, Stats, error) {
+	var st Stats
+	if ds == nil {
+		return nil, nil, st, ErrNilDataset
+	}
+	n, d := ds.Len(), ds.Dim()
+	if p.K < 1 || p.K > n {
+		return nil, nil, st, fmt.Errorf("%w: k=%d n=%d", ErrBadK, p.K, n)
+	}
+	maxIter := p.MaxIter
+	if maxIter == 0 {
+		maxIter = 100
+	}
+	tol := p.Tol
+	if tol == 0 {
+		tol = 1e-6
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	centers := seedPlusPlus(ds, p.K, rng)
+	labels := make([]int32, n)
+	counts := make([]int, p.K)
+	sums := make([]float64, p.K*d)
+
+	for iter := 0; iter < maxIter; iter++ {
+		st.Iterations = iter + 1
+		// Assignment step.
+		st.Inertia = 0
+		for i := 0; i < n; i++ {
+			pt := ds.Point(i)
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < p.K; c++ {
+				if dd := vec.SqDist(pt, centers[c]); dd < bestD {
+					best, bestD = c, dd
+				}
+			}
+			labels[i] = int32(best)
+			st.Inertia += bestD
+		}
+		// Update step.
+		for c := range counts {
+			counts[c] = 0
+		}
+		for i := range sums {
+			sums[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := int(labels[i])
+			counts[c]++
+			pt := ds.Point(i)
+			for j := 0; j < d; j++ {
+				sums[c*d+j] += pt[j]
+			}
+		}
+		var moved float64
+		for c := 0; c < p.K; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				copy(centers[c], ds.Point(rng.Intn(n)))
+				moved += tol + 1
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for j := 0; j < d; j++ {
+				nv := sums[c*d+j] * inv
+				moved += math.Abs(nv - centers[c][j])
+				centers[c][j] = nv
+			}
+		}
+		if moved < tol {
+			break
+		}
+	}
+	res := &cluster.Result{Labels: labels, Clusters: p.K}
+	return res, centers, st, nil
+}
+
+// seedPlusPlus picks K initial centers with k-means++ (D² sampling).
+func seedPlusPlus(ds *vec.Dataset, k int, rng *rand.Rand) [][]float64 {
+	n, d := ds.Len(), ds.Dim()
+	centers := make([][]float64, 0, k)
+	first := make([]float64, d)
+	copy(first, ds.Point(rng.Intn(n)))
+	centers = append(centers, first)
+
+	dist2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dist2[i] = vec.SqDist(ds.Point(i), first)
+	}
+	for len(centers) < k {
+		var total float64
+		for _, dd := range dist2 {
+			total += dd
+		}
+		var idx int
+		if total <= 0 {
+			idx = rng.Intn(n) // all remaining points coincide with centers
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			idx = n - 1
+			for i, dd := range dist2 {
+				acc += dd
+				if acc >= target {
+					idx = i
+					break
+				}
+			}
+		}
+		c := make([]float64, d)
+		copy(c, ds.Point(idx))
+		centers = append(centers, c)
+		for i := 0; i < n; i++ {
+			if dd := vec.SqDist(ds.Point(i), c); dd < dist2[i] {
+				dist2[i] = dd
+			}
+		}
+	}
+	return centers
+}

@@ -1,0 +1,111 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+
+	"dbsvec/internal/data"
+	"dbsvec/internal/vec"
+)
+
+func TestValidation(t *testing.T) {
+	ds, _ := vec.FromRows([][]float64{{0, 0}, {1, 1}})
+	if _, _, _, err := Run(nil, Params{K: 1}); err == nil {
+		t.Error("want error for nil dataset")
+	}
+	if _, _, _, err := Run(ds, Params{K: 0}); err == nil {
+		t.Error("want error for k=0")
+	}
+	if _, _, _, err := Run(ds, Params{K: 3}); err == nil {
+		t.Error("want error for k > n")
+	}
+}
+
+func TestWellSeparatedBlobs(t *testing.T) {
+	ds := data.Blobs(600, 2, 3, 1, 100, 0, 1)
+	res, centers, st, err := Run(ds, Params{K: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 3 || len(centers) != 3 {
+		t.Fatalf("clusters=%d centers=%d", res.Clusters, len(centers))
+	}
+	if st.Iterations == 0 {
+		t.Error("no iterations recorded")
+	}
+	// Every cluster non-empty and labels valid.
+	sizes := res.Sizes()
+	for c, s := range sizes {
+		if s == 0 {
+			t.Errorf("cluster %c empty", c)
+		}
+	}
+	// Inertia should be small relative to a single-cluster solution.
+	one, _, st1, err := Run(ds, Params{K: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = one
+	if st.Inertia >= st1.Inertia {
+		t.Errorf("k=3 inertia %v not better than k=1 %v", st.Inertia, st1.Inertia)
+	}
+}
+
+func TestKEqualsN(t *testing.T) {
+	ds, _ := vec.FromRows([][]float64{{0, 0}, {10, 10}, {20, 20}})
+	res, _, st, err := Run(ds, Params{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 3 {
+		t.Fatalf("clusters = %d", res.Clusters)
+	}
+	if st.Inertia > 1e-9 {
+		t.Errorf("inertia %v should be ~0 when k=n", st.Inertia)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	rows := make([][]float64, 40)
+	for i := range rows {
+		rows[i] = []float64{float64(i % 2), 0} // only two distinct locations
+	}
+	ds, _ := vec.FromRows(rows)
+	res, centers, _, err := Run(ds, Params{K: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 2 {
+		t.Fatalf("clusters = %d", res.Clusters)
+	}
+	// Centers must converge onto the two distinct locations.
+	found0, found1 := false, false
+	for _, c := range centers {
+		if math.Abs(c[0]) < 1e-6 {
+			found0 = true
+		}
+		if math.Abs(c[0]-1) < 1e-6 {
+			found1 = true
+		}
+	}
+	if !found0 || !found1 {
+		t.Errorf("centers did not converge to the two locations: %v", centers)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	ds := data.Blobs(300, 3, 4, 2, 100, 0, 4)
+	a, _, _, err := Run(ds, Params{K: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, _, err := Run(ds, Params{K: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed should give same labels")
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package lsh implements p-stable locality-sensitive hashing (Datar et al.,
+// SoCG 2004) for Euclidean space: h(x) = ⌊(a·x + b)/W⌋ with a drawn from a
+// standard Gaussian (2-stable) distribution and b uniform in [0, W). It
+// backs the DBSCAN-LSH baseline.
+package lsh
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+
+	"dbsvec/internal/vec"
+)
+
+// Params configures a hash structure.
+type Params struct {
+	// Tables is the number of independent hash tables L.
+	Tables int
+	// Funcs is the number of concatenated hash functions k per table.
+	Funcs int
+	// Width is the quantization width W, typically set near the query
+	// radius.
+	Width float64
+	// Seed drives the random projections.
+	Seed int64
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.Tables < 1 || p.Funcs < 1 {
+		return errors.New("lsh: Tables and Funcs must be at least 1")
+	}
+	if p.Width <= 0 {
+		return errors.New("lsh: Width must be positive")
+	}
+	return nil
+}
+
+// Hasher holds L tables of buckets over a dataset.
+type Hasher struct {
+	ds     *vec.Dataset
+	params Params
+	// projections: per table, per function, a d-vector a and offset b.
+	proj    [][]projection
+	buckets []map[string][]int32 // one bucket map per table
+}
+
+type projection struct {
+	a []float64
+	b float64
+}
+
+// New builds the hash tables over every point of ds.
+func New(ds *vec.Dataset, p Params) (*Hasher, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	d := ds.Dim()
+	h := &Hasher{ds: ds, params: p}
+	h.proj = make([][]projection, p.Tables)
+	h.buckets = make([]map[string][]int32, p.Tables)
+	for t := 0; t < p.Tables; t++ {
+		h.proj[t] = make([]projection, p.Funcs)
+		for f := 0; f < p.Funcs; f++ {
+			a := make([]float64, d)
+			for j := range a {
+				a[j] = rng.NormFloat64()
+			}
+			h.proj[t][f] = projection{a: a, b: rng.Float64() * p.Width}
+		}
+		h.buckets[t] = make(map[string][]int32)
+	}
+	sig := make([]int64, p.Funcs)
+	for i := 0; i < ds.Len(); i++ {
+		pt := ds.Point(i)
+		for t := 0; t < p.Tables; t++ {
+			h.signature(t, pt, sig)
+			k := sigKey(sig)
+			h.buckets[t][k] = append(h.buckets[t][k], int32(i))
+		}
+	}
+	return h, nil
+}
+
+// signature writes the k-slot signature of pt under table t into sig.
+func (h *Hasher) signature(t int, pt []float64, sig []int64) {
+	for f := 0; f < h.params.Funcs; f++ {
+		pr := &h.proj[t][f]
+		v := (vec.Dot(pr.a, pt) + pr.b) / h.params.Width
+		sig[f] = floor64(v)
+	}
+}
+
+func floor64(v float64) int64 {
+	i := int64(v)
+	if v < 0 && float64(i) != v {
+		i--
+	}
+	return i
+}
+
+func sigKey(sig []int64) string {
+	b := make([]byte, 8*len(sig))
+	for i, s := range sig {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(s))
+	}
+	return string(b)
+}
+
+// Candidates appends the ids of every point sharing at least one bucket
+// with q across all tables to buf (deduplicated via the seen scratch slice,
+// which must have length >= Len() and be false-initialized; it is reset
+// before return).
+func (h *Hasher) Candidates(q []float64, buf []int32, seen []bool) []int32 {
+	sig := make([]int64, h.params.Funcs)
+	start := len(buf)
+	for t := 0; t < h.params.Tables; t++ {
+		h.signature(t, q, sig)
+		for _, id := range h.buckets[t][sigKey(sig)] {
+			if !seen[id] {
+				seen[id] = true
+				buf = append(buf, id)
+			}
+		}
+	}
+	for _, id := range buf[start:] {
+		seen[id] = false
+	}
+	return buf
+}
+
+// Len returns the number of hashed points.
+func (h *Hasher) Len() int { return h.ds.Len() }
+
+// BucketStats returns the number of buckets and the largest bucket size
+// across all tables; useful for diagnosing collision behaviour.
+func (h *Hasher) BucketStats() (buckets, maxSize int) {
+	for _, tb := range h.buckets {
+		buckets += len(tb)
+		for _, ids := range tb {
+			if len(ids) > maxSize {
+				maxSize = len(ids)
+			}
+		}
+	}
+	return buckets, maxSize
+}

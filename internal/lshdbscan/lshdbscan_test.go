@@ -1,0 +1,127 @@
+package lshdbscan
+
+import (
+	"testing"
+
+	"dbsvec/internal/data"
+	"dbsvec/internal/dbscan"
+	"dbsvec/internal/eval"
+	"dbsvec/internal/lsh"
+	"dbsvec/internal/vec"
+)
+
+func TestValidation(t *testing.T) {
+	ds, _ := vec.FromRows([][]float64{{0, 0}})
+	if _, _, err := Run(ds, Params{Eps: -1, MinPts: 3}); err == nil {
+		t.Error("want error for negative eps")
+	}
+	if _, _, err := Run(ds, Params{Eps: 1, MinPts: 0}); err == nil {
+		t.Error("want error for MinPts 0")
+	}
+	if _, _, err := Run(nil, Params{Eps: 1, MinPts: 3}); err == nil {
+		t.Error("want error for nil dataset")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	ds, _ := vec.FromRows(nil)
+	res, _, err := Run(ds, Params{Eps: 1, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 0 {
+		t.Error("empty run should find nothing")
+	}
+}
+
+func TestTwoBlobs(t *testing.T) {
+	ds := data.Blobs(600, 2, 2, 1.5, 100, 0.02, 1)
+	res, st, err := Run(ds, Params{Eps: 3, MinPts: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LSH may fragment clusters but two blobs must produce at least 2.
+	if res.Clusters < 2 {
+		t.Errorf("clusters = %d, want >= 2", res.Clusters)
+	}
+	if st.RangeQueries == 0 || st.CandidateSum == 0 {
+		t.Errorf("stats not populated: %+v", st)
+	}
+}
+
+// DBSCAN-LSH is approximate: recall against exact DBSCAN should be decent
+// but may be below 1 — the behaviour Table III reports.
+func TestRecallReasonable(t *testing.T) {
+	ds := data.Blobs(1000, 4, 3, 2, 100, 0.03, 2)
+	dp := dbscan.Params{Eps: 4, MinPts: 8}
+	truth, _, err := dbscan.Run(ds, dp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Run(ds, Params{Eps: dp.Eps, MinPts: dp.MinPts,
+		Hash: lsh.Params{Tables: 8, Funcs: 2, Width: dp.Eps, Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := eval.PairRecall(truth, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec < 0.5 {
+		t.Errorf("recall %v unreasonably low", rec)
+	}
+	t.Logf("DBSCAN-LSH recall: %v", rec)
+}
+
+// More hash tables monotonically improve recall toward exact DBSCAN (the
+// knob the original paper exposes).
+func TestMoreTablesImproveRecall(t *testing.T) {
+	ds := data.Blobs(800, 4, 3, 2, 100, 0.02, 9)
+	dp := dbscan.Params{Eps: 4, MinPts: 8}
+	truth, _, err := dbscan.Run(ds, dp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recallWith := func(tables int) float64 {
+		got, _, err := Run(ds, Params{Eps: dp.Eps, MinPts: dp.MinPts,
+			Hash: lsh.Params{Tables: tables, Funcs: 2, Width: dp.Eps, Seed: 7}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := eval.PairRecall(truth, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	few := recallWith(2)
+	many := recallWith(24)
+	if many+0.02 < few {
+		t.Errorf("recall should not degrade with more tables: L=2 %.3f vs L=24 %.3f", few, many)
+	}
+	if many < 0.9 {
+		t.Errorf("24 tables should get close to exact, recall %.3f", many)
+	}
+}
+
+func TestSubsetOfExactNeighbors(t *testing.T) {
+	// LSH neighborhoods are subsets of true eps-neighborhoods, so LSH can
+	// only under-count: no point clustered by LSH as core should be exact
+	// noise... actually under-counting means fewer core points, so every
+	// LSH cluster point must be non-noise in exact DBSCAN.
+	ds := data.Blobs(500, 3, 2, 2, 100, 0.1, 4)
+	dp := dbscan.Params{Eps: 3, MinPts: 6}
+	truth, _, err := dbscan.Run(ds, dp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Run(ds, Params{Eps: dp.Eps, MinPts: dp.MinPts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got.Labels {
+		if got.Labels[i] >= 0 && truth.Labels[i] < 0 {
+			t.Fatalf("LSH clustered point %d that exact DBSCAN calls noise", i)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package nqdbscan
+
+import (
+	"testing"
+
+	"dbsvec/internal/cluster"
+	"dbsvec/internal/data"
+	"dbsvec/internal/dbscan"
+	"dbsvec/internal/eval"
+	"dbsvec/internal/vec"
+)
+
+func TestValidation(t *testing.T) {
+	ds, _ := vec.FromRows([][]float64{{0, 0}})
+	if _, _, err := Run(ds, Params{Eps: -1, MinPts: 3}); err == nil {
+		t.Error("want error for negative eps")
+	}
+	if _, _, err := Run(ds, Params{Eps: 1, MinPts: 0}); err == nil {
+		t.Error("want error for MinPts 0")
+	}
+	if _, _, err := Run(nil, Params{Eps: 1, MinPts: 3}); err == nil {
+		t.Error("want error for nil dataset")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	ds, _ := vec.FromRows(nil)
+	res, _, err := Run(ds, Params{Eps: 1, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 0 {
+		t.Error("empty run should find nothing")
+	}
+}
+
+func TestEpsZeroFallback(t *testing.T) {
+	ds, _ := vec.FromRows([][]float64{{1, 1}, {1, 1}, {1, 1}, {5, 5}})
+	res, _, err := Run(ds, Params{Eps: 0, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 1 {
+		t.Errorf("clusters = %d, want 1", res.Clusters)
+	}
+}
+
+// NQ-DBSCAN is exact: its labeling must match DBSCAN's (up to label
+// permutation and border-point ties) on every workload.
+func TestExactAgainstDBSCAN(t *testing.T) {
+	workloads := []*vec.Dataset{
+		data.Blobs(800, 2, 3, 2, 100, 0.05, 1),
+		data.Blobs(600, 5, 4, 2, 100, 0.02, 2),
+		data.Chameleon48K(3),
+		data.Uniform(300, 2, 50, 4),
+	}
+	params := []dbscan.Params{
+		{Eps: 3, MinPts: 8},
+		{Eps: 4, MinPts: 6},
+		{Eps: 8.5, MinPts: 20},
+		{Eps: 2, MinPts: 5},
+	}
+	for w, ds := range workloads {
+		p := params[w]
+		truth, truthStats, err := dbscan.Run(ds, p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := Run(ds, Params{Eps: p.Eps, MinPts: p.MinPts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Clusters != truth.Clusters {
+			t.Fatalf("workload %d: clusters %d != %d", w, got.Clusters, truth.Clusters)
+		}
+		rec, err := eval.PairRecall(truth, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec < 0.999 {
+			t.Fatalf("workload %d: recall %v, want 1 (exact algorithm)", w, rec)
+		}
+		for i := range got.Labels {
+			if (got.Labels[i] == cluster.Noise) != (truth.Labels[i] == cluster.Noise) {
+				t.Fatalf("workload %d: noise disagreement at %d", w, i)
+			}
+		}
+		// Same number of range queries as DBSCAN (the paper's point).
+		if st.RangeQueries != truthStats.RangeQueries {
+			t.Errorf("workload %d: range queries %d != dbscan %d", w, st.RangeQueries, truthStats.RangeQueries)
+		}
+	}
+}
+
+func TestDenseCellShortcut(t *testing.T) {
+	// A tight clump bigger than MinPts must trigger the dense-cell path.
+	ds := data.Blobs(500, 2, 1, 0.01, 100, 0, 5)
+	_, st, err := Run(ds, Params{Eps: 5, MinPts: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DenseCells == 0 {
+		t.Error("expected at least one dense cell")
+	}
+}

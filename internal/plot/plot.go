@@ -1,0 +1,223 @@
+// Package plot renders 2-D clusterings as SVG scatter plots — enough to
+// regenerate the paper's Figure 1 side-by-side comparison without any
+// external plotting dependency. Noise points render gray; clusters cycle
+// through a color-blind-safe palette.
+package plot
+
+import (
+	"fmt"
+	"io"
+
+	"dbsvec/internal/cluster"
+	"dbsvec/internal/vec"
+)
+
+// palette is the Okabe–Ito color-blind-safe cycle.
+var palette = []string{
+	"#0072B2", "#E69F00", "#009E73", "#CC79A7",
+	"#56B4E9", "#D55E00", "#F0E442", "#999999",
+	"#332288", "#44AA99", "#882255", "#117733",
+}
+
+const noiseColor = "#CCCCCC"
+
+// Options controls rendering.
+type Options struct {
+	// Width and Height are the SVG canvas size in pixels; 0 selects 800×600.
+	Width, Height int
+	// PointRadius is the marker radius in pixels; 0 selects 1.5.
+	PointRadius float64
+	// Title is drawn at the top when non-empty.
+	Title string
+	// XDim and YDim pick which dataset dimensions to plot (default 0 and 1).
+	XDim, YDim int
+}
+
+func (o *Options) defaults(d int) error {
+	if o.Width == 0 {
+		o.Width = 800
+	}
+	if o.Height == 0 {
+		o.Height = 600
+	}
+	if o.PointRadius == 0 {
+		o.PointRadius = 1.5
+	}
+	if o.XDim < 0 || o.XDim >= d || o.YDim < 0 || o.YDim >= d {
+		return fmt.Errorf("plot: dimensions (%d,%d) out of range for %d-d data", o.XDim, o.YDim, d)
+	}
+	return nil
+}
+
+// Color returns the fill color used for the given cluster label.
+func Color(label int32) string {
+	if label < 0 {
+		return noiseColor
+	}
+	return palette[int(label)%len(palette)]
+}
+
+// SVG renders the clustering of ds as an SVG document on w. The dataset
+// must be at least 2-dimensional (higher dimensions are projected onto
+// XDim/YDim).
+func SVG(w io.Writer, ds *vec.Dataset, res *cluster.Result, opts Options) error {
+	if ds.Dim() < 2 {
+		return fmt.Errorf("plot: need at least 2 dimensions, have %d", ds.Dim())
+	}
+	if res != nil && len(res.Labels) != ds.Len() {
+		return fmt.Errorf("plot: %d labels for %d points", len(res.Labels), ds.Len())
+	}
+	if err := opts.defaults(ds.Dim()); err != nil {
+		return err
+	}
+
+	lo, hi := ds.Bounds()
+	margin := 20.0
+	topPad := margin
+	if opts.Title != "" {
+		topPad += 24
+	}
+	spanX := 1.0
+	spanY := 1.0
+	if ds.Len() > 0 {
+		if s := hi[opts.XDim] - lo[opts.XDim]; s > 0 {
+			spanX = s
+		}
+		if s := hi[opts.YDim] - lo[opts.YDim]; s > 0 {
+			spanY = s
+		}
+	}
+	plotW := float64(opts.Width) - 2*margin
+	plotH := float64(opts.Height) - margin - topPad
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opts.Width, opts.Height, opts.Width, opts.Height); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", opts.Width, opts.Height)
+	if opts.Title != "" {
+		fmt.Fprintf(w, `<text x="%d" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">%s</text>`+"\n",
+			opts.Width/2, xmlEscape(opts.Title))
+	}
+	for i := 0; i < ds.Len(); i++ {
+		p := ds.Point(i)
+		x := margin + (p[opts.XDim]-lo[opts.XDim])/spanX*plotW
+		// SVG y grows downward; flip so the plot reads like a math plot.
+		y := topPad + (1-(p[opts.YDim]-lo[opts.YDim])/spanY)*plotH
+		color := noiseColor
+		if res != nil {
+			color = Color(res.Labels[i])
+		}
+		if _, err := fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n",
+			x, y, opts.PointRadius, color); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "</svg>\n")
+	return err
+}
+
+// DecisionSVG renders the scatter plot of SVG plus a shaded background
+// showing the region where inField reports true (e.g. the inside of an SVDD
+// sphere — the paper's Figure 3 dashed boundary, rasterized). The plot area
+// is sampled on a gridRes×gridRes lattice; cells inside the field are
+// shaded. gridRes <= 0 selects 80.
+func DecisionSVG(w io.Writer, ds *vec.Dataset, res *cluster.Result, inField func(p []float64) bool, gridRes int, opts Options) error {
+	if ds.Dim() < 2 {
+		return fmt.Errorf("plot: need at least 2 dimensions, have %d", ds.Dim())
+	}
+	if err := opts.defaults(ds.Dim()); err != nil {
+		return err
+	}
+	if gridRes <= 0 {
+		gridRes = 80
+	}
+	lo, hi := ds.Bounds()
+	if lo == nil {
+		return fmt.Errorf("plot: empty dataset")
+	}
+	margin := 20.0
+	topPad := margin
+	if opts.Title != "" {
+		topPad += 24
+	}
+	spanX := hi[opts.XDim] - lo[opts.XDim]
+	spanY := hi[opts.YDim] - lo[opts.YDim]
+	if spanX <= 0 {
+		spanX = 1
+	}
+	if spanY <= 0 {
+		spanY = 1
+	}
+	plotW := float64(opts.Width) - 2*margin
+	plotH := float64(opts.Height) - margin - topPad
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opts.Width, opts.Height, opts.Width, opts.Height); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", opts.Width, opts.Height)
+	if opts.Title != "" {
+		fmt.Fprintf(w, `<text x="%d" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">%s</text>`+"\n",
+			opts.Width/2, xmlEscape(opts.Title))
+	}
+	// Background field: probe at cell centers with the means of the
+	// non-plotted dimensions (so d>2 inputs still render a slice).
+	probe := make([]float64, ds.Dim())
+	allIDs := make([]int32, ds.Len())
+	for i := range allIDs {
+		allIDs[i] = int32(i)
+	}
+	mean := ds.Mean(allIDs)
+	copy(probe, mean)
+	cellW := plotW / float64(gridRes)
+	cellH := plotH / float64(gridRes)
+	for gy := 0; gy < gridRes; gy++ {
+		for gx := 0; gx < gridRes; gx++ {
+			probe[opts.XDim] = lo[opts.XDim] + (float64(gx)+0.5)/float64(gridRes)*spanX
+			probe[opts.YDim] = lo[opts.YDim] + (1-(float64(gy)+0.5)/float64(gridRes))*spanY
+			if inField(probe) {
+				x := margin + float64(gx)*cellW
+				y := topPad + float64(gy)*cellH
+				fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#E8F1FA"/>`+"\n",
+					x, y, cellW+0.5, cellH+0.5)
+			}
+		}
+	}
+	for i := 0; i < ds.Len(); i++ {
+		p := ds.Point(i)
+		x := margin + (p[opts.XDim]-lo[opts.XDim])/spanX*plotW
+		y := topPad + (1-(p[opts.YDim]-lo[opts.YDim])/spanY)*plotH
+		color := "#444444"
+		if res != nil {
+			color = Color(res.Labels[i])
+		}
+		if _, err := fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n",
+			x, y, opts.PointRadius, color); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "</svg>\n")
+	return err
+}
+
+func xmlEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			out = append(out, "&amp;"...)
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '"':
+			out = append(out, "&quot;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

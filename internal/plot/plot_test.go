@@ -1,0 +1,123 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dbsvec/internal/cluster"
+	"dbsvec/internal/vec"
+)
+
+func TestSVGBasics(t *testing.T) {
+	ds, _ := vec.FromRows([][]float64{{0, 0}, {10, 10}, {5, 5}})
+	res := &cluster.Result{Labels: []int32{0, 1, cluster.Noise}, Clusters: 2}
+	var buf bytes.Buffer
+	if err := SVG(&buf, ds, res, Options{Title: "test & demo"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Error("not a complete SVG document")
+	}
+	if strings.Count(out, "<circle") != 3 {
+		t.Errorf("expected 3 circles, got %d", strings.Count(out, "<circle"))
+	}
+	if !strings.Contains(out, noiseColor) {
+		t.Error("noise color missing")
+	}
+	if !strings.Contains(out, "test &amp; demo") {
+		t.Error("title not escaped/rendered")
+	}
+}
+
+func TestSVGNilResult(t *testing.T) {
+	ds, _ := vec.FromRows([][]float64{{0, 0}, {1, 1}})
+	var buf bytes.Buffer
+	if err := SVG(&buf, ds, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "<circle") != 2 {
+		t.Error("expected 2 unlabeled circles")
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	one, _ := vec.FromRows([][]float64{{1}})
+	if err := SVG(&bytes.Buffer{}, one, nil, Options{}); err == nil {
+		t.Error("1-d data should error")
+	}
+	ds, _ := vec.FromRows([][]float64{{0, 0}})
+	bad := &cluster.Result{Labels: []int32{0, 0}}
+	if err := SVG(&bytes.Buffer{}, ds, bad, Options{}); err == nil {
+		t.Error("label/point mismatch should error")
+	}
+	if err := SVG(&bytes.Buffer{}, ds, nil, Options{XDim: 5}); err == nil {
+		t.Error("out-of-range dimension should error")
+	}
+}
+
+func TestSVGDegenerateExtent(t *testing.T) {
+	// All points identical: spans are zero; must not divide by zero.
+	ds, _ := vec.FromRows([][]float64{{3, 3}, {3, 3}})
+	var buf bytes.Buffer
+	if err := SVG(&buf, ds, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Error("NaN leaked into coordinates")
+	}
+}
+
+func TestDecisionSVG(t *testing.T) {
+	ds, _ := vec.FromRows([][]float64{{0, 0}, {10, 10}, {5, 5}})
+	var buf bytes.Buffer
+	// Field: inside the left half.
+	err := DecisionSVG(&buf, ds, nil, func(p []float64) bool { return p[0] < 5 }, 10, Options{Title: "field"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	shaded := strings.Count(out, `fill="#E8F1FA"`)
+	if shaded == 0 || shaded >= 100 {
+		t.Errorf("expected a partial shading, got %d cells", shaded)
+	}
+	if strings.Count(out, "<circle") != 3 {
+		t.Errorf("points missing from decision plot")
+	}
+}
+
+func TestDecisionSVGErrors(t *testing.T) {
+	one, _ := vec.FromRows([][]float64{{1}})
+	if err := DecisionSVG(&bytes.Buffer{}, one, nil, func([]float64) bool { return true }, 10, Options{}); err == nil {
+		t.Error("1-d data should error")
+	}
+	empty, _ := vec.FromRows(nil)
+	if err := DecisionSVG(&bytes.Buffer{}, empty, nil, func([]float64) bool { return true }, 10, Options{}); err == nil {
+		t.Error("empty data should error")
+	}
+}
+
+func TestColorCycle(t *testing.T) {
+	if Color(cluster.Noise) != noiseColor {
+		t.Error("noise color wrong")
+	}
+	if Color(0) == Color(1) {
+		t.Error("adjacent clusters share a color")
+	}
+	if Color(0) != Color(int32(len(palette))) {
+		t.Error("palette should cycle")
+	}
+}
+
+func TestSVGProjection(t *testing.T) {
+	// 3-d data projected onto dims 0,2.
+	ds, _ := vec.FromRows([][]float64{{0, 99, 0}, {10, -99, 10}})
+	var buf bytes.Buffer
+	if err := SVG(&buf, ds, nil, Options{XDim: 0, YDim: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "<circle") != 2 {
+		t.Error("projection lost points")
+	}
+}

@@ -1,0 +1,121 @@
+package rhodbscan
+
+import (
+	"testing"
+
+	"dbsvec/internal/cluster"
+	"dbsvec/internal/data"
+	"dbsvec/internal/dbscan"
+	"dbsvec/internal/eval"
+	"dbsvec/internal/vec"
+)
+
+func TestValidation(t *testing.T) {
+	ds, _ := vec.FromRows([][]float64{{0, 0}})
+	bad := []Params{
+		{Eps: -1, MinPts: 3, Rho: 0.001},
+		{Eps: 1, MinPts: 0, Rho: 0.001},
+		{Eps: 1, MinPts: 3, Rho: -1},
+		{Eps: 0, MinPts: 3, Rho: 0.001},
+	}
+	for i, p := range bad {
+		if _, _, err := Run(ds, p); err == nil {
+			t.Errorf("case %d: want error for %+v", i, p)
+		}
+	}
+	if _, _, err := Run(nil, Params{Eps: 1, MinPts: 3, Rho: 0.001}); err == nil {
+		t.Error("want error for nil dataset")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	ds, _ := vec.FromRows(nil)
+	res, _, err := Run(ds, Params{Eps: 1, MinPts: 3, Rho: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 0 {
+		t.Error("empty dataset should yield no clusters")
+	}
+}
+
+func TestTwoBlobs(t *testing.T) {
+	ds := data.Blobs(800, 2, 2, 1.5, 100, 0.02, 1)
+	p := Params{Eps: 3, MinPts: 8, Rho: 0.001}
+	res, st, err := Run(ds, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 2 {
+		t.Fatalf("clusters = %d, want 2", res.Clusters)
+	}
+	if st.Cells == 0 || st.CoreCells == 0 {
+		t.Errorf("stats not populated: %+v", st)
+	}
+}
+
+// With small rho, the result must be close to exact DBSCAN (high recall).
+func TestRecallAgainstDBSCAN(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		ds := data.Blobs(1000, 3, 4, 2, 100, 0.05, seed)
+		dp := dbscan.Params{Eps: 4, MinPts: 8}
+		truth, _, err := dbscan.Run(ds, dp, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := Run(ds, Params{Eps: dp.Eps, MinPts: dp.MinPts, Rho: 0.001})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := eval.PairRecall(truth, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec < 0.95 {
+			t.Errorf("seed %d: recall %v < 0.95 at rho=0.001", seed, rec)
+		}
+	}
+}
+
+// rho-approximate semantics never label a DBSCAN-clustered point as noise
+// when rho is tiny... but it may add tolerance-band points to clusters. We
+// check the weaker guarantee: every exact core point is clustered.
+func TestCorePointsClustered(t *testing.T) {
+	ds := data.Blobs(600, 2, 3, 2, 100, 0.05, 3)
+	dp := dbscan.Params{Eps: 3, MinPts: 6}
+	mask, err := dbscan.CoreMask(ds, dp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Run(ds, Params{Eps: dp.Eps, MinPts: dp.MinPts, Rho: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, isCore := range mask {
+		if isCore && got.Labels[i] == cluster.Noise {
+			t.Fatalf("exact core point %d labeled noise by rho-approx", i)
+		}
+	}
+}
+
+func TestHigherRhoStillClusters(t *testing.T) {
+	ds := data.Blobs(500, 2, 2, 1.5, 100, 0, 4)
+	res, _, err := Run(ds, Params{Eps: 3, MinPts: 8, Rho: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters < 1 || res.Clusters > 2 {
+		t.Errorf("clusters = %d with rho=0.5", res.Clusters)
+	}
+}
+
+func TestHighDimensionalRun(t *testing.T) {
+	ds := data.DimSet(256, 16, 5)
+	res, _, err := Run(ds, Params{Eps: 20, MinPts: 4, Rho: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters == 0 {
+		t.Error("expected clusters in 16-d DimSet")
+	}
+}

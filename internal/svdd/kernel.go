@@ -1,0 +1,200 @@
+package svdd
+
+import (
+	"math"
+	"sync"
+
+	"dbsvec/internal/vec"
+)
+
+// GaussianKernel evaluates the Gaussian (RBF) kernel of Eq. 6,
+// K(a,b) = exp(-||a-b||² / (2σ²)).
+func GaussianKernel(a, b []float64, sigma float64) float64 {
+	return math.Exp(-vec.SqDist(a, b) / (2 * sigma * sigma))
+}
+
+// kernelMatrix is a symmetric ñ×ñ Gaussian kernel matrix over a target set.
+// Small targets are materialized densely; larger ones compute rows lazily
+// and cache them, which keeps SMO at the paper's O(ñ) per iteration
+// (Section IV-D) — only the rows the solver actually touches are evaluated.
+type kernelMatrix struct {
+	ds    *vec.Dataset
+	ids   []int32
+	gamma float64 // 1/(2σ²)
+	n     int
+	full  []float64   // dense storage when n <= denseCap
+	rows  [][]float64 // lazy row cache otherwise
+}
+
+// denseCap is the largest target size for which the dense ñ×ñ kernel matrix
+// is materialized eagerly. Beyond it, lazy rows win because SMO touches a
+// small fraction of the matrix.
+const denseCap = 256
+
+// matrixPool recycles dense kernel-matrix backing slices. DBSVEC trains
+// SVDD hundreds of times per run with similar target sizes, so reuse avoids
+// repeated large allocations and their zeroing cost.
+var matrixPool sync.Pool
+
+func getMatrixBuf(n int) []float64 {
+	if v := matrixPool.Get(); v != nil {
+		buf := v.([]float64)
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// releaseMatrix returns the model's dense matrix to the pool; called by
+// Train once the solver is done with it.
+func releaseMatrix(km *kernelMatrix) {
+	if km.full != nil {
+		matrixPool.Put(km.full) //nolint:staticcheck // slice reuse is the point
+		km.full = nil
+	}
+	km.rows = nil
+}
+
+func newKernelMatrix(ds *vec.Dataset, ids []int32, sigma float64) *kernelMatrix {
+	km := &kernelMatrix{ds: ds, ids: ids, gamma: 1 / (2 * sigma * sigma), n: len(ids)}
+	if km.n <= denseCap {
+		km.full = getMatrixBuf(km.n * km.n)
+		for i := 0; i < km.n; i++ {
+			pi := ds.Point(int(ids[i]))
+			km.full[i*km.n+i] = 1
+			for j := i + 1; j < km.n; j++ {
+				v := math.Exp(-vec.SqDist(pi, ds.Point(int(ids[j]))) * km.gamma)
+				km.full[i*km.n+j] = v
+				km.full[j*km.n+i] = v
+			}
+		}
+	} else {
+		km.rows = make([][]float64, km.n)
+	}
+	return km
+}
+
+// row returns row i of the kernel matrix (length ñ), computing and caching
+// it on first access.
+func (km *kernelMatrix) row(i int) []float64 {
+	if km.full != nil {
+		return km.full[i*km.n : (i+1)*km.n]
+	}
+	if r := km.rows[i]; r != nil {
+		return r
+	}
+	r := make([]float64, km.n)
+	pi := km.ds.Point(int(km.ids[i]))
+	for j := 0; j < km.n; j++ {
+		if j == i {
+			r[j] = 1
+			continue
+		}
+		r[j] = math.Exp(-vec.SqDist(pi, km.ds.Point(int(km.ids[j]))) * km.gamma)
+	}
+	km.rows[i] = r
+	return r
+}
+
+// at returns K(i,j) without forcing a whole row when neither is cached.
+func (km *kernelMatrix) at(i, j int) float64 {
+	if i == j {
+		return 1
+	}
+	if km.full != nil {
+		return km.full[i*km.n+j]
+	}
+	if r := km.rows[i]; r != nil {
+		return r[j]
+	}
+	if r := km.rows[j]; r != nil {
+		return r[i]
+	}
+	return math.Exp(-vec.SqDist(km.ds.Point(int(km.ids[i])), km.ds.Point(int(km.ids[j]))) * km.gamma)
+}
+
+// KernelDistances evaluates the kernel distance function D(x) of Eq. 5 for
+// every point of the target set: the squared feature-space distance from
+// Φ(x_i) to the kernel centroid (1/ñ)ΣΦ(x_j). Exact O(ñ²) version; the
+// solver's internal weight computation uses the pivot-sampled estimate
+// instead.
+func KernelDistances(ds *vec.Dataset, ids []int32, sigma float64) []float64 {
+	n := len(ids)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	gamma := 1 / (2 * sigma * sigma)
+	// s[i] = Σ_j K(x_i, x_j); the double sum is Σ_i s[i].
+	s := make([]float64, n)
+	var double float64
+	for i := 0; i < n; i++ {
+		pi := ds.Point(int(ids[i]))
+		s[i] += 1 // K(x_i,x_i)
+		for j := i + 1; j < n; j++ {
+			v := math.Exp(-vec.SqDist(pi, ds.Point(int(ids[j]))) * gamma)
+			s[i] += v
+			s[j] += v
+		}
+	}
+	for i := 0; i < n; i++ {
+		double += s[i]
+	}
+	nf := float64(n)
+	c := double / (nf * nf)
+	for i := 0; i < n; i++ {
+		d := c + 1 - 2*s[i]/nf
+		if d < 0 {
+			d = 0 // numeric guard; D is a squared norm
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// SigmaLowerBound returns the paper's kernel width choice σ = r/√2
+// (Section IV-B2), where r is the distance from the centroid of the target
+// points to the farthest target point. A small positive floor keeps the
+// kernel well-defined for degenerate targets (single point, duplicates).
+func SigmaLowerBound(ds *vec.Dataset, ids []int32) float64 {
+	const floor = 1e-9
+	if len(ids) == 0 {
+		return floor
+	}
+	mean := ds.Mean(ids)
+	var maxD2 float64
+	for _, id := range ids {
+		if d2 := vec.SqDist(ds.Point(int(id)), mean); d2 > maxD2 {
+			maxD2 = d2
+		}
+	}
+	sigma := math.Sqrt(maxD2) / math.Sqrt2
+	if sigma < floor {
+		sigma = floor
+	}
+	return sigma
+}
+
+// NuStar returns the paper's adaptive penalty factor
+// ν* = d·√(log_MinPts ñ)/ñ (Eq. 20), clamped into (0, 1].
+func NuStar(dim, minPts, targetSize int) float64 {
+	if targetSize <= 0 {
+		return 1
+	}
+	nf := float64(targetSize)
+	nu := 1 / nf // minimum meaningful value: a single support vector
+	if minPts > 1 && targetSize > 1 {
+		l := math.Log(nf) / math.Log(float64(minPts))
+		if l > 0 {
+			nu = float64(dim) * math.Sqrt(l) / nf
+		}
+	}
+	if nu < 1/nf {
+		nu = 1 / nf
+	}
+	if nu > 1 {
+		nu = 1
+	}
+	return nu
+}

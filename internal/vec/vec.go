@@ -1,0 +1,419 @@
+// Package vec provides the vector and dataset substrate shared by every
+// clustering algorithm in this repository: flat column-free point storage,
+// Euclidean geometry helpers, bounding boxes, and coordinate normalization.
+//
+// Points are stored in a single contiguous []float64 of length n*d so that
+// range scans are cache friendly and the garbage collector sees one object
+// per dataset instead of n. Algorithms address points by their integer id
+// (0..n-1) and borrow read-only views via Dataset.Point.
+package vec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by dataset constructors and mutators.
+var (
+	ErrDimMismatch = errors.New("vec: point dimensionality does not match dataset")
+	ErrBadDim      = errors.New("vec: dimensionality must be positive")
+	ErrNonFinite   = errors.New("vec: coordinate is NaN or infinite")
+)
+
+// Dataset is an immutable-by-convention collection of n points in d
+// dimensions backed by one flat slice. The zero value is unusable; construct
+// with NewDataset or FromRows.
+type Dataset struct {
+	coords []float64 // len == n*d
+	n      int
+	d      int
+}
+
+// NewDataset wraps an existing flat coordinate slice. The slice length must
+// be a multiple of d. The dataset takes ownership of coords; callers must
+// not mutate it afterwards.
+func NewDataset(coords []float64, d int) (*Dataset, error) {
+	if d <= 0 {
+		return nil, ErrBadDim
+	}
+	if len(coords)%d != 0 {
+		return nil, fmt.Errorf("vec: %d coordinates is not a multiple of dimension %d", len(coords), d)
+	}
+	return &Dataset{coords: coords, n: len(coords) / d, d: d}, nil
+}
+
+// FromRows copies a row-per-point matrix into a new dataset. All rows must
+// share the same length and contain only finite values.
+func FromRows(rows [][]float64) (*Dataset, error) {
+	if len(rows) == 0 {
+		return &Dataset{coords: nil, n: 0, d: 1}, nil
+	}
+	d := len(rows[0])
+	if d == 0 {
+		return nil, ErrBadDim
+	}
+	coords := make([]float64, 0, len(rows)*d)
+	for i, r := range rows {
+		if len(r) != d {
+			return nil, fmt.Errorf("%w: row %d has %d coordinates, want %d", ErrDimMismatch, i, len(r), d)
+		}
+		for _, v := range r {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: row %d", ErrNonFinite, i)
+			}
+		}
+		coords = append(coords, r...)
+	}
+	return &Dataset{coords: coords, n: len(rows), d: d}, nil
+}
+
+// Empty reports whether the dataset holds no points.
+func (ds *Dataset) Empty() bool { return ds == nil || ds.n == 0 }
+
+// Len returns the number of points n.
+func (ds *Dataset) Len() int {
+	if ds == nil {
+		return 0
+	}
+	return ds.n
+}
+
+// Dim returns the dimensionality d.
+func (ds *Dataset) Dim() int {
+	if ds == nil {
+		return 0
+	}
+	return ds.d
+}
+
+// Point returns a read-only view of point i. The returned slice aliases the
+// dataset's backing array and must not be modified or retained across
+// dataset mutations.
+func (ds *Dataset) Point(i int) []float64 {
+	return ds.coords[i*ds.d : i*ds.d+ds.d : i*ds.d+ds.d]
+}
+
+// Coords exposes the flat backing slice (length n*d). Read-only.
+func (ds *Dataset) Coords() []float64 { return ds.coords }
+
+// Clone returns a deep copy of the dataset.
+func (ds *Dataset) Clone() *Dataset {
+	cp := make([]float64, len(ds.coords))
+	copy(cp, ds.coords)
+	return &Dataset{coords: cp, n: ds.n, d: ds.d}
+}
+
+// Subset copies the points with the given ids into a new dataset, in order.
+func (ds *Dataset) Subset(ids []int32) *Dataset {
+	out := make([]float64, 0, len(ids)*ds.d)
+	for _, id := range ids {
+		out = append(out, ds.Point(int(id))...)
+	}
+	return &Dataset{coords: out, n: len(ids), d: ds.d}
+}
+
+// Dist2 returns the squared Euclidean distance between points i and j.
+func (ds *Dataset) Dist2(i, j int) float64 {
+	return SqDist(ds.Point(i), ds.Point(j))
+}
+
+// Dist returns the Euclidean distance between points i and j.
+func (ds *Dataset) Dist(i, j int) float64 {
+	return math.Sqrt(ds.Dist2(i, j))
+}
+
+// Dist2To returns the squared Euclidean distance between point i and an
+// arbitrary query vector q (len(q) must equal Dim()).
+func (ds *Dataset) Dist2To(i int, q []float64) float64 {
+	return SqDist(ds.Point(i), q)
+}
+
+// SqDist returns the squared Euclidean distance between two equal-length
+// vectors. The loop is written to be auto-vectorization friendly.
+func SqDist(a, b []float64) float64 {
+	var s float64
+	_ = b[len(a)-1] // eliminate bounds checks inside the loop
+	for i, av := range a {
+		dv := av - b[i]
+		s += dv * dv
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between two equal-length vectors.
+func Dist(a, b []float64) float64 { return math.Sqrt(SqDist(a, b)) }
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	var s float64
+	_ = b[len(a)-1]
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the squared Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float64) float64 { return math.Sqrt(Norm2(v)) }
+
+// Mean computes the coordinate-wise mean of the points with the given ids.
+// It returns a zero vector when ids is empty.
+func (ds *Dataset) Mean(ids []int32) []float64 {
+	m := make([]float64, ds.d)
+	if len(ids) == 0 {
+		return m
+	}
+	for _, id := range ids {
+		p := ds.Point(int(id))
+		for j, v := range p {
+			m[j] += v
+		}
+	}
+	inv := 1 / float64(len(ids))
+	for j := range m {
+		m[j] *= inv
+	}
+	return m
+}
+
+// Bounds returns the per-dimension minimum and maximum over all points.
+// For an empty dataset both slices are nil.
+func (ds *Dataset) Bounds() (lo, hi []float64) {
+	if ds.n == 0 {
+		return nil, nil
+	}
+	lo = make([]float64, ds.d)
+	hi = make([]float64, ds.d)
+	copy(lo, ds.Point(0))
+	copy(hi, ds.Point(0))
+	for i := 1; i < ds.n; i++ {
+		p := ds.Point(i)
+		for j, v := range p {
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+// NormalizeTo linearly rescales every coordinate so each dimension spans
+// [0, scale], matching the paper's experimental setup (coordinates
+// normalized to [0,10^5]). Dimensions with zero extent map to 0. It returns
+// the same dataset for chaining. This is the one sanctioned mutation of a
+// dataset and must happen before any index is built over it.
+func (ds *Dataset) NormalizeTo(scale float64) *Dataset {
+	if ds.n == 0 {
+		return ds
+	}
+	lo, hi := ds.Bounds()
+	for j := 0; j < ds.d; j++ {
+		ext := hi[j] - lo[j]
+		if ext <= 0 {
+			for i := 0; i < ds.n; i++ {
+				ds.coords[i*ds.d+j] = 0
+			}
+			continue
+		}
+		f := scale / ext
+		for i := 0; i < ds.n; i++ {
+			ds.coords[i*ds.d+j] = (ds.coords[i*ds.d+j] - lo[j]) * f
+		}
+	}
+	return ds
+}
+
+// Validate checks that every coordinate is finite.
+func (ds *Dataset) Validate() error {
+	for i, v := range ds.coords {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: point %d dimension %d", ErrNonFinite, i/ds.d, i%ds.d)
+		}
+	}
+	return nil
+}
+
+// Rect is an axis-aligned hyper-rectangle used by spatial indexes.
+type Rect struct {
+	Lo, Hi []float64
+}
+
+// NewRect allocates a rectangle of dimensionality d initialized to the
+// empty (inverted) state so that Extend works incrementally.
+func NewRect(d int) Rect {
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for j := 0; j < d; j++ {
+		lo[j] = math.Inf(1)
+		hi[j] = math.Inf(-1)
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// RectOf returns the tight bounding rectangle of a single point.
+func RectOf(p []float64) Rect {
+	lo := make([]float64, len(p))
+	hi := make([]float64, len(p))
+	copy(lo, p)
+	copy(hi, p)
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// Clone deep-copies the rectangle.
+func (r Rect) Clone() Rect {
+	lo := make([]float64, len(r.Lo))
+	hi := make([]float64, len(r.Hi))
+	copy(lo, r.Lo)
+	copy(hi, r.Hi)
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// Extend grows r in place to cover point p.
+func (r *Rect) Extend(p []float64) {
+	for j, v := range p {
+		if v < r.Lo[j] {
+			r.Lo[j] = v
+		}
+		if v > r.Hi[j] {
+			r.Hi[j] = v
+		}
+	}
+}
+
+// ExtendRect grows r in place to cover another rectangle.
+func (r *Rect) ExtendRect(o Rect) {
+	for j := range r.Lo {
+		if o.Lo[j] < r.Lo[j] {
+			r.Lo[j] = o.Lo[j]
+		}
+		if o.Hi[j] > r.Hi[j] {
+			r.Hi[j] = o.Hi[j]
+		}
+	}
+}
+
+// Contains reports whether point p lies inside (or on the border of) r.
+func (r Rect) Contains(p []float64) bool {
+	for j, v := range p {
+		if v < r.Lo[j] || v > r.Hi[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// Margin returns the sum of the rectangle's edge lengths (the R*-tree margin
+// heuristic).
+func (r Rect) Margin() float64 {
+	var m float64
+	for j := range r.Lo {
+		m += r.Hi[j] - r.Lo[j]
+	}
+	return m
+}
+
+// Area returns the d-dimensional volume of the rectangle.
+func (r Rect) Area() float64 {
+	a := 1.0
+	for j := range r.Lo {
+		a *= r.Hi[j] - r.Lo[j]
+	}
+	return a
+}
+
+// EnlargedArea returns the volume r would have after absorbing o.
+func (r Rect) EnlargedArea(o Rect) float64 {
+	a := 1.0
+	for j := range r.Lo {
+		lo := math.Min(r.Lo[j], o.Lo[j])
+		hi := math.Max(r.Hi[j], o.Hi[j])
+		a *= hi - lo
+	}
+	return a
+}
+
+// OverlapArea returns the volume of the intersection of r and o, or 0 when
+// they are disjoint.
+func (r Rect) OverlapArea(o Rect) float64 {
+	a := 1.0
+	for j := range r.Lo {
+		lo := math.Max(r.Lo[j], o.Lo[j])
+		hi := math.Min(r.Hi[j], o.Hi[j])
+		if hi <= lo {
+			return 0
+		}
+		a *= hi - lo
+	}
+	return a
+}
+
+// MinDist2 returns the squared Euclidean distance from point q to the
+// nearest point of the rectangle (0 when q is inside).
+func (r Rect) MinDist2(q []float64) float64 {
+	var s float64
+	for j, v := range q {
+		if v < r.Lo[j] {
+			dv := r.Lo[j] - v
+			s += dv * dv
+		} else if v > r.Hi[j] {
+			dv := v - r.Hi[j]
+			s += dv * dv
+		}
+	}
+	return s
+}
+
+// MinDist2Rect returns the squared Euclidean distance between the closest
+// pair of points of two rectangles (0 when they intersect).
+func (r Rect) MinDist2Rect(o Rect) float64 {
+	var s float64
+	for j := range r.Lo {
+		if o.Hi[j] < r.Lo[j] {
+			dv := r.Lo[j] - o.Hi[j]
+			s += dv * dv
+		} else if o.Lo[j] > r.Hi[j] {
+			dv := o.Lo[j] - r.Hi[j]
+			s += dv * dv
+		}
+	}
+	return s
+}
+
+// MaxDist2 returns the squared Euclidean distance from point q to the
+// farthest corner of the rectangle.
+func (r Rect) MaxDist2(q []float64) float64 {
+	var s float64
+	for j, v := range q {
+		a := v - r.Lo[j]
+		b := r.Hi[j] - v
+		m := math.Max(math.Abs(a), math.Abs(b))
+		s += m * m
+	}
+	return s
+}
+
+// Center writes the rectangle's center into dst (allocating when dst is nil
+// or too short) and returns it.
+func (r Rect) Center(dst []float64) []float64 {
+	if cap(dst) < len(r.Lo) {
+		dst = make([]float64, len(r.Lo))
+	}
+	dst = dst[:len(r.Lo)]
+	for j := range r.Lo {
+		dst[j] = (r.Lo[j] + r.Hi[j]) / 2
+	}
+	return dst
+}

@@ -1,0 +1,51 @@
+package dbsvec
+
+import "dbsvec/internal/eval"
+
+// PairRecall returns the fraction of point pairs co-clustered by the
+// reference result that the candidate result also co-clusters — the
+// accuracy metric of the paper's Table III (after Lulli et al.). 1 means
+// the candidate preserves every reference pair.
+func PairRecall(reference, candidate *Result) (float64, error) {
+	return eval.PairRecall(reference.inner, candidate.inner)
+}
+
+// Compactness returns the mean silhouette coefficient of a clustering
+// (higher is better) — the "C" column of the paper's Table IV. O(n²·d);
+// sample large datasets first.
+func Compactness(d *Dataset, res *Result) (float64, error) {
+	return eval.Silhouette(d.ds, res.inner)
+}
+
+// Separation returns the Davies–Bouldin index of a clustering (lower is
+// better) — the "S" column of the paper's Table IV.
+func Separation(d *Dataset, res *Result) (float64, error) {
+	return eval.DaviesBouldin(d.ds, res.inner)
+}
+
+// PairPrecision returns the fraction of point pairs co-clustered by the
+// candidate that the reference also co-clusters. Theorem 1 (every DBSVEC
+// cluster ⊆ some DBSCAN cluster) predicts 1.0 for DBSVEC against DBSCAN,
+// up to border-point ties.
+func PairPrecision(reference, candidate *Result) (float64, error) {
+	return eval.PairPrecision(reference.inner, candidate.inner)
+}
+
+// PairF1 returns the harmonic mean of PairRecall and PairPrecision.
+func PairF1(reference, candidate *Result) (float64, error) {
+	return eval.PairF1(reference.inner, candidate.inner)
+}
+
+// ARI returns the Adjusted Rand Index between two clusterings: 1 for
+// identical partitions, ~0 for independent ones. Noise points count as
+// singleton clusters.
+func ARI(a, b *Result) (float64, error) {
+	return eval.AdjustedRandIndex(a.inner, b.inner)
+}
+
+// NoiseAgreement returns the fraction of points whose noise/clustered
+// status matches between two results (Theorem 3 predicts 1.0 for DBSVEC vs
+// DBSCAN).
+func NoiseAgreement(a, b *Result) (float64, error) {
+	return eval.NoiseAgreement(a.inner, b.inner)
+}

@@ -1,0 +1,67 @@
+package dbsvec
+
+import (
+	"fmt"
+
+	"dbsvec/internal/svdd"
+)
+
+// OneClassOptions configures TrainOneClass.
+type OneClassOptions struct {
+	// Nu in (0,1] bounds the fraction of training points allowed outside
+	// the learned boundary (boundary support vectors) from above and the
+	// support-vector fraction from below. 0 selects 0.1.
+	Nu float64
+	// Sigma is the Gaussian kernel width; 0 selects the paper's σ = r/√2
+	// rule over the training set (Section IV-B2).
+	Sigma float64
+}
+
+// OneClassModel is a trained Support Vector Domain Description: a minimal
+// hypersphere (in Gaussian-kernel feature space) enclosing most of the
+// training data. It is the building block DBSVEC uses internally, exposed
+// here as a standalone one-class learner for novelty/outlier detection.
+type OneClassModel struct {
+	m *svdd.Model
+}
+
+// TrainOneClass fits an SVDD boundary to every point of d.
+func TrainOneClass(d *Dataset, opts OneClassOptions) (*OneClassModel, error) {
+	if d == nil || d.Len() == 0 {
+		return nil, fmt.Errorf("dbsvec: one-class training needs a non-empty dataset")
+	}
+	nu := opts.Nu
+	if nu == 0 {
+		nu = 0.1
+	}
+	ids := make([]int32, d.Len())
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	m, err := svdd.Train(d.ds, ids, svdd.Config{Nu: nu, Sigma: opts.Sigma})
+	if err != nil {
+		return nil, err
+	}
+	return &OneClassModel{m: m}, nil
+}
+
+// Score returns the decision value for a point: negative or zero inside the
+// learned boundary, positive outside, growing with distance (Eq. 12 of the
+// paper, F(x) − R²).
+func (oc *OneClassModel) Score(point []float64) float64 {
+	return oc.m.Eval(point)
+}
+
+// Contains reports whether the point falls inside (or on) the boundary.
+func (oc *OneClassModel) Contains(point []float64) bool {
+	return oc.m.Eval(point) <= 0
+}
+
+// SupportVectors returns the indices (into the training dataset) of the
+// points describing the boundary.
+func (oc *OneClassModel) SupportVectors() []int32 {
+	return oc.m.SupportVectors()
+}
+
+// Sigma returns the kernel width used.
+func (oc *OneClassModel) Sigma() float64 { return oc.m.Sigma }

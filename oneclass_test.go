@@ -1,0 +1,102 @@
+package dbsvec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func ringRows(n int, r float64, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		theta := rng.Float64() * 2 * math.Pi
+		rr := r + rng.NormFloat64()*0.3
+		rows[i] = []float64{rr * math.Cos(theta), rr * math.Sin(theta)}
+	}
+	return rows
+}
+
+func TestTrainOneClassBasics(t *testing.T) {
+	ds, err := NewDataset(ringRows(300, 8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := TrainOneClass(ds, OneClassOptions{Nu: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.SupportVectors()) == 0 {
+		t.Fatal("no support vectors")
+	}
+	if m.Sigma() <= 0 {
+		t.Errorf("sigma = %v", m.Sigma())
+	}
+	// A training point should be inside or near the boundary; a far point
+	// outside.
+	inside := 0
+	for i := 0; i < ds.Len(); i++ {
+		if m.Contains(ds.Point(i)) {
+			inside++
+		}
+	}
+	if frac := float64(inside) / float64(ds.Len()); frac < 0.8 {
+		t.Errorf("only %.0f%% of training points inside the boundary", frac*100)
+	}
+	if m.Contains([]float64{100, 100}) {
+		t.Error("far point classified as normal")
+	}
+	if m.Score([]float64{100, 100}) <= 0 {
+		t.Error("far point should have positive score")
+	}
+}
+
+func TestTrainOneClassErrors(t *testing.T) {
+	if _, err := TrainOneClass(nil, OneClassOptions{}); err == nil {
+		t.Error("nil dataset should error")
+	}
+	empty, _ := NewDataset(nil)
+	if _, err := TrainOneClass(empty, OneClassOptions{}); err == nil {
+		t.Error("empty dataset should error")
+	}
+	ds, _ := NewDataset([][]float64{{0, 0}, {1, 1}})
+	if _, err := TrainOneClass(ds, OneClassOptions{Nu: 2}); err == nil {
+		t.Error("nu > 1 should error")
+	}
+}
+
+func TestTrainOneClassSigmaOverride(t *testing.T) {
+	ds, _ := NewDataset(ringRows(200, 8, 2))
+	m, err := TrainOneClass(ds, OneClassOptions{Nu: 0.1, Sigma: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sigma() != 2.5 {
+		t.Errorf("sigma = %v, want 2.5", m.Sigma())
+	}
+}
+
+func TestDBSCANParallelPublic(t *testing.T) {
+	ds, _ := NewDataset(blobRows(600, 11))
+	seq, err := DBSCAN(ds, 4, 8, IndexKDTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := DBSCANParallel(ds, 4, 8, IndexKDTree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Clusters != seq.Clusters {
+		t.Fatalf("clusters %d != %d", par.Clusters, seq.Clusters)
+	}
+	agree, err := NoiseAgreement(seq, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agree != 1 {
+		t.Errorf("noise agreement %v", agree)
+	}
+	if _, err := DBSCANParallel(nil, 4, 8, IndexLinear, 0); err == nil {
+		t.Error("nil dataset should error")
+	}
+}

@@ -1,0 +1,60 @@
+package dbsvec
+
+import (
+	"io"
+
+	"dbsvec/internal/cluster"
+	"dbsvec/internal/plot"
+)
+
+// PlotOptions controls WriteSVG rendering.
+type PlotOptions struct {
+	// Width and Height set the canvas in pixels (default 800×600).
+	Width, Height int
+	// PointRadius sets the marker size (default 1.5).
+	PointRadius float64
+	// Title is drawn at the top when non-empty.
+	Title string
+	// XDim and YDim pick the projected dimensions (default 0 and 1).
+	XDim, YDim int
+}
+
+// WriteDecisionSVG renders the dataset scatter over a shaded background
+// marking where inField reports true — e.g. the interior of a one-class
+// SVDD boundary (the paper's Figure 3 visualization). For data with more
+// than two dimensions, the non-plotted coordinates of the probe points are
+// fixed at the dataset mean.
+func WriteDecisionSVG(w io.Writer, d *Dataset, res *Result, inField func(p []float64) bool, opts PlotOptions) error {
+	po := plot.Options{
+		Width:       opts.Width,
+		Height:      opts.Height,
+		PointRadius: opts.PointRadius,
+		Title:       opts.Title,
+		XDim:        opts.XDim,
+		YDim:        opts.YDim,
+	}
+	var inner *cluster.Result
+	if res != nil {
+		inner = res.inner
+	}
+	return plot.DecisionSVG(w, d.ds, inner, inField, 0, po)
+}
+
+// WriteSVG renders a 2-D scatter plot of the dataset on w, colored by the
+// clustering result (nil renders all points gray). Higher-dimensional data
+// is projected onto the XDim/YDim axes. This is how the repository
+// regenerates the paper's Figure 1.
+func WriteSVG(w io.Writer, d *Dataset, res *Result, opts PlotOptions) error {
+	po := plot.Options{
+		Width:       opts.Width,
+		Height:      opts.Height,
+		PointRadius: opts.PointRadius,
+		Title:       opts.Title,
+		XDim:        opts.XDim,
+		YDim:        opts.YDim,
+	}
+	if res == nil {
+		return plot.SVG(w, d.ds, nil, po)
+	}
+	return plot.SVG(w, d.ds, res.inner, po)
+}
