@@ -47,6 +47,7 @@ func DBSCANParallel(d *Dataset, eps float64, minPts int, idx IndexKind, workers 
 	}
 	out := wrapResult(res)
 	out.Stats.RangeQueries = st.RangeQueries
+	out.Stats.Phases = st.Phases
 	return out, nil
 }
 

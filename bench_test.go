@@ -291,6 +291,46 @@ func BenchmarkFig9b_Ablation(b *testing.B) {
 	}
 }
 
+// BenchmarkWorkersScaling times DBSVEC on 8-d synthetic data as the
+// query-engine worker count grows — the acceptance check for the batched
+// execution engine. Labels and θ-term stats are identical across worker
+// counts (see TestWorkersDeterminism); only wall-clock should move.
+func BenchmarkWorkersScaling(b *testing.B) {
+	ds := spreader(20000, 8)
+	for _, workers := range []int{1, 2, 4, 0} { // 0 = all CPUs
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=NumCPU"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Run(ds, core.Options{Eps: 5000, MinPts: 100, Seed: 1, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelDBSCANWorkers times the engine-backed parallel DBSCAN
+// baseline across worker counts on the same workload.
+func BenchmarkParallelDBSCANWorkers(b *testing.B) {
+	ds := spreader(20000, 8)
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=NumCPU"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := dbscan.RunParallel(ds, dbscan.Params{Eps: 5000, MinPts: 100}, kdtree.Build, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkNQ_DBSCAN times the NQ-DBSCAN baseline (Table II complexity
 // context).
 func BenchmarkNQ_DBSCAN(b *testing.B) {

@@ -3,17 +3,23 @@
 //
 // Usage:
 //
-//	benchall [-exp fig6a] [-full] [-seed 1] [-budget 30s] [-list]
+//	benchall [-exp fig6a] [-full] [-seed 1] [-budget 30s] [-workers 0]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-list]
 //
 // By default every experiment runs in quick mode (reduced cardinalities so
 // the suite finishes in minutes). -full approaches the paper's scales and
-// can run for hours. -exp selects a single experiment by id.
+// can run for hours. -exp selects a single experiment by id. -workers sets
+// the query-engine worker count used by DBSVEC runs (0 = all CPUs).
+// -cpuprofile and -memprofile write pprof profiles covering the whole
+// harness run, for feeding into `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dbsvec/internal/experiments"
@@ -21,11 +27,14 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "run a single experiment id (default: all)")
-		full   = flag.Bool("full", false, "use paper-scale cardinalities (slow)")
-		seed   = flag.Int64("seed", 1, "random seed for data generation and algorithms")
-		budget = flag.Duration("budget", 0, "per-run time budget before an algorithm is dropped from a sweep (0 = default)")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
+		exp        = flag.String("exp", "", "run a single experiment id (default: all)")
+		full       = flag.Bool("full", false, "use paper-scale cardinalities (slow)")
+		seed       = flag.Int64("seed", 1, "random seed for data generation and algorithms")
+		budget     = flag.Duration("budget", 0, "per-run time budget before an algorithm is dropped from a sweep (0 = default)")
+		workers    = flag.Int("workers", 0, "query-engine worker goroutines for DBSVEC runs (0 = all CPUs)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the harness run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at harness exit to this file")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -36,7 +45,21 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Quick: !*full, Seed: *seed, Budget: *budget}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: start CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	cfg := experiments.Config{Quick: !*full, Seed: *seed, Budget: *budget, Workers: *workers}
 	start := time.Now()
 	var err error
 	if *exp == "" {
@@ -53,4 +76,18 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("\ntotal harness time: %s\n", time.Since(start).Round(time.Millisecond))
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // materialize up-to-date allocation stats
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: write heap profile: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

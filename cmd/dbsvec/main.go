@@ -4,9 +4,10 @@
 // Usage:
 //
 //	dbsvec -eps 5000 -minpts 100 [-algo dbsvec] [-in points.csv] [-out labeled.csv]
-//	       [-nu 0] [-normalize 0] [-index linear] [-seed 1] [-stats]
+//	       [-nu 0] [-normalize 0] [-index linear] [-seed 1] [-workers 0] [-stats]
 //
-// Algorithms: dbsvec (default), dbscan, rho, lsh, nq, kmeans (with -k).
+// Algorithms: dbsvec (default), dbscan, pdbscan, rho, lsh, nq, kmeans
+// (with -k).
 // Reading from stdin and writing to stdout are the defaults.
 package main
 
@@ -22,7 +23,7 @@ import (
 
 func main() {
 	var (
-		algo      = flag.String("algo", "dbsvec", "algorithm: dbsvec|dbscan|rho|lsh|nq|kmeans")
+		algo      = flag.String("algo", "dbsvec", "algorithm: dbsvec|dbscan|pdbscan|rho|lsh|nq|kmeans")
 		eps       = flag.Float64("eps", 0, "epsilon radius (required for density-based algorithms)")
 		minPts    = flag.Int("minpts", 0, "density threshold MinPts")
 		k         = flag.Int("k", 0, "cluster count for kmeans")
@@ -30,19 +31,20 @@ func main() {
 		inPath    = flag.String("in", "", "input CSV (default stdin)")
 		outPath   = flag.String("out", "", "output CSV with labels (default stdout)")
 		normalize = flag.Float64("normalize", 0, "rescale every dimension to [0,S] before clustering (0 = off)")
-		indexKind = flag.String("index", "linear", "range-query index: linear|kdtree|rtree|grid")
+		indexKind = flag.String("index", "linear", "range-query index: linear|kdtree|rtree|grid|parallel|pyramid|vptree")
 		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "query-engine worker goroutines (0 = all CPUs)")
 		stats     = flag.Bool("stats", false, "print run statistics to stderr")
 	)
 	flag.Parse()
 
-	if err := run(*algo, *eps, *minPts, *k, *nu, *inPath, *outPath, *normalize, *indexKind, *seed, *stats); err != nil {
+	if err := run(*algo, *eps, *minPts, *k, *nu, *inPath, *outPath, *normalize, *indexKind, *seed, *workers, *stats); err != nil {
 		fmt.Fprintf(os.Stderr, "dbsvec: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(algo string, eps float64, minPts, k int, nu float64, inPath, outPath string, normalize float64, indexKind string, seed int64, stats bool) error {
+func run(algo string, eps float64, minPts, k int, nu float64, inPath, outPath string, normalize float64, indexKind string, seed int64, workers int, stats bool) error {
 	var in io.Reader = os.Stdin
 	if inPath != "" {
 		f, err := os.Open(inPath)
@@ -70,6 +72,12 @@ func run(algo string, eps float64, minPts, k int, nu float64, inPath, outPath st
 		idx = dbsvec.IndexRTree
 	case "grid":
 		idx = dbsvec.IndexGrid
+	case "parallel":
+		idx = dbsvec.IndexParallel
+	case "pyramid":
+		idx = dbsvec.IndexPyramid
+	case "vptree":
+		idx = dbsvec.IndexVPTree
 	default:
 		return fmt.Errorf("unknown index %q", indexKind)
 	}
@@ -78,9 +86,11 @@ func run(algo string, eps float64, minPts, k int, nu float64, inPath, outPath st
 	var res *dbsvec.Result
 	switch algo {
 	case "dbsvec":
-		res, err = dbsvec.Cluster(ds, dbsvec.Options{Eps: eps, MinPts: minPts, Nu: nu, Index: idx, Seed: seed})
+		res, err = dbsvec.Cluster(ds, dbsvec.Options{Eps: eps, MinPts: minPts, Nu: nu, Index: idx, Seed: seed, Workers: workers})
 	case "dbscan":
 		res, err = dbsvec.DBSCAN(ds, eps, minPts, idx)
+	case "pdbscan":
+		res, err = dbsvec.DBSCANParallel(ds, eps, minPts, idx, workers)
 	case "rho":
 		res, err = dbsvec.RhoApproximate(ds, dbsvec.RhoOptions{Eps: eps, MinPts: minPts})
 	case "lsh":
@@ -120,6 +130,10 @@ func run(algo string, eps float64, minPts, k int, nu float64, inPath, outPath st
 			s := res.Stats
 			fmt.Fprintf(os.Stderr, "seeds=%d supportVectors=%d merges=%d noiseList=%d rangeQueries=%d rangeCounts=%d svddTrainings=%d\n",
 				s.Seeds, s.SupportVectors, s.Merges, s.NoiseList, s.RangeQueries, s.RangeCounts, s.SVDDTrainings)
+		}
+		if p := res.Stats.Phases; p.Total() > 0 {
+			fmt.Fprintf(os.Stderr, "phaseInit=%s phaseExpand=%s phaseVerify=%s\n",
+				p.Init.Round(time.Microsecond), p.Expand.Round(time.Microsecond), p.Verify.Round(time.Microsecond))
 		}
 	}
 	return nil

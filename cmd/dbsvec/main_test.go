@@ -26,9 +26,9 @@ func writeInput(t *testing.T) string {
 
 func TestRunAllAlgorithms(t *testing.T) {
 	in := writeInput(t)
-	for _, algo := range []string{"dbsvec", "dbscan", "rho", "lsh", "nq"} {
+	for _, algo := range []string{"dbsvec", "dbscan", "pdbscan", "rho", "lsh", "nq"} {
 		out := filepath.Join(t.TempDir(), "out.csv")
-		if err := run(algo, 5, 5, 0, 0, in, out, 0, "linear", 1, false); err != nil {
+		if err := run(algo, 5, 5, 0, 0, in, out, 0, "linear", 1, 0, false); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 		data, err := os.ReadFile(out)
@@ -49,16 +49,16 @@ func TestRunAllAlgorithms(t *testing.T) {
 func TestRunKMeans(t *testing.T) {
 	in := writeInput(t)
 	out := filepath.Join(t.TempDir(), "out.csv")
-	if err := run("kmeans", 0, 0, 2, 0, in, out, 0, "linear", 1, false); err != nil {
+	if err := run("kmeans", 0, 0, 2, 0, in, out, 0, "linear", 1, 0, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunIndexKinds(t *testing.T) {
 	in := writeInput(t)
-	for _, idx := range []string{"linear", "kdtree", "rtree", "grid"} {
+	for _, idx := range []string{"linear", "kdtree", "rtree", "grid", "parallel", "pyramid", "vptree"} {
 		out := filepath.Join(t.TempDir(), "out.csv")
-		if err := run("dbscan", 5, 5, 0, 0, in, out, 0, idx, 1, false); err != nil {
+		if err := run("dbscan", 5, 5, 0, 0, in, out, 0, idx, 1, 0, false); err != nil {
 			t.Fatalf("index %s: %v", idx, err)
 		}
 	}
@@ -69,23 +69,23 @@ func TestRunNormalize(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "out.csv")
 	// After normalization to [0,1000], eps must be rescaled accordingly;
 	// eps=20 separates clumps at 0 and ~100 (of 1000).
-	if err := run("dbsvec", 20, 5, 0, 0, in, out, 1000, "linear", 1, true); err != nil {
+	if err := run("dbsvec", 20, 5, 0, 0, in, out, 1000, "linear", 1, 0, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	in := writeInput(t)
-	if err := run("bogus", 5, 5, 0, 0, in, "", 0, "linear", 1, false); err == nil {
+	if err := run("bogus", 5, 5, 0, 0, in, "", 0, "linear", 1, 0, false); err == nil {
 		t.Error("unknown algorithm should error")
 	}
-	if err := run("dbscan", 5, 5, 0, 0, in, "", 0, "bogus", 1, false); err == nil {
+	if err := run("dbscan", 5, 5, 0, 0, in, "", 0, "bogus", 1, 0, false); err == nil {
 		t.Error("unknown index should error")
 	}
-	if err := run("dbscan", 5, 5, 0, 0, "/nonexistent/file.csv", "", 0, "linear", 1, false); err == nil {
+	if err := run("dbscan", 5, 5, 0, 0, "/nonexistent/file.csv", "", 0, "linear", 1, 0, false); err == nil {
 		t.Error("missing input file should error")
 	}
-	if err := run("dbscan", -5, 5, 0, 0, in, "", 0, "linear", 1, false); err == nil {
+	if err := run("dbscan", -5, 5, 0, 0, in, "", 0, "linear", 1, 0, false); err == nil {
 		t.Error("invalid eps should error")
 	}
 }

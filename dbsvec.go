@@ -7,6 +7,7 @@ import (
 
 	"dbsvec/internal/cluster"
 	"dbsvec/internal/core"
+	"dbsvec/internal/engine"
 	"dbsvec/internal/index"
 	"dbsvec/internal/index/grid"
 	"dbsvec/internal/index/kdtree"
@@ -112,9 +113,22 @@ type Options struct {
 	// Index selects the range-query backend (default IndexLinear).
 	Index IndexKind
 
+	// Workers sizes the query-execution worker pool: each expansion round's
+	// support-vector queries and the noise-verification core tests run as
+	// batches fanned across this many goroutines. 0 selects all CPUs, 1
+	// runs sequentially. Labels, Clusters and the θ-term Stats are
+	// identical for every worker count given a fixed seed.
+	Workers int
+
 	// MaxSVDDTarget caps the SVDD target-set size (default 1024).
 	MaxSVDDTarget int
 }
+
+// PhaseTimes is the per-phase wall-clock breakdown reported by the
+// execution engine: Init covers initialization (DBSVEC's seed sweep,
+// parallel DBSCAN's neighborhood materialization), Expand the expansion or
+// merge phase, Verify the noise-verification or border-attachment phase.
+type PhaseTimes = engine.PhaseTimes
 
 // Stats reports the work a DBSVEC run performed, exposing every term of the
 // paper's θ = s + 1 + k + m + MinPts·l cost model.
@@ -132,6 +146,9 @@ type Stats struct {
 	RangeCounts  int64
 	// SVDDTrainings is the number of SVDD models fitted.
 	SVDDTrainings int
+	// Phases is the engine's wall-clock breakdown of the run; unlike the
+	// counters above it varies run to run.
+	Phases PhaseTimes
 }
 
 // Result is the outcome of a clustering run.
@@ -185,6 +202,7 @@ func ClusterContext(ctx context.Context, d *Dataset, opts Options) (*Result, err
 		RandomKernel:   opts.RandomKernel,
 		Seed:           opts.Seed,
 		IndexBuilder:   build,
+		Workers:        opts.Workers,
 		MaxSVDDTarget:  opts.MaxSVDDTarget,
 	})
 	if err != nil {
@@ -199,6 +217,7 @@ func ClusterContext(ctx context.Context, d *Dataset, opts Options) (*Result, err
 		RangeQueries:   st.RangeQueries,
 		RangeCounts:    st.RangeCounts,
 		SVDDTrainings:  st.SVDDTrainings,
+		Phases:         st.Phases,
 	}
 	return out, nil
 }

@@ -29,6 +29,7 @@ import (
 	"math/rand"
 
 	"dbsvec/internal/cluster"
+	"dbsvec/internal/engine"
 	"dbsvec/internal/index"
 	"dbsvec/internal/svdd"
 	"dbsvec/internal/unionfind"
@@ -80,9 +81,18 @@ type Options struct {
 	// keeps targets under it in normal operation.
 	MaxSVDDTarget int
 
+	// Workers is the query-execution worker count: each expansion round's
+	// support-vector query set and the noise list's pending core tests are
+	// submitted as one batch fanned across this many goroutines. <= 0
+	// selects GOMAXPROCS; 1 runs fully sequentially. Results are merged in
+	// query-index order, so Labels and the θ-term Stats are identical for
+	// every worker count given a fixed seed.
+	Workers int
+
 	// Context, when non-nil, allows cancelling a long run: Run returns
 	// ctx.Err() with partial work discarded. Checked between seeds and
-	// between expansion rounds.
+	// inside expansion rounds and noise verification (the engine checks it
+	// throughout every query batch).
 	Context context.Context
 }
 
@@ -123,6 +133,10 @@ type Stats struct {
 	SVDDTrainings int
 	// SVDDIterations is the total number of SMO pair updates.
 	SVDDIterations int64
+	// Phases is the per-phase wall-clock breakdown (Init = seed sweep,
+	// Expand = SV expansion, Verify = noise verification). Not part of the
+	// θ model; determinism comparisons must ignore it.
+	Phases engine.PhaseTimes
 }
 
 // Theta returns the paper's θ = s + 1 + k + m + MinPts·l for a run over a
@@ -150,9 +164,13 @@ const (
 )
 
 type runner struct {
-	ds     *vec.Dataset
-	opts   Options
-	idx    index.Index
+	ds   *vec.Dataset
+	opts Options
+	ctx  context.Context
+	idx  index.Index
+	// eng fans each round's SV query set and the noise list's core tests
+	// across the worker pool; the sequential seed queries go through idx.
+	eng    *engine.Engine
 	labels []int32
 	// clusterSet maps raw cluster ids (one per seed) to merged sets.
 	clusterSet *unionfind.DSU
@@ -169,6 +187,8 @@ type runner struct {
 	noiseHoods [][]int32
 
 	buf []int32
+	// cand is the per-round batch of support vectors awaiting queries.
+	cand []int32
 }
 
 // Run executes DBSVEC over ds and returns the clustering, run statistics,
@@ -194,11 +214,19 @@ func Run(ds *vec.Dataset, opts Options) (*cluster.Result, Stats, error) {
 		build = index.BuildLinear
 	}
 
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
 	n := ds.Len()
+	idx := build(ds)
 	r := &runner{
 		ds:         ds,
 		opts:       opts,
-		idx:        build(ds),
+		ctx:        ctx,
+		idx:        idx,
+		eng:        engine.New(ds, idx, opts.Eps, opts.Workers),
 		labels:     make([]int32, n),
 		clusterSet: unionfind.New(0),
 		core:       make([]coreState, n),
@@ -212,10 +240,13 @@ func Run(ds *vec.Dataset, opts Options) (*cluster.Result, Stats, error) {
 		return &cluster.Result{Labels: r.labels}, r.stats, nil
 	}
 
-	// Initialization sweep (Algorithm 2).
+	// Initialization sweep (Algorithm 2). Seed queries are inherently
+	// sequential (each depends on the labels the previous expansion wrote);
+	// the expansions they trigger run their rounds on the engine.
+	sweep := engine.StartPhase()
 	for i := 0; i < n; i++ {
-		if opts.Context != nil && i%1024 == 0 {
-			if err := opts.Context.Err(); err != nil {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
 				return nil, r.stats, err
 			}
 		}
@@ -248,16 +279,23 @@ func Run(ds *vec.Dataset, opts Options) (*cluster.Result, Stats, error) {
 				r.maybeMerge(j, cid)
 			}
 		}
-		r.svExpandCluster(newClu, cid)
-		if opts.Context != nil {
-			if err := opts.Context.Err(); err != nil {
-				return nil, r.stats, err
-			}
+		expand := engine.StartPhase()
+		err := r.svExpandCluster(newClu, cid)
+		expand.Stop(&r.stats.Phases.Expand)
+		if err != nil {
+			return nil, r.stats, err
 		}
 	}
+	sweep.Stop(&r.stats.Phases.Init)
+	r.stats.Phases.Init -= r.stats.Phases.Expand // sweep time minus nested expansions
 
 	r.stats.NoiseList = len(r.noiseIDs)
-	r.noiseVerification()
+	verify := engine.StartPhase()
+	err := r.noiseVerification()
+	verify.Stop(&r.stats.Phases.Verify)
+	if err != nil {
+		return nil, r.stats, err
+	}
 
 	// Canonicalize merged cluster ids into dense labels.
 	for i, l := range r.labels {
@@ -315,9 +353,11 @@ type target struct {
 }
 
 // svExpandCluster is Algorithm 3, iteratively: train SVDD on the target
-// set, range-query the core support vectors, absorb their neighborhoods,
-// and repeat until the sub-cluster stops growing.
-func (r *runner) svExpandCluster(initial []int32, cid int32) {
+// set, range-query the core support vectors (as one engine batch per
+// round), absorb their neighborhoods, and repeat until the sub-cluster
+// stops growing. Returns the context's error when the run is cancelled
+// mid-round.
+func (r *runner) svExpandCluster(initial []int32, cid int32) error {
 	targets := make([]target, 0, len(initial))
 	r.counters = make(map[int32]int, len(initial))
 	for _, id := range initial {
@@ -326,13 +366,13 @@ func (r *runner) svExpandCluster(initial []int32, cid int32) {
 	}
 
 	for len(targets) > 0 {
-		if r.opts.Context != nil && r.opts.Context.Err() != nil {
-			return // Run's outer loop surfaces the error
+		if err := r.ctx.Err(); err != nil {
+			return err
 		}
 		ids := r.sampleTargets(targets)
 		model, err := r.trainSVDD(ids)
 		if err != nil {
-			return // degenerate target set; nothing to expand from
+			return nil // degenerate target set; nothing to expand from
 		}
 		r.stats.SVDDTrainings++
 		r.stats.SVDDIterations += int64(model.Iterations)
@@ -340,7 +380,10 @@ func (r *runner) svExpandCluster(initial []int32, cid int32) {
 		svs := model.TopSupportVectors(budget)
 		r.stats.SupportVectors += int64(len(svs))
 
-		fresh := r.expandFrom(svs, cid, nil)
+		fresh, err := r.expandFrom(svs, cid, nil)
+		if err != nil {
+			return err
+		}
 		if len(fresh) == 0 {
 			// Stall escalation: the ν budget may have trimmed exactly the
 			// support vector that would have advanced the frontier (e.g. a
@@ -351,20 +394,34 @@ func (r *runner) svExpandCluster(initial []int32, cid int32) {
 			rest := model.TopSupportVectors(0)
 			if len(rest) > len(svs) {
 				r.stats.SupportVectors += int64(len(rest) - len(svs))
-				fresh = r.expandFrom(rest, cid, svs)
+				fresh, err = r.expandFrom(rest, cid, svs)
+				if err != nil {
+					return err
+				}
 			}
 			if len(fresh) == 0 {
-				return
+				return nil
 			}
 		}
 		targets = r.nextTargets(targets, fresh)
 	}
+	return nil
 }
 
-// expandFrom range-queries each core support vector and absorbs its
-// ε-neighborhood into cluster cid, returning the newly labeled points.
-// Support vectors present in skip are not re-queried.
-func (r *runner) expandFrom(svs []int32, cid int32, skip []int32) []int32 {
+// expandFrom submits the round's core support vectors as one batch of
+// ε-range queries and absorbs their neighborhoods into cluster cid,
+// returning the newly labeled points. Support vectors present in skip are
+// not re-queried.
+//
+// The batch is race-free and worker-count-invariant by construction: the
+// query set is fixed before the batch (processing one support vector never
+// flips the core state of another one in the same round, because support
+// vectors belong to the expanding cluster while in-round core updates only
+// touch points of *other* clusters), the queries themselves are pure reads,
+// and the absorb/merge pass below consumes the results sequentially in
+// query-index order — so labels and stats match the sequential run bit for
+// bit.
+func (r *runner) expandFrom(svs []int32, cid int32, skip []int32) ([]int32, error) {
 	var skipSet map[int32]bool
 	if len(skip) > 0 {
 		skipSet = make(map[int32]bool, len(skip))
@@ -372,15 +429,26 @@ func (r *runner) expandFrom(svs []int32, cid int32, skip []int32) []int32 {
 			skipSet[s] = true
 		}
 	}
-	var fresh []int32
+	cand := r.cand[:0]
 	for _, sv := range svs {
-		if skipSet[sv] {
+		if skipSet[sv] || r.core[sv] == coreNo {
 			continue
 		}
-		if r.core[sv] == coreNo {
-			continue
-		}
-		hood := r.rangeQuery(sv)
+		cand = append(cand, sv)
+	}
+	r.cand = cand
+	if len(cand) == 0 {
+		return nil, nil
+	}
+	hoods, err := r.eng.Neighborhoods(r.ctx, cand)
+	if err != nil {
+		return nil, err
+	}
+	r.stats.RangeQueries += int64(len(cand))
+
+	var fresh []int32
+	for qi, sv := range cand {
+		hood := hoods[qi]
 		if len(hood) < r.opts.MinPts {
 			r.core[sv] = coreNo
 			continue
@@ -396,7 +464,7 @@ func (r *runner) expandFrom(svs []int32, cid int32, skip []int32) []int32 {
 			}
 		}
 	}
-	return fresh
+	return fresh, nil
 }
 
 // nextTargets applies incremental learning (Section IV-B1): bump every

@@ -11,11 +11,48 @@ import (
 // neighbor or is confirmed as noise. The ε-neighborhoods stored during
 // initialization are reused, so the only new work is core-point tests on
 // the (fewer than MinPts) neighbors of each candidate — the paper's
-// O(MinPts·l·n) term.
-func (r *runner) noiseVerification() {
+// O(MinPts·l·n) term. Those tests have no ordering dependency, so they are
+// collected up front (deduplicated, first-seen order) and submitted as one
+// counting-query batch on the engine; the attach pass below then runs
+// sequentially against the warmed core cache, keeping labels and stats
+// identical to the sequential formulation for every worker count.
+func (r *runner) noiseVerification() error {
+	// corePending marks ids already collected into the batch; it never
+	// escapes this function (every pending id is resolved below).
+	const corePending coreState = 3
+	var cand []int32
 	for k, id := range r.noiseIDs {
 		if r.labels[id] != cluster.Noise {
 			continue // absorbed by an expansion in the meantime
+		}
+		for _, q := range r.noiseHoods[k] {
+			if q != id && r.core[q] == coreUnknown {
+				r.core[q] = corePending
+				cand = append(cand, q)
+			}
+		}
+	}
+	if len(cand) > 0 {
+		counts, err := r.eng.Counts(r.ctx, cand, r.opts.MinPts)
+		if err != nil {
+			for _, q := range cand {
+				r.core[q] = coreUnknown
+			}
+			return err
+		}
+		r.stats.RangeCounts += int64(len(cand))
+		for i, q := range cand {
+			if counts[i] >= r.opts.MinPts {
+				r.core[q] = coreYes
+			} else {
+				r.core[q] = coreNo
+			}
+		}
+	}
+
+	for k, id := range r.noiseIDs {
+		if r.labels[id] != cluster.Noise {
+			continue
 		}
 		hood := r.noiseHoods[k]
 		best := int32(-1)
@@ -38,4 +75,5 @@ func (r *runner) noiseVerification() {
 			r.labels[id] = r.labels[best]
 		}
 	}
+	return nil
 }

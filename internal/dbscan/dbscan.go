@@ -5,10 +5,12 @@
 package dbscan
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"dbsvec/internal/cluster"
+	"dbsvec/internal/engine"
 	"dbsvec/internal/index"
 	"dbsvec/internal/vec"
 )
@@ -43,6 +45,10 @@ type Stats struct {
 	RangeQueries int64
 	// CorePoints is the number of points satisfying the core condition.
 	CorePoints int
+	// Phases is the per-phase wall-clock breakdown; RunParallel fills it
+	// (Init = neighborhood materialization, Expand = core-graph union,
+	// Verify = border attachment), the sequential Run leaves it zero.
+	Phases engine.PhaseTimes
 }
 
 // Run clusters ds with the given parameters using the index produced by
@@ -128,7 +134,8 @@ func Run(ds *vec.Dataset, p Params, build index.Builder) (*cluster.Result, Stats
 }
 
 // CoreMask runs only the core-point test for every point and returns the
-// boolean mask. Used by tests and metrics.
+// boolean mask, batching the counting queries across all CPUs. Used by
+// tests and metrics.
 func CoreMask(ds *vec.Dataset, p Params, build index.Builder) ([]bool, error) {
 	if ds == nil {
 		return nil, ErrNilDataset
@@ -139,10 +146,14 @@ func CoreMask(ds *vec.Dataset, p Params, build index.Builder) ([]bool, error) {
 	if build == nil {
 		build = index.BuildLinear
 	}
-	idx := build(ds)
+	eng := engine.New(ds, build(ds), p.Eps, 0)
+	counts, err := eng.AllCountsOwned(context.Background(), p.MinPts)
+	if err != nil {
+		return nil, err
+	}
 	mask := make([]bool, ds.Len())
 	for i := range mask {
-		mask[i] = idx.RangeCount(ds.Point(i), p.Eps, p.MinPts) >= p.MinPts
+		mask[i] = counts[i] >= p.MinPts
 	}
 	return mask, nil
 }

@@ -1,10 +1,10 @@
 package dbscan
 
 import (
-	"runtime"
-	"sync"
+	"context"
 
 	"dbsvec/internal/cluster"
+	"dbsvec/internal/engine"
 	"dbsvec/internal/index"
 	"dbsvec/internal/unionfind"
 	"dbsvec/internal/vec"
@@ -13,16 +13,18 @@ import (
 // RunParallel clusters ds with exact DBSCAN semantics using a two-phase
 // parallel formulation (the disjoint-set approach of Patwary et al.):
 //
-//  1. every point's ε-neighborhood is materialized concurrently, deciding
-//     core membership;
+//  1. every point's ε-neighborhood is materialized as one batch on the
+//     shared execution engine, deciding core membership;
 //  2. core points are unioned with their core neighbors (a connected-
 //     components pass over the core graph), then border points attach to
 //     an arbitrary adjacent core point, exactly as sequential DBSCAN would
 //     up to border-point tie-breaking.
 //
 // The output is therefore identical to Run up to the usual border-point
-// ambiguity (a border point within ε of two clusters may land in either).
-// workers <= 0 selects GOMAXPROCS.
+// ambiguity (a border point within ε of two clusters may land in either),
+// and identical across worker counts (the engine returns neighborhoods in
+// point order and phases 2–3 are sequential). workers <= 0 selects
+// GOMAXPROCS.
 func RunParallel(ds *vec.Dataset, p Params, build index.Builder, workers int) (*cluster.Result, Stats, error) {
 	var st Stats
 	if ds == nil {
@@ -34,9 +36,6 @@ func RunParallel(ds *vec.Dataset, p Params, build index.Builder, workers int) (*
 	if build == nil {
 		build = index.BuildLinear
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	n := ds.Len()
 	labels := make([]int32, n)
 	for i := range labels {
@@ -46,49 +45,27 @@ func RunParallel(ds *vec.Dataset, p Params, build index.Builder, workers int) (*
 	if n == 0 {
 		return res, st, nil
 	}
-	idx := build(ds)
 
-	// Phase 1: parallel neighborhood materialization + core test.
-	hoods := make([][]int32, n)
-	isCore := make([]bool, n)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	var queries int64
-	var queriesMu sync.Mutex
-	for w := 0; w < workers; w++ {
-		start := w * chunk
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		if start >= end {
-			break
-		}
-		wg.Add(1)
-		go func(start, end int) {
-			defer wg.Done()
-			local := int64(0)
-			for i := start; i < end; i++ {
-				h := idx.RangeQuery(ds.Point(i), p.Eps, nil)
-				local++
-				hoods[i] = h
-				isCore[i] = len(h) >= p.MinPts
-			}
-			queriesMu.Lock()
-			queries += local
-			queriesMu.Unlock()
-		}(start, end)
+	// Phase 1: batched neighborhood materialization + core test.
+	eng := engine.New(ds, build(ds), p.Eps, workers)
+	sw := engine.StartPhase()
+	hoods, err := eng.AllNeighborhoodsOwned(context.Background())
+	if err != nil {
+		return nil, st, err
 	}
-	wg.Wait()
-	st.RangeQueries = queries
-	for _, c := range isCore {
-		if c {
+	st.RangeQueries = int64(n)
+	isCore := make([]bool, n)
+	for i, h := range hoods {
+		if len(h) >= p.MinPts {
+			isCore[i] = true
 			st.CorePoints++
 		}
 	}
+	sw.Stop(&st.Phases.Init)
 
 	// Phase 2: union core points with their core neighbors (sequential;
 	// union-find dominates nothing next to phase 1).
+	sw = engine.StartPhase()
 	dsu := unionfind.New(n)
 	for i := 0; i < n; i++ {
 		if !isCore[i] {
@@ -100,8 +77,10 @@ func RunParallel(ds *vec.Dataset, p Params, build index.Builder, workers int) (*
 			}
 		}
 	}
+	sw.Stop(&st.Phases.Expand)
 
 	// Phase 3: label core components, then attach border points.
+	sw = engine.StartPhase()
 	for i := 0; i < n; i++ {
 		if isCore[i] {
 			labels[i] = dsu.Find(int32(i))
@@ -119,5 +98,6 @@ func RunParallel(ds *vec.Dataset, p Params, build index.Builder, workers int) (*
 		}
 	}
 	res.Compact()
+	sw.Stop(&st.Phases.Verify)
 	return res, st, nil
 }

@@ -90,6 +90,36 @@ func TestParallelDeterministicAcrossRuns(t *testing.T) {
 	}
 }
 
+// TestParallelWorkersDeterminism pins the engine guarantee for parallel
+// DBSCAN: because the batch engine merges neighborhoods in query-index
+// order and phases 2–3 are sequential, every worker count yields
+// bit-identical labels — not merely equivalent clusterings.
+func TestParallelWorkersDeterminism(t *testing.T) {
+	ds, _ := twoBlobs(800, 3)
+	p := Params{Eps: 3, MinPts: 6}
+	base, baseStats, err := RunParallel(ds, p, kdtree.Build, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		res, st, err := RunParallel(ds, p, kdtree.Build, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range base.Labels {
+			if res.Labels[i] != base.Labels[i] {
+				t.Fatalf("workers=%d: label[%d] = %d, want %d", workers, i, res.Labels[i], base.Labels[i])
+			}
+		}
+		if res.Clusters != base.Clusters {
+			t.Fatalf("workers=%d: clusters %d != %d", workers, res.Clusters, base.Clusters)
+		}
+		if st.RangeQueries != baseStats.RangeQueries {
+			t.Errorf("workers=%d: RangeQueries %d != %d", workers, st.RangeQueries, baseStats.RangeQueries)
+		}
+	}
+}
+
 func BenchmarkParallelVsSequential(b *testing.B) {
 	ds, _ := twoBlobs(20000, 1)
 	p := Params{Eps: 3, MinPts: 10}

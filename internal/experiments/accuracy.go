@@ -22,7 +22,7 @@ func Fig1(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	approx, err := timed(runDBSVEC(ds, 8.5, 20, cfg.Seed))
+	approx, err := timed(runDBSVEC(ds, 8.5, 20, cfg))
 	if err != nil {
 		return err
 	}
@@ -56,8 +56,8 @@ func Table3(w io.Writer, cfg Config) error {
 			name string
 			run  func() (*clusterResult, error)
 		}{
-			{"min", runDBSVECOpts(ds, core.Options{Eps: e.Eps, MinPts: e.MinPts, NuMin: true, Seed: cfg.Seed})},
-			{"star", runDBSVEC(ds, e.Eps, e.MinPts, cfg.Seed)},
+			{"min", runDBSVECOpts(ds, core.Options{Eps: e.Eps, MinPts: e.MinPts, NuMin: true, Seed: cfg.Seed, Workers: cfg.Workers})},
+			{"star", runDBSVEC(ds, e.Eps, e.MinPts, cfg)},
 			{"rho", runRho(ds, e.Eps, e.MinPts)},
 			{"lsh", runLSH(ds, e.Eps, e.MinPts, cfg.Seed)},
 		}
@@ -92,7 +92,7 @@ func Table4(w io.Writer, cfg Config) error {
 			return err
 		}
 		ds := e.Gen(cfg.Seed)
-		sv, err := timed(runDBSVEC(ds, e.Eps, e.MinPts, cfg.Seed))
+		sv, err := timed(runDBSVEC(ds, e.Eps, e.MinPts, cfg))
 		if err != nil {
 			return err
 		}
@@ -146,9 +146,9 @@ func Fig9a(w io.Writer, cfg Config) error {
 			return err
 		}
 		variants := []core.Options{
-			{Eps: e.Eps, MinPts: e.MinPts, DisableWeights: true, Seed: cfg.Seed},
-			{Eps: e.Eps, MinPts: e.MinPts, LearnThreshold: -1, Seed: cfg.Seed},
-			{Eps: e.Eps, MinPts: e.MinPts, Seed: cfg.Seed},
+			{Eps: e.Eps, MinPts: e.MinPts, DisableWeights: true, Seed: cfg.Seed, Workers: cfg.Workers},
+			{Eps: e.Eps, MinPts: e.MinPts, LearnThreshold: -1, Seed: cfg.Seed, Workers: cfg.Workers},
+			{Eps: e.Eps, MinPts: e.MinPts, Seed: cfg.Seed, Workers: cfg.Workers},
 		}
 		var cols []string
 		for _, opt := range variants {
@@ -180,7 +180,7 @@ func CoreMaskCheck(name string, cfg Config) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	got, _, err := core.Run(ds, core.Options{Eps: e.Eps, MinPts: e.MinPts, Seed: cfg.Seed})
+	got, _, err := core.Run(ds, core.Options{Eps: e.Eps, MinPts: e.MinPts, Seed: cfg.Seed, Workers: cfg.Workers})
 	if err != nil {
 		return 0, err
 	}

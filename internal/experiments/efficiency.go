@@ -27,10 +27,10 @@ type sweepAlgo struct {
 	disabled bool
 }
 
-func effAlgos(seed int64) []*sweepAlgo {
+func effAlgos(cfg Config) []*sweepAlgo {
 	return []*sweepAlgo{
 		{name: "DBSVEC", run: func(ds *vec.Dataset) func() (*clusterResult, error) {
-			return runDBSVEC(ds, effEps, effMinPts, seed)
+			return runDBSVEC(ds, effEps, effMinPts, cfg)
 		}},
 		{name: "R-DBSCAN", run: func(ds *vec.Dataset) func() (*clusterResult, error) {
 			return runRDBSCAN(ds, effEps, effMinPts)
@@ -42,7 +42,7 @@ func effAlgos(seed int64) []*sweepAlgo {
 			return runRho(ds, effEps, effMinPts)
 		}},
 		{name: "DBSCAN-LSH", run: func(ds *vec.Dataset) func() (*clusterResult, error) {
-			return runLSH(ds, effEps, effMinPts, seed)
+			return runLSH(ds, effEps, effMinPts, cfg.Seed)
 		}},
 		{name: "NQ-DBSCAN", run: func(ds *vec.Dataset) func() (*clusterResult, error) {
 			return runNQ(ds, effEps, effMinPts)
@@ -93,7 +93,7 @@ func Fig6a(w io.Writer, cfg Config) error {
 	for i, n := range sizes {
 		labels[i] = fmt.Sprintf("n=%d", n)
 	}
-	return runSweep(w, effAlgos(cfg.Seed), labels, func(i int) *vec.Dataset {
+	return runSweep(w, effAlgos(cfg), labels, func(i int) *vec.Dataset {
 		return data.SeedSpreader{N: sizes[i], D: 8, Seed: cfg.Seed}.Generate()
 	}, cfg.budget())
 }
@@ -111,7 +111,7 @@ func Fig6b(w io.Writer, cfg Config) error {
 	for i, d := range dims {
 		labels[i] = fmt.Sprintf("d=%d", d)
 	}
-	return runSweep(w, effAlgos(cfg.Seed), labels, func(i int) *vec.Dataset {
+	return runSweep(w, effAlgos(cfg), labels, func(i int) *vec.Dataset {
 		return data.SeedSpreader{N: n, D: dims[i], Seed: cfg.Seed}.Generate()
 	}, cfg.budget())
 }
@@ -128,7 +128,7 @@ func Fig7(w io.Writer, cfg Config) error {
 
 	sweepEps := func(title string, ds *vec.Dataset) error {
 		header(w, title)
-		algos := effAlgos(cfg.Seed)
+		algos := effAlgos(cfg)
 		labels := make([]string, len(radii))
 		for i, r := range radii {
 			labels[i] = fmt.Sprintf("eps=%.0f", r)
@@ -150,7 +150,7 @@ func Fig7(w io.Writer, cfg Config) error {
 				var fn func() (*clusterResult, error)
 				switch a.name {
 				case "DBSVEC":
-					fn = runDBSVEC(ds, eps, effMinPts, cfg.Seed)
+					fn = runDBSVEC(ds, eps, effMinPts, cfg)
 				case "R-DBSCAN":
 					fn = runRDBSCAN(ds, eps, effMinPts)
 				case "kd-DBSCAN":
@@ -213,7 +213,7 @@ func Fig8(w io.Writer, cfg Config) error {
 		if nu > 1 {
 			nu = 1
 		}
-		run, err := timed(runDBSVECOpts(ds, core.Options{Eps: effEps, MinPts: effMinPts, Nu: nu, Seed: cfg.Seed}))
+		run, err := timed(runDBSVECOpts(ds, core.Options{Eps: effEps, MinPts: effMinPts, Nu: nu, Seed: cfg.Seed, Workers: cfg.Workers}))
 		if err != nil {
 			return err
 		}
@@ -236,9 +236,9 @@ func Fig9b(w io.Writer, cfg Config) error {
 		name string
 		opts core.Options
 	}{
-		{"DBSVEC\\IL", core.Options{Eps: effEps, MinPts: effMinPts, LearnThreshold: -1, Seed: cfg.Seed}},
-		{"DBSVEC\\OK", core.Options{Eps: effEps, MinPts: effMinPts, RandomKernel: true, Seed: cfg.Seed}},
-		{"DBSVEC", core.Options{Eps: effEps, MinPts: effMinPts, Seed: cfg.Seed}},
+		{"DBSVEC\\IL", core.Options{Eps: effEps, MinPts: effMinPts, LearnThreshold: -1, Seed: cfg.Seed, Workers: cfg.Workers}},
+		{"DBSVEC\\OK", core.Options{Eps: effEps, MinPts: effMinPts, RandomKernel: true, Seed: cfg.Seed, Workers: cfg.Workers}},
+		{"DBSVEC", core.Options{Eps: effEps, MinPts: effMinPts, Seed: cfg.Seed, Workers: cfg.Workers}},
 	}
 	fmt.Fprintf(w, "%-12s %12s %12s %12s\n", "variant", "time", "clusters", "recallVsFull")
 	var full *clusterResult

@@ -40,6 +40,9 @@ type Config struct {
 	// are skipped and reported as "-". 0 selects 30s in quick mode, 10min
 	// otherwise.
 	Budget time.Duration
+	// Workers sets the query-engine worker count for DBSVEC runs
+	// (core.Options.Workers); 0 selects all CPUs.
+	Workers int
 }
 
 func (c Config) budget() time.Duration {
@@ -82,9 +85,9 @@ func fmtDur(a algoResult) string {
 // Algorithms. Each returns a runnable closure for the given dataset and
 // parameters, used uniformly across experiments.
 
-func runDBSVEC(ds *vec.Dataset, eps float64, minPts int, seed int64) func() (*cluster.Result, error) {
+func runDBSVEC(ds *vec.Dataset, eps float64, minPts int, cfg Config) func() (*cluster.Result, error) {
 	return func() (*cluster.Result, error) {
-		res, _, err := core.Run(ds, core.Options{Eps: eps, MinPts: minPts, Seed: seed})
+		res, _, err := core.Run(ds, core.Options{Eps: eps, MinPts: minPts, Seed: cfg.Seed, Workers: cfg.Workers})
 		return res, err
 	}
 }

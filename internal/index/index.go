@@ -6,6 +6,9 @@
 package index
 
 import (
+	"context"
+	"sync/atomic"
+
 	"dbsvec/internal/vec"
 )
 
@@ -80,7 +83,9 @@ var _ Index = (*Linear)(nil)
 
 // CountingIndex wraps another index and counts the number of range queries
 // and range counts issued through it. It is used by the experiment harness
-// to validate the paper's O(θn) cost analysis (Section III-D).
+// to validate the paper's O(θn) cost analysis (Section III-D). Counters are
+// updated atomically so the index stays safe under the batch executor;
+// read them only after the queries of interest have completed.
 type CountingIndex struct {
 	Inner   Index
 	Queries int64
@@ -95,14 +100,29 @@ func (c *CountingIndex) Len() int { return c.Inner.Len() }
 
 // RangeQuery implements Index and increments the query counter.
 func (c *CountingIndex) RangeQuery(q []float64, eps float64, buf []int32) []int32 {
-	c.Queries++
+	atomic.AddInt64(&c.Queries, 1)
 	return c.Inner.RangeQuery(q, eps, buf)
 }
 
 // RangeCount implements Index and increments the count counter.
 func (c *CountingIndex) RangeCount(q []float64, eps float64, limit int) int {
-	c.Counts++
+	atomic.AddInt64(&c.Counts, 1)
 	return c.Inner.RangeCount(q, eps, limit)
 }
 
+// BatchRangeQuery implements BatchIndex: the batch counts once as qs.N
+// queries, then runs on the inner index's batch path directly so the
+// per-query counting wrapper is not re-entered concurrently.
+func (c *CountingIndex) BatchRangeQuery(ctx context.Context, qs Queries, eps float64, workers int, out [][]int32) ([][]int32, error) {
+	atomic.AddInt64(&c.Queries, int64(qs.N))
+	return Batch(c.Inner).BatchRangeQuery(ctx, qs, eps, workers, out)
+}
+
+// BatchRangeCount implements BatchIndex (see BatchRangeQuery).
+func (c *CountingIndex) BatchRangeCount(ctx context.Context, qs Queries, eps float64, limit, workers int, out []int) ([]int, error) {
+	atomic.AddInt64(&c.Counts, int64(qs.N))
+	return Batch(c.Inner).BatchRangeCount(ctx, qs, eps, limit, workers, out)
+}
+
 var _ Index = (*CountingIndex)(nil)
+var _ BatchIndex = (*CountingIndex)(nil)

@@ -4,6 +4,7 @@
 package indextest
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -30,6 +31,9 @@ func Run(t *testing.T, name string, build index.Builder) {
 			t.Errorf("Len = %d on empty dataset", idx.Len())
 		}
 	})
+	t.Run(name+"/batch", func(t *testing.T) { batchCompare(t, build, clustered(500, 3, 15), 12) })
+	t.Run(name+"/batch-uniform", func(t *testing.T) { batchCompare(t, build, uniform(300, 5, 16), 35) })
+	t.Run(name+"/batch-cancel", func(t *testing.T) { batchCancel(t, build, uniform(200, 2, 17), 25) })
 	t.Run(name+"/zeroeps", func(t *testing.T) {
 		ds := duplicates(100, 2, 13)
 		idx := build(ds)
@@ -78,6 +82,113 @@ func compare(t *testing.T, build index.Builder, ds *vec.Dataset, eps float64, se
 				t.Fatalf("RangeCount limit=2 = %d, want 2", c)
 			}
 		}
+	}
+}
+
+// batchCompare is the BatchIndex conformance property: for every backend,
+// BatchRangeQuery/BatchRangeCount over a random query mix must equal the
+// per-query RangeQuery/RangeCount results, for several worker counts, in
+// both owned and buffer-reuse modes, including computed (scratch-backed)
+// query points.
+func batchCompare(t *testing.T, build index.Builder, ds *vec.Dataset, eps float64) {
+	t.Helper()
+	idx := build(ds)
+	b := index.Batch(idx)
+	lo, hi := ds.Bounds()
+	d := ds.Dim()
+
+	const m = 120
+	// Queries mix on-point views with perturbed points materialized into the
+	// per-worker scratch (exercising the ScratchCap path).
+	qs := index.Queries{
+		N:          m,
+		ScratchCap: d,
+		At: func(i int, scratch []float64) []float64 {
+			if i%2 == 0 {
+				return ds.Point((i * 7) % ds.Len())
+			}
+			q := scratch[:0]
+			for j := 0; j < d; j++ {
+				span := hi[j] - lo[j]
+				frac := float64((i*13+j*5)%97) / 96
+				q = append(q, lo[j]-0.1*span+1.2*span*frac)
+			}
+			return q
+		},
+	}
+	want := make([][]int32, m)
+	wantN := make([]int, m)
+	scratch := make([]float64, 0, d)
+	for i := 0; i < m; i++ {
+		q := qs.At(i, scratch)
+		want[i] = sorted(idx.RangeQuery(q, eps, nil))
+		wantN[i] = idx.RangeCount(q, eps, 0)
+	}
+
+	var reuse [][]int32
+	var reuseN []int
+	for _, workers := range []int{1, 3, 8} {
+		got, err := b.BatchRangeQuery(context.Background(), qs, eps, workers, nil)
+		if err != nil {
+			t.Fatalf("BatchRangeQuery(workers=%d): %v", workers, err)
+		}
+		if len(got) != m {
+			t.Fatalf("BatchRangeQuery(workers=%d) returned %d results, want %d", workers, len(got), m)
+		}
+		for i := range got {
+			if !equal(sorted(got[i]), want[i]) {
+				t.Fatalf("BatchRangeQuery(workers=%d) query %d: got %v want %v", workers, i, got[i], want[i])
+			}
+		}
+		// Reuse mode: hand the previous batch's buffers back in.
+		reuse, err = b.BatchRangeQuery(context.Background(), qs, eps, workers, reuse)
+		if err != nil {
+			t.Fatalf("BatchRangeQuery(reuse, workers=%d): %v", workers, err)
+		}
+		for i := range reuse {
+			if !equal(sorted(reuse[i]), want[i]) {
+				t.Fatalf("BatchRangeQuery(reuse, workers=%d) query %d: got %v want %v", workers, i, reuse[i], want[i])
+			}
+		}
+		reuseN, err = b.BatchRangeCount(context.Background(), qs, eps, 0, workers, reuseN)
+		if err != nil {
+			t.Fatalf("BatchRangeCount(workers=%d): %v", workers, err)
+		}
+		for i := range reuseN {
+			if reuseN[i] != wantN[i] {
+				t.Fatalf("BatchRangeCount(workers=%d) query %d = %d, want %d", workers, i, reuseN[i], wantN[i])
+			}
+		}
+		// Limited counts clamp exactly like RangeCount.
+		limN, err := b.BatchRangeCount(context.Background(), qs, eps, 2, workers, nil)
+		if err != nil {
+			t.Fatalf("BatchRangeCount(limit=2, workers=%d): %v", workers, err)
+		}
+		for i := range limN {
+			wantLim := wantN[i]
+			if wantLim > 2 {
+				wantLim = 2
+			}
+			if limN[i] < wantLim {
+				t.Fatalf("BatchRangeCount(limit=2, workers=%d) query %d = %d, want >= %d", workers, i, limN[i], wantLim)
+			}
+		}
+	}
+}
+
+// batchCancel checks that a cancelled context aborts the batch with the
+// context's error.
+func batchCancel(t *testing.T, build index.Builder, ds *vec.Dataset, eps float64) {
+	t.Helper()
+	b := index.Batch(build(ds))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	qs := index.Queries{N: ds.Len(), At: func(i int, _ []float64) []float64 { return ds.Point(i) }}
+	if _, err := b.BatchRangeQuery(ctx, qs, eps, 4, nil); err != context.Canceled {
+		t.Fatalf("BatchRangeQuery on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := b.BatchRangeCount(ctx, qs, eps, 0, 4, nil); err != context.Canceled {
+		t.Fatalf("BatchRangeCount on cancelled ctx: err = %v, want context.Canceled", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -125,4 +126,25 @@ func (p *Parallel) RangeCount(q []float64, eps float64, limit int) int {
 	return total
 }
 
+// BatchRangeQuery implements BatchIndex natively: a batch already saturates
+// the CPUs by running whole queries concurrently, so each query scans the
+// dataset sequentially instead of nesting the per-shard fan-out (which
+// would oversubscribe the scheduler and allocate per shard). Results are
+// identical — both orders are ascending by point id.
+func (p *Parallel) BatchRangeQuery(ctx context.Context, qs Queries, eps float64, workers int, out [][]int32) ([][]int32, error) {
+	if workers <= 0 {
+		workers = p.workers
+	}
+	return (&fanout{Index: NewLinear(p.ds)}).BatchRangeQuery(ctx, qs, eps, workers, out)
+}
+
+// BatchRangeCount implements BatchIndex natively (see BatchRangeQuery).
+func (p *Parallel) BatchRangeCount(ctx context.Context, qs Queries, eps float64, limit, workers int, out []int) ([]int, error) {
+	if workers <= 0 {
+		workers = p.workers
+	}
+	return (&fanout{Index: NewLinear(p.ds)}).BatchRangeCount(ctx, qs, eps, limit, workers, out)
+}
+
 var _ Index = (*Parallel)(nil)
+var _ BatchIndex = (*Parallel)(nil)
