@@ -12,6 +12,7 @@ import (
 	"dbsvec/internal/index/kdtree"
 	"dbsvec/internal/index/rtree"
 	"dbsvec/internal/svdd"
+	"dbsvec/internal/vec"
 )
 
 // BenchmarkAblationIndexBackend compares DBSVEC's range-query backends.
@@ -107,10 +108,7 @@ func BenchmarkAblationLearnThreshold(b *testing.B) {
 func BenchmarkAblationSVDDTrain(b *testing.B) {
 	ds := spreader(20000, 8)
 	for _, n := range []int{128, 512, 2048} {
-		ids := make([]int32, n)
-		for i := range ids {
-			ids[i] = int32(i)
-		}
+		ids := vec.Iota(n)
 		times := make([]int, n)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			b.ReportAllocs()

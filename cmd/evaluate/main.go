@@ -128,11 +128,7 @@ func loadLabeled(path string) (*vec.Dataset, *cluster.Result, error) {
 
 func sampleIDs(n, cap int, seed int64) []int32 {
 	if n <= cap {
-		ids := make([]int32, n)
-		for i := range ids {
-			ids[i] = int32(i)
-		}
-		return ids
+		return vec.Iota(n)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	perm := rng.Perm(n)[:cap]

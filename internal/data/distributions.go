@@ -56,7 +56,7 @@ func Moons(n int, seed int64) *vec.Dataset {
 			65-30*math.Cos(theta)+rng.NormFloat64()*1.5,
 			45-30*math.Sin(theta)+rng.NormFloat64()*1.5)
 	}
-	ds, _ := vec.NewDataset(coords, 2)
+	ds, _ := vec.NewDatasetUnchecked(coords, 2)
 	return ds
 }
 
@@ -76,7 +76,7 @@ func Spirals(n int, seed int64) *vec.Dataset {
 	}
 	emit(half, 0)
 	emit(n-half, math.Pi)
-	ds, _ := vec.NewDataset(coords, 2)
+	ds, _ := vec.NewDatasetUnchecked(coords, 2)
 	return ds
 }
 
@@ -95,7 +95,7 @@ func Anisotropic(n int, seed int64) *vec.Dataset {
 			centers[c][0]+x*cos-y*sin,
 			centers[c][1]+x*sin+y*cos)
 	}
-	ds, _ := vec.NewDataset(coords, 2)
+	ds, _ := vec.NewDatasetUnchecked(coords, 2)
 	return ds
 }
 
@@ -120,7 +120,7 @@ func VariedDensity(n int, seed int64) *vec.Dataset {
 	for len(coords) < n*2 {
 		coords = append(coords, rng.Float64()*100, rng.Float64()*100)
 	}
-	ds, _ := vec.NewDataset(coords, 2)
+	ds, _ := vec.NewDatasetUnchecked(coords, 2)
 	return ds
 }
 
@@ -137,7 +137,7 @@ func Lattice(n int, seed int64) *vec.Dataset {
 			12+gx*25+rng.NormFloat64()*1.2,
 			12+gy*25+rng.NormFloat64()*1.2)
 	}
-	ds, _ := vec.NewDataset(coords, 2)
+	ds, _ := vec.NewDatasetUnchecked(coords, 2)
 	return ds
 }
 
@@ -155,7 +155,7 @@ func RingAndCore(n int, seed int64) *vec.Dataset {
 		r := 30 + rng.NormFloat64()*1.5
 		coords = append(coords, 50+r*math.Cos(theta), 50+r*math.Sin(theta))
 	}
-	ds, _ := vec.NewDataset(coords, 2)
+	ds, _ := vec.NewDatasetUnchecked(coords, 2)
 	return ds
 }
 
@@ -171,7 +171,7 @@ func ExponentialClusters(n int, seed int64) *vec.Dataset {
 			c[0]+rng.ExpFloat64()*3*sign(rng),
 			c[1]+rng.ExpFloat64()*3*sign(rng))
 	}
-	ds, _ := vec.NewDataset(coords, 2)
+	ds, _ := vec.NewDatasetUnchecked(coords, 2)
 	return ds
 }
 

@@ -79,7 +79,7 @@ func Chameleon48K(seed int64) *vec.Dataset {
 	e.annulus(600, 320, 60, 22, 30)
 	// ~10% noise.
 	e.uniformNoise(800, w, h)
-	ds, _ := vec.NewDataset(e.coords, 2)
+	ds, _ := vec.NewDatasetUnchecked(e.coords, 2)
 	return ds
 }
 
@@ -111,7 +111,7 @@ func Chameleon710K(seed int64) *vec.Dataset {
 	e.annulus(700, 350, 420, 20, 30)
 	// Noise.
 	e.uniformNoise(1400, w, h)
-	ds, _ := vec.NewDataset(e.coords, 2)
+	ds, _ := vec.NewDatasetUnchecked(e.coords, 2)
 	return ds
 }
 
@@ -144,6 +144,6 @@ func RoadMap(n int, towns int, seed int64) *vec.Dataset {
 		y := a[1] + t*(b[1]-a[1])
 		e.point(x+e.rng.NormFloat64()*3, y+e.rng.NormFloat64()*3)
 	}
-	ds, _ := vec.NewDataset(e.coords, 2)
+	ds, _ := vec.NewDatasetUnchecked(e.coords, 2)
 	return ds
 }

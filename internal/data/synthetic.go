@@ -33,7 +33,7 @@ func Blobs(n, d, k int, sd, span, noiseFrac float64, seed int64) *vec.Dataset {
 			coords = append(coords, rng.Float64()*span)
 		}
 	}
-	ds, _ := vec.NewDataset(coords, d)
+	ds, _ := vec.NewDatasetUnchecked(coords, d)
 	return ds
 }
 
@@ -180,7 +180,7 @@ func (s SeedSpreader) Generate() *vec.Dataset {
 			coords = append(coords, rng.Float64()*span)
 		}
 	}
-	ds, _ := vec.NewDataset(coords, s.D)
+	ds, _ := vec.NewDatasetUnchecked(coords, s.D)
 	return ds
 }
 
@@ -195,7 +195,7 @@ func Ring(n int, r, jitter float64, seed int64) *vec.Dataset {
 			r*math.Cos(theta)+rng.NormFloat64()*jitter,
 			r*math.Sin(theta)+rng.NormFloat64()*jitter)
 	}
-	ds, _ := vec.NewDataset(coords, 2)
+	ds, _ := vec.NewDatasetUnchecked(coords, 2)
 	return ds
 }
 
@@ -240,7 +240,7 @@ func UCIAnalog(n, d, k int, seed int64) *vec.Dataset {
 			coords = append(coords, rng.Float64()*span)
 		}
 	}
-	ds, _ := vec.NewDataset(coords, d)
+	ds, _ := vec.NewDatasetUnchecked(coords, d)
 	return ds
 }
 
@@ -252,6 +252,6 @@ func Uniform(n, d int, span float64, seed int64) *vec.Dataset {
 	for i := range coords {
 		coords[i] = rng.Float64() * span
 	}
-	ds, _ := vec.NewDataset(coords, d)
+	ds, _ := vec.NewDatasetUnchecked(coords, d)
 	return ds
 }

@@ -102,6 +102,7 @@ func Silhouette(ds *vec.Dataset, res *cluster.Result) (float64, error) {
 	var total float64
 	var counted int
 	sums := make([]float64, res.Clusters)
+	dists := make([]float64, n)
 	for i := 0; i < n; i++ {
 		li := res.Labels[i]
 		if li < 0 {
@@ -114,13 +115,13 @@ func Silhouette(ds *vec.Dataset, res *cluster.Result) (float64, error) {
 		for c := range sums {
 			sums[c] = 0
 		}
-		pi := ds.Point(i)
+		ds.SqDistsToAll(ds.Point(i), dists)
 		for j := 0; j < n; j++ {
 			lj := res.Labels[j]
 			if lj < 0 || j == i {
 				continue
 			}
-			sums[lj] += vec.Dist(pi, ds.Point(j))
+			sums[lj] += math.Sqrt(dists[j])
 		}
 		a := sums[li] / float64(sizes[li]-1)
 		b := math.Inf(1)
@@ -161,14 +162,20 @@ func DaviesBouldin(ds *vec.Dataset, res *cluster.Result) (float64, error) {
 	// Drop empty clusters defensively.
 	var cents [][]float64
 	var scatter []float64
+	var scratch []float64
 	for _, ids := range members {
 		if len(ids) == 0 {
 			continue
 		}
 		c := ds.Mean(ids)
+		if cap(scratch) < len(ids) {
+			scratch = make([]float64, len(ids))
+		}
+		row := scratch[:len(ids)]
+		ds.SqDistsTo(c, ids, row)
 		var s float64
-		for _, id := range ids {
-			s += vec.Dist(ds.Point(int(id)), c)
+		for _, d2 := range row {
+			s += math.Sqrt(d2)
 		}
 		cents = append(cents, c)
 		scatter = append(scatter, s/float64(len(ids)))

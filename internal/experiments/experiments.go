@@ -140,11 +140,7 @@ func runNQ(ds *vec.Dataset, eps float64, minPts int) func() (*cluster.Result, er
 // used to keep O(n²) quality metrics tractable.
 func sampleForMetrics(n, cap int, seed int64) []int32 {
 	if n <= cap {
-		ids := make([]int32, n)
-		for i := range ids {
-			ids[i] = int32(i)
-		}
-		return ids
+		return vec.Iota(n)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	perm := rng.Perm(n)[:cap]

@@ -180,11 +180,7 @@ func (g *Grid) RangeQuery(q []float64, eps float64, buf []int32) []int32 {
 			buf = append(buf, pts...)
 			return
 		}
-		for _, id := range pts {
-			if g.ds.Dist2To(int(id), q) <= eps2 {
-				buf = append(buf, id)
-			}
-		}
+		buf = g.ds.FilterWithinIDs(q, eps2, pts, buf)
 	})
 	return buf
 }
@@ -202,14 +198,11 @@ func (g *Grid) RangeCount(q []float64, eps float64, limit int) int {
 			count += len(pts)
 			return
 		}
-		for _, id := range pts {
-			if g.ds.Dist2To(int(id), q) <= eps2 {
-				count++
-				if limit > 0 && count >= limit {
-					return
-				}
-			}
+		rem := 0
+		if limit > 0 {
+			rem = limit - count
 		}
+		count += g.ds.CountWithinIDs(q, eps2, pts, rem)
 	})
 	if limit > 0 && count > limit {
 		count = limit
@@ -239,14 +232,11 @@ func (g *Grid) ApproxRangeCount(q []float64, eps, rho float64, limit int) int {
 			count += len(pts)
 			return
 		}
-		for _, id := range pts {
-			if g.ds.Dist2To(int(id), q) <= eps2 {
-				count++
-				if limit > 0 && count >= limit {
-					return
-				}
-			}
+		rem := 0
+		if limit > 0 {
+			rem = limit - count
 		}
+		count += g.ds.CountWithinIDs(q, eps2, pts, rem)
 	})
 	if limit > 0 && count > limit {
 		count = limit

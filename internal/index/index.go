@@ -51,32 +51,14 @@ func BuildLinear(ds *vec.Dataset) Index { return NewLinear(ds) }
 // Len returns the number of indexed points.
 func (l *Linear) Len() int { return l.ds.Len() }
 
-// RangeQuery implements Index.
+// RangeQuery implements Index via the fused filter kernel.
 func (l *Linear) RangeQuery(q []float64, eps float64, buf []int32) []int32 {
-	eps2 := eps * eps
-	n := l.ds.Len()
-	for i := 0; i < n; i++ {
-		if l.ds.Dist2To(i, q) <= eps2 {
-			buf = append(buf, int32(i))
-		}
-	}
-	return buf
+	return l.ds.FilterWithin(q, eps*eps, buf)
 }
 
-// RangeCount implements Index.
+// RangeCount implements Index via the fused count kernel.
 func (l *Linear) RangeCount(q []float64, eps float64, limit int) int {
-	eps2 := eps * eps
-	n := l.ds.Len()
-	count := 0
-	for i := 0; i < n; i++ {
-		if l.ds.Dist2To(i, q) <= eps2 {
-			count++
-			if limit > 0 && count >= limit {
-				return count
-			}
-		}
-	}
-	return count
+	return l.ds.CountWithin(q, eps*eps, limit)
 }
 
 var _ Index = (*Linear)(nil)

@@ -11,6 +11,7 @@ package kdtree
 import (
 	"math"
 
+	"dbsvec/internal/dist"
 	"dbsvec/internal/index"
 	"dbsvec/internal/vec"
 )
@@ -39,10 +40,7 @@ type node struct {
 // New bulk-loads a kd-tree over ds.
 func New(ds *vec.Dataset) *Tree {
 	n := ds.Len()
-	t := &Tree{ds: ds, ids: make([]int32, n)}
-	for i := range t.ids {
-		t.ids[i] = int32(i)
-	}
+	t := &Tree{ds: ds, ids: vec.Iota(n)}
 	if n > 0 {
 		t.build(0, n)
 	}
@@ -154,11 +152,7 @@ func (t *Tree) RangeQuery(q []float64, eps float64, buf []int32) []int32 {
 	rec = func(ni int32) {
 		nd := &t.nodes[ni]
 		if nd.left < 0 { // leaf
-			for _, id := range t.ids[nd.start:nd.end] {
-				if t.ds.Dist2To(int(id), q) <= eps2 {
-					buf = append(buf, id)
-				}
-			}
+			buf = t.ds.FilterWithinIDs(q, eps2, t.ids[nd.start:nd.end], buf)
 			return
 		}
 		diff := q[nd.splitDim] - nd.splitVal
@@ -184,15 +178,12 @@ func (t *Tree) RangeCount(q []float64, eps float64, limit int) int {
 	rec = func(ni int32) bool {
 		nd := &t.nodes[ni]
 		if nd.left < 0 {
-			for _, id := range t.ids[nd.start:nd.end] {
-				if t.ds.Dist2To(int(id), q) <= eps2 {
-					count++
-					if limit > 0 && count >= limit {
-						return true
-					}
-				}
+			rem := 0
+			if limit > 0 {
+				rem = limit - count
 			}
-			return false
+			count += t.ds.CountWithinIDs(q, eps2, t.ids[nd.start:nd.end], rem)
+			return limit > 0 && count >= limit
 		}
 		diff := q[nd.splitDim] - nd.splitVal
 		if diff <= eps && rec(nd.left) {
@@ -220,10 +211,8 @@ func (t *Tree) Nearest(q []float64) (int32, float64) {
 	rec = func(ni int32) {
 		nd := &t.nodes[ni]
 		if nd.left < 0 {
-			for _, id := range t.ids[nd.start:nd.end] {
-				if d := t.ds.Dist2To(int(id), q); d < bestD {
-					best, bestD = id, d
-				}
+			if id, d := dist.NearestIDs(t.ds.Matrix(), q, t.ids[nd.start:nd.end], bestD); id >= 0 {
+				best, bestD = id, d
 			}
 			return
 		}

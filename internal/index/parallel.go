@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"dbsvec/internal/dist"
 	"dbsvec/internal/vec"
 )
 
@@ -58,19 +59,14 @@ func (p *Parallel) RangeQuery(q []float64, eps float64, buf []int32) []int32 {
 		return p.scanShard(q, eps, 0, p.ds.Len(), buf)
 	}
 	eps2 := eps * eps
+	m := p.ds.Matrix()
 	parts := make([][]int32, len(p.shards))
 	var wg sync.WaitGroup
 	for w, sh := range p.shards {
 		wg.Add(1)
 		go func(w, start, end int) {
 			defer wg.Done()
-			var out []int32
-			for i := start; i < end; i++ {
-				if p.ds.Dist2To(i, q) <= eps2 {
-					out = append(out, int32(i))
-				}
-			}
-			parts[w] = out
+			parts[w] = dist.FilterWithinRange(m, q, eps2, start, end, nil)
 		}(w, sh[0], sh[1])
 	}
 	wg.Wait()
@@ -81,13 +77,7 @@ func (p *Parallel) RangeQuery(q []float64, eps float64, buf []int32) []int32 {
 }
 
 func (p *Parallel) scanShard(q []float64, eps float64, start, end int, buf []int32) []int32 {
-	eps2 := eps * eps
-	for i := start; i < end; i++ {
-		if p.ds.Dist2To(i, q) <= eps2 {
-			buf = append(buf, int32(i))
-		}
-	}
-	return buf
+	return dist.FilterWithinRange(p.ds.Matrix(), q, eps*eps, start, end, buf)
 }
 
 // RangeCount implements Index. The limit is honored best-effort: workers
@@ -97,22 +87,14 @@ func (p *Parallel) RangeCount(q []float64, eps float64, limit int) int {
 		return NewLinear(p.ds).RangeCount(q, eps, limit)
 	}
 	eps2 := eps * eps
+	m := p.ds.Matrix()
 	counts := make([]int, len(p.shards))
 	var wg sync.WaitGroup
 	for w, sh := range p.shards {
 		wg.Add(1)
 		go func(w, start, end int) {
 			defer wg.Done()
-			c := 0
-			for i := start; i < end; i++ {
-				if p.ds.Dist2To(i, q) <= eps2 {
-					c++
-					if limit > 0 && c >= limit {
-						break
-					}
-				}
-			}
-			counts[w] = c
+			counts[w] = dist.CountWithinRange(m, q, eps2, start, end, limit)
 		}(w, sh[0], sh[1])
 	}
 	wg.Wait()

@@ -38,11 +38,10 @@ func New(ds *vec.Dataset) *Index {
 	px := &Index{ds: ds, d: d}
 	px.lo, px.inv = normalization(ds)
 	n := ds.Len()
-	px.ids = make([]int32, n)
+	px.ids = vec.Iota(n)
 	px.pval = make([]float64, n)
 	norm := make([]float64, d)
 	for i := 0; i < n; i++ {
-		px.ids[i] = int32(i)
 		px.normalize(ds.Point(i), norm)
 		px.pval[i] = pyramidValue(norm)
 	}
@@ -116,10 +115,11 @@ func (s byValue) Swap(i, j int) {
 // Len returns the number of indexed points.
 func (px *Index) Len() int { return px.ds.Len() }
 
-// forCandidates invokes fn for every point whose pyramid value falls in a
-// run that can intersect the normalized query box [qlo, qhi]; fn returns
-// false to stop the scan.
-func (px *Index) forCandidates(qlo, qhi []float64, fn func(id int32) bool) {
+// forCandidates invokes fn with each contiguous run of candidate ids whose
+// pyramid values fall in a run that can intersect the normalized query box
+// [qlo, qhi]; fn returns false to stop the scan. Runs are handed out whole
+// so callers can feed them to the batched distance kernels.
+func (px *Index) forCandidates(qlo, qhi []float64, fn func(ids []int32) bool) {
 	d := px.d
 	// Shared refinement: any box point has |v̂_j| at least the minimum
 	// absolute centered value of the box in every dimension, and pyramid
@@ -174,10 +174,12 @@ func (px *Index) forCandidates(qlo, qhi []float64, fn func(id int32) bool) {
 		loV := float64(i) + hmin
 		hiV := float64(i) + hmax
 		start := sort.SearchFloat64s(px.pval, loV)
-		for k := start; k < len(px.pval) && px.pval[k] <= hiV; k++ {
-			if !fn(px.ids[k]) {
-				return
-			}
+		end := start
+		for end < len(px.pval) && px.pval[end] <= hiV {
+			end++
+		}
+		if end > start && !fn(px.ids[start:end]) {
+			return
 		}
 	}
 }
@@ -200,10 +202,8 @@ func (px *Index) RangeQuery(q []float64, eps float64, buf []int32) []int32 {
 	}
 	eps2 := eps * eps
 	qlo, qhi := px.queryBox(q, eps)
-	px.forCandidates(qlo, qhi, func(id int32) bool {
-		if px.ds.Dist2To(int(id), q) <= eps2 {
-			buf = append(buf, id)
-		}
+	px.forCandidates(qlo, qhi, func(ids []int32) bool {
+		buf = px.ds.FilterWithinIDs(q, eps2, ids, buf)
 		return true
 	})
 	return buf
@@ -217,14 +217,13 @@ func (px *Index) RangeCount(q []float64, eps float64, limit int) int {
 	eps2 := eps * eps
 	qlo, qhi := px.queryBox(q, eps)
 	count := 0
-	px.forCandidates(qlo, qhi, func(id int32) bool {
-		if px.ds.Dist2To(int(id), q) <= eps2 {
-			count++
-			if limit > 0 && count >= limit {
-				return false
-			}
+	px.forCandidates(qlo, qhi, func(ids []int32) bool {
+		rem := 0
+		if limit > 0 {
+			rem = limit - count
 		}
-		return true
+		count += px.ds.CountWithinIDs(q, eps2, ids, rem)
+		return limit <= 0 || count < limit
 	})
 	return count
 }

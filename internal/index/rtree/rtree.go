@@ -60,11 +60,7 @@ func Bulk(ds *vec.Dataset) *Tree {
 		t.root = &nodeT{leaf: true}
 		return t
 	}
-	ids := make([]int32, n)
-	for i := range ids {
-		ids[i] = int32(i)
-	}
-	leaves := t.strPack(ids)
+	leaves := t.strPack(vec.Iota(n))
 	t.size = n
 	t.root = t.buildUpward(leaves)
 	return t
@@ -288,21 +284,26 @@ func groupRect(ents []entry, dim int) vec.Rect {
 	return r
 }
 
-// RangeQuery implements index.Index.
+// RangeQuery implements index.Index. Leaf entries hold degenerate point
+// rects, so the per-entry MinDist2 prune there would just recompute the
+// exact distance; leaves instead gather their ids and run the fused filter
+// kernel in one pass. Internal nodes keep the rectangle prune.
 func (t *Tree) RangeQuery(q []float64, eps float64, buf []int32) []int32 {
 	eps2 := eps * eps
+	scratch := make([]int32, 0, MaxEntries)
 	var rec func(nd *nodeT)
 	rec = func(nd *nodeT) {
+		if nd.leaf {
+			scratch = scratch[:0]
+			for i := range nd.entries {
+				scratch = append(scratch, nd.entries[i].id)
+			}
+			buf = t.ds.FilterWithinIDs(q, eps2, scratch, buf)
+			return
+		}
 		for i := range nd.entries {
 			e := &nd.entries[i]
-			if e.rect.MinDist2(q) > eps2 {
-				continue
-			}
-			if nd.leaf {
-				if t.ds.Dist2To(int(e.id), q) <= eps2 {
-					buf = append(buf, e.id)
-				}
-			} else {
+			if e.rect.MinDist2(q) <= eps2 {
 				rec(e.child)
 			}
 		}
@@ -311,25 +312,28 @@ func (t *Tree) RangeQuery(q []float64, eps float64, buf []int32) []int32 {
 	return buf
 }
 
-// RangeCount implements index.Index.
+// RangeCount implements index.Index (see RangeQuery for the leaf strategy).
 func (t *Tree) RangeCount(q []float64, eps float64, limit int) int {
 	eps2 := eps * eps
 	count := 0
+	scratch := make([]int32, 0, MaxEntries)
 	var rec func(nd *nodeT) bool
 	rec = func(nd *nodeT) bool {
+		if nd.leaf {
+			scratch = scratch[:0]
+			for i := range nd.entries {
+				scratch = append(scratch, nd.entries[i].id)
+			}
+			rem := 0
+			if limit > 0 {
+				rem = limit - count
+			}
+			count += t.ds.CountWithinIDs(q, eps2, scratch, rem)
+			return limit > 0 && count >= limit
+		}
 		for i := range nd.entries {
 			e := &nd.entries[i]
-			if e.rect.MinDist2(q) > eps2 {
-				continue
-			}
-			if nd.leaf {
-				if t.ds.Dist2To(int(e.id), q) <= eps2 {
-					count++
-					if limit > 0 && count >= limit {
-						return true
-					}
-				}
-			} else if rec(e.child) {
+			if e.rect.MinDist2(q) <= eps2 && rec(e.child) {
 				return true
 			}
 		}

@@ -39,10 +39,7 @@ type node struct {
 func New(ds *vec.Dataset) *Tree {
 	t := &Tree{ds: ds}
 	n := ds.Len()
-	ids := make([]int32, n)
-	for i := range ids {
-		ids[i] = int32(i)
-	}
+	ids := vec.Iota(n)
 	rng := rand.New(rand.NewSource(1))
 	t.ids = make([]int32, 0, n)
 	if n > 0 {
@@ -138,11 +135,7 @@ func (t *Tree) RangeQuery(q []float64, eps float64, buf []int32) []int32 {
 	rec = func(ni int32) {
 		nd := &t.nodes[ni]
 		if nd.inside < 0 { // leaf
-			for _, id := range t.ids[nd.start:nd.end] {
-				if t.ds.Dist2To(int(id), q) <= eps2 {
-					buf = append(buf, id)
-				}
-			}
+			buf = t.ds.FilterWithinIDs(q, eps2, t.ids[nd.start:nd.end], buf)
 			return
 		}
 		d := vec.Dist(t.ds.Point(int(nd.vp)), q)
@@ -170,15 +163,12 @@ func (t *Tree) RangeCount(q []float64, eps float64, limit int) int {
 	rec = func(ni int32) bool {
 		nd := &t.nodes[ni]
 		if nd.inside < 0 {
-			for _, id := range t.ids[nd.start:nd.end] {
-				if t.ds.Dist2To(int(id), q) <= eps2 {
-					count++
-					if limit > 0 && count >= limit {
-						return true
-					}
-				}
+			rem := 0
+			if limit > 0 {
+				rem = limit - count
 			}
-			return false
+			count += t.ds.CountWithinIDs(q, eps2, t.ids[nd.start:nd.end], rem)
+			return limit > 0 && count >= limit
 		}
 		d := vec.Dist(t.ds.Point(int(nd.vp)), q)
 		if d-eps <= nd.radius && rec(nd.inside) {

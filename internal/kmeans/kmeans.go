@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"dbsvec/internal/cluster"
+	"dbsvec/internal/dist"
 	"dbsvec/internal/vec"
 )
 
@@ -61,7 +62,10 @@ func Run(ds *vec.Dataset, p Params) (*cluster.Result, [][]float64, Stats, error)
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
 
+	// Centers live in one flat row-major slice so the assignment step can
+	// run the batched nearest-center kernel over them as a dist.Matrix.
 	centers := seedPlusPlus(ds, p.K, rng)
+	centersM := dist.Matrix{Coords: centers, Dim: d}
 	labels := make([]int32, n)
 	counts := make([]int, p.K)
 	sums := make([]float64, p.K*d)
@@ -71,13 +75,7 @@ func Run(ds *vec.Dataset, p Params) (*cluster.Result, [][]float64, Stats, error)
 		// Assignment step.
 		st.Inertia = 0
 		for i := 0; i < n; i++ {
-			pt := ds.Point(i)
-			best, bestD := 0, math.Inf(1)
-			for c := 0; c < p.K; c++ {
-				if dd := vec.SqDist(pt, centers[c]); dd < bestD {
-					best, bestD = c, dd
-				}
-			}
+			best, bestD := dist.Nearest(centersM, ds.Point(i))
 			labels[i] = int32(best)
 			st.Inertia += bestD
 		}
@@ -98,17 +96,18 @@ func Run(ds *vec.Dataset, p Params) (*cluster.Result, [][]float64, Stats, error)
 		}
 		var moved float64
 		for c := 0; c < p.K; c++ {
+			row := centers[c*d : (c+1)*d]
 			if counts[c] == 0 {
 				// Re-seed an empty cluster at a random point.
-				copy(centers[c], ds.Point(rng.Intn(n)))
+				copy(row, ds.Point(rng.Intn(n)))
 				moved += tol + 1
 				continue
 			}
 			inv := 1 / float64(counts[c])
 			for j := 0; j < d; j++ {
 				nv := sums[c*d+j] * inv
-				moved += math.Abs(nv - centers[c][j])
-				centers[c][j] = nv
+				moved += math.Abs(nv - row[j])
+				row[j] = nv
 			}
 		}
 		if moved < tol {
@@ -116,22 +115,23 @@ func Run(ds *vec.Dataset, p Params) (*cluster.Result, [][]float64, Stats, error)
 		}
 	}
 	res := &cluster.Result{Labels: labels, Clusters: p.K}
-	return res, centers, st, nil
+	out := make([][]float64, p.K)
+	for c := 0; c < p.K; c++ {
+		out[c] = append([]float64(nil), centers[c*d:(c+1)*d]...)
+	}
+	return res, out, st, nil
 }
 
-// seedPlusPlus picks K initial centers with k-means++ (D² sampling).
-func seedPlusPlus(ds *vec.Dataset, k int, rng *rand.Rand) [][]float64 {
+// seedPlusPlus picks K initial centers with k-means++ (D² sampling) and
+// returns them as one flat row-major slice of length k*d.
+func seedPlusPlus(ds *vec.Dataset, k int, rng *rand.Rand) []float64 {
 	n, d := ds.Len(), ds.Dim()
-	centers := make([][]float64, 0, k)
-	first := make([]float64, d)
-	copy(first, ds.Point(rng.Intn(n)))
-	centers = append(centers, first)
+	centers := make([]float64, 0, k*d)
+	centers = append(centers, ds.Point(rng.Intn(n))...)
 
 	dist2 := make([]float64, n)
-	for i := 0; i < n; i++ {
-		dist2[i] = vec.SqDist(ds.Point(i), first)
-	}
-	for len(centers) < k {
+	ds.SqDistsToAll(centers[:d], dist2)
+	for len(centers) < k*d {
 		var total float64
 		for _, dd := range dist2 {
 			total += dd
@@ -151,14 +151,9 @@ func seedPlusPlus(ds *vec.Dataset, k int, rng *rand.Rand) [][]float64 {
 				}
 			}
 		}
-		c := make([]float64, d)
-		copy(c, ds.Point(idx))
-		centers = append(centers, c)
-		for i := 0; i < n; i++ {
-			if dd := vec.SqDist(ds.Point(i), c); dd < dist2[i] {
-				dist2[i] = dd
-			}
-		}
+		centers = append(centers, ds.Point(idx)...)
+		c := centers[len(centers)-d:]
+		dist.MinSqDistsToAll(ds.Matrix(), c, dist2)
 	}
 	return centers
 }

@@ -79,12 +79,7 @@ func Run(ds *vec.Dataset, p Params) (*cluster.Result, Stats, error) {
 		st.RangeQueries++
 		cand = h.Candidates(ds.Point(int(id)), cand[:0], seen)
 		st.CandidateSum += int64(len(cand))
-		hood = hood[:0]
-		for _, c := range cand {
-			if ds.Dist2(int(id), int(c)) <= eps2 {
-				hood = append(hood, c)
-			}
-		}
+		hood = ds.FilterWithinIDs(ds.Point(int(id)), eps2, cand, hood[:0])
 		return hood
 	}
 

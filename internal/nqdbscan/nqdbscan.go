@@ -96,7 +96,7 @@ func newCellSearcher(ds *vec.Dataset, g *grid.Grid, eps float64, st *Stats) (*ce
 			cs.pointCell[id] = idx
 		}
 	}
-	centerDS, err := vec.NewDataset(centers, d)
+	centerDS, err := vec.NewDatasetUnchecked(centers, d)
 	if err != nil {
 		return nil, err
 	}
@@ -136,12 +136,8 @@ func (cs *cellSearcher) query(id int32, buf []int32) []int32 {
 			buf = append(buf, pts...) // wholesale: no distance computations
 			continue
 		}
-		for _, p := range pts {
-			cs.stats.DistanceComputations++
-			if cs.ds.Dist2To(int(p), q) <= cs.eps2 {
-				buf = append(buf, p)
-			}
-		}
+		cs.stats.DistanceComputations += int64(len(pts))
+		buf = cs.ds.FilterWithinIDs(q, cs.eps2, pts, buf)
 	}
 	return buf
 }

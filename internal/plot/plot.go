@@ -166,11 +166,7 @@ func DecisionSVG(w io.Writer, ds *vec.Dataset, res *cluster.Result, inField func
 	// Background field: probe at cell centers with the means of the
 	// non-plotted dimensions (so d>2 inputs still render a slice).
 	probe := make([]float64, ds.Dim())
-	allIDs := make([]int32, ds.Len())
-	for i := range allIDs {
-		allIDs[i] = int32(i)
-	}
-	mean := ds.Mean(allIDs)
+	mean := ds.Mean(vec.Iota(ds.Len()))
 	copy(probe, mean)
 	cellW := plotW / float64(gridRes)
 	cellH := plotH / float64(gridRes)

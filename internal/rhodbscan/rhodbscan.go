@@ -110,7 +110,7 @@ func Run(ds *vec.Dataset, p Params) (*cluster.Result, Stats, error) {
 	for i := range cells {
 		centers = append(centers, cells[i].rect.Center(buf)...)
 	}
-	centerDS, err := vec.NewDataset(centers, d)
+	centerDS, err := vec.NewDatasetUnchecked(centers, d)
 	if err != nil {
 		return nil, st, fmt.Errorf("rhodbscan: %w", err)
 	}
@@ -157,12 +157,8 @@ func Run(ds *vec.Dataset, p Params) (*cluster.Result, Stats, error) {
 					count += len(oc.pts) // tolerance-band wholesale count
 					st.WholesaleCells++
 				} else {
-					for _, o := range oc.pts {
-						st.DistanceComputations++
-						if ds.Dist2To(int(o), q) <= eps2 {
-							count++
-						}
-					}
+					st.DistanceComputations += int64(len(oc.pts))
+					count += ds.CountWithinIDs(q, eps2, oc.pts, 0)
 				}
 				if count >= p.MinPts {
 					break

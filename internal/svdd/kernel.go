@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 
+	"dbsvec/internal/dist"
 	"dbsvec/internal/vec"
 )
 
@@ -19,11 +20,17 @@ func GaussianKernel(a, b []float64, sigma float64) float64 {
 // (Section IV-D) — only the rows the solver actually touches are evaluated.
 type kernelMatrix struct {
 	ds    *vec.Dataset
+	m     dist.Matrix
 	ids   []int32
 	gamma float64 // 1/(2σ²)
 	n     int
 	full  []float64   // dense storage when n <= denseCap
 	rows  [][]float64 // lazy row cache otherwise
+	// norms caches ‖x_i‖² per target for the cached-norms distance identity;
+	// nil below dist.NormCachedMinDim, where the identity does not pay off.
+	// The identity reassociates arithmetic (ULP-level error), which the
+	// tolerance-based SMO solver absorbs — range-query backends never use it.
+	norms []float64
 }
 
 // denseCap is the largest target size for which the dense ñ×ñ kernel matrix
@@ -57,14 +64,20 @@ func releaseMatrix(km *kernelMatrix) {
 }
 
 func newKernelMatrix(ds *vec.Dataset, ids []int32, sigma float64) *kernelMatrix {
-	km := &kernelMatrix{ds: ds, ids: ids, gamma: 1 / (2 * sigma * sigma), n: len(ids)}
+	km := &kernelMatrix{ds: ds, m: ds.Matrix(), ids: ids, gamma: 1 / (2 * sigma * sigma), n: len(ids)}
+	if ds.Dim() >= dist.NormCachedMinDim {
+		km.norms = dist.NormsIDs(km.m, ids)
+	}
 	if km.n <= denseCap {
 		km.full = getMatrixBuf(km.n * km.n)
+		scratch := make([]float64, km.n)
 		for i := 0; i < km.n; i++ {
-			pi := ds.Point(int(ids[i]))
 			km.full[i*km.n+i] = 1
-			for j := i + 1; j < km.n; j++ {
-				v := math.Exp(-vec.SqDist(pi, ds.Point(int(ids[j]))) * km.gamma)
+			row := scratch[:km.n-i-1]
+			km.sqRow(i, i+1, row)
+			for k, d2 := range row {
+				v := math.Exp(-d2 * km.gamma)
+				j := i + 1 + k
 				km.full[i*km.n+j] = v
 				km.full[j*km.n+i] = v
 			}
@@ -73,6 +86,19 @@ func newKernelMatrix(ds *vec.Dataset, ids []int32, sigma float64) *kernelMatrix 
 		km.rows = make([][]float64, km.n)
 	}
 	return km
+}
+
+// sqRow writes the squared distances from target i to targets
+// [off, off+len(out)) into out via the batched one-to-many kernel, routing
+// through the cached-norms identity when it is enabled for this matrix.
+func (km *kernelMatrix) sqRow(i, off int, out []float64) {
+	q := km.ds.Point(int(km.ids[i]))
+	sub := km.ids[off : off+len(out)]
+	if km.norms != nil {
+		dist.SqDistsToCached(km.m, q, km.norms[i], sub, km.norms[off:off+len(out)], out)
+		return
+	}
+	dist.SqDistsTo(km.m, q, sub, out)
 }
 
 // row returns row i of the kernel matrix (length ñ), computing and caching
@@ -85,14 +111,11 @@ func (km *kernelMatrix) row(i int) []float64 {
 		return r
 	}
 	r := make([]float64, km.n)
-	pi := km.ds.Point(int(km.ids[i]))
-	for j := 0; j < km.n; j++ {
-		if j == i {
-			r[j] = 1
-			continue
-		}
-		r[j] = math.Exp(-vec.SqDist(pi, km.ds.Point(int(km.ids[j]))) * km.gamma)
+	km.sqRow(i, 0, r)
+	for j := range r {
+		r[j] = math.Exp(-r[j] * km.gamma)
 	}
+	r[i] = 1
 	km.rows[i] = r
 	return r
 }
@@ -126,16 +149,27 @@ func KernelDistances(ds *vec.Dataset, ids []int32, sigma float64) []float64 {
 		return out
 	}
 	gamma := 1 / (2 * sigma * sigma)
+	m := ds.Matrix()
+	var norms []float64
+	if ds.Dim() >= dist.NormCachedMinDim {
+		norms = dist.NormsIDs(m, ids)
+	}
 	// s[i] = Σ_j K(x_i, x_j); the double sum is Σ_i s[i].
 	s := make([]float64, n)
+	scratch := make([]float64, n)
 	var double float64
 	for i := 0; i < n; i++ {
-		pi := ds.Point(int(ids[i]))
 		s[i] += 1 // K(x_i,x_i)
-		for j := i + 1; j < n; j++ {
-			v := math.Exp(-vec.SqDist(pi, ds.Point(int(ids[j]))) * gamma)
+		row := scratch[:n-i-1]
+		if norms != nil {
+			dist.SqDistsToCached(m, ds.Point(int(ids[i])), norms[i], ids[i+1:], norms[i+1:], row)
+		} else {
+			dist.SqDistsTo(m, ds.Point(int(ids[i])), ids[i+1:], row)
+		}
+		for k, d2 := range row {
+			v := math.Exp(-d2 * gamma)
 			s[i] += v
-			s[j] += v
+			s[i+1+k] += v
 		}
 	}
 	for i := 0; i < n; i++ {

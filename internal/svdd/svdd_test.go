@@ -35,11 +35,7 @@ func blobWithOutliers(n int, seed int64) (*vec.Dataset, []int) {
 }
 
 func allIDs(n int) []int32 {
-	ids := make([]int32, n)
-	for i := range ids {
-		ids[i] = int32(i)
-	}
-	return ids
+	return vec.Iota(n)
 }
 
 func TestTrainEmpty(t *testing.T) {

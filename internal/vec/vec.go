@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"dbsvec/internal/dist"
 )
 
 // Errors returned by dataset constructors and mutators.
@@ -31,9 +33,28 @@ type Dataset struct {
 }
 
 // NewDataset wraps an existing flat coordinate slice. The slice length must
-// be a multiple of d. The dataset takes ownership of coords; callers must
-// not mutate it afterwards.
+// be a multiple of d and every coordinate must be finite (the same contract
+// FromRows enforces). The dataset takes ownership of coords; callers must
+// not mutate it afterwards. Trusted internal producers of known-finite
+// coordinates can skip the finite-value scan with NewDatasetUnchecked.
 func NewDataset(coords []float64, d int) (*Dataset, error) {
+	ds, err := NewDatasetUnchecked(coords, d)
+	if err != nil {
+		return nil, err
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// NewDatasetUnchecked is NewDataset without the finite-value scan. It is the
+// documented escape hatch for trusted internal callers — synthetic data
+// generators and derived datasets (cell centers, subsets) whose coordinates
+// are finite by construction — where an extra O(n·d) pass per build would
+// show up in benchmarks. Callers feeding external input must use NewDataset
+// (or FromRows): NaN coordinates poison every distance comparison downstream.
+func NewDatasetUnchecked(coords []float64, d int) (*Dataset, error) {
 	if d <= 0 {
 		return nil, ErrBadDim
 	}
@@ -58,14 +79,10 @@ func FromRows(rows [][]float64) (*Dataset, error) {
 		if len(r) != d {
 			return nil, fmt.Errorf("%w: row %d has %d coordinates, want %d", ErrDimMismatch, i, len(r), d)
 		}
-		for _, v := range r {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("%w: row %d", ErrNonFinite, i)
-			}
-		}
 		coords = append(coords, r...)
 	}
-	return &Dataset{coords: coords, n: len(rows), d: d}, nil
+	// The finite-value check is shared with NewDataset via Validate.
+	return NewDataset(coords, d)
 }
 
 // Empty reports whether the dataset holds no points.
@@ -129,42 +146,74 @@ func (ds *Dataset) Dist2To(i int, q []float64) float64 {
 	return SqDist(ds.Point(i), q)
 }
 
-// SqDist returns the squared Euclidean distance between two equal-length
-// vectors. The loop is written to be auto-vectorization friendly.
-func SqDist(a, b []float64) float64 {
-	var s float64
-	_ = b[len(a)-1] // eliminate bounds checks inside the loop
-	for i, av := range a {
-		dv := av - b[i]
-		s += dv * dv
-	}
-	return s
+// Matrix returns the dataset's flat coordinate view for use with the
+// batched kernels in internal/dist. No copying occurs; the matrix aliases
+// the dataset's backing array.
+func (ds *Dataset) Matrix() dist.Matrix {
+	return dist.Matrix{Coords: ds.coords, Dim: ds.d}
 }
+
+// SqDistsTo writes the squared distance from each of the points in ids to q
+// into out (out[k] = dist²(ids[k], q); len(out) >= len(ids)).
+func (ds *Dataset) SqDistsTo(q []float64, ids []int32, out []float64) {
+	dist.SqDistsTo(ds.Matrix(), q, ids, out)
+}
+
+// SqDistsToAll writes the squared distance from every point to q into out
+// (len(out) >= Len()).
+func (ds *Dataset) SqDistsToAll(q []float64, out []float64) {
+	dist.SqDistsToAll(ds.Matrix(), q, out)
+}
+
+// FilterWithin appends the ids of all points within squared distance eps2
+// of q to buf, ascending, and returns the extended slice.
+func (ds *Dataset) FilterWithin(q []float64, eps2 float64, buf []int32) []int32 {
+	return dist.FilterWithin(ds.Matrix(), q, eps2, buf)
+}
+
+// FilterWithinIDs appends the members of ids (in given order) within
+// squared distance eps2 of q to buf and returns the extended slice.
+func (ds *Dataset) FilterWithinIDs(q []float64, eps2 float64, ids, buf []int32) []int32 {
+	return dist.FilterWithinIDs(ds.Matrix(), q, eps2, ids, buf)
+}
+
+// CountWithin returns the number of points within squared distance eps2 of
+// q; limit > 0 stops the scan early once reached.
+func (ds *Dataset) CountWithin(q []float64, eps2 float64, limit int) int {
+	return dist.CountWithin(ds.Matrix(), q, eps2, limit)
+}
+
+// CountWithinIDs counts the members of ids within squared distance eps2 of
+// q, with the same limit semantics as CountWithin.
+func (ds *Dataset) CountWithinIDs(q []float64, eps2 float64, ids []int32, limit int) int {
+	return dist.CountWithinIDs(ds.Matrix(), q, eps2, ids, limit)
+}
+
+// SqDist returns the squared Euclidean distance between two equal-length
+// vectors. It delegates to the shared kernel layer in internal/dist.
+func SqDist(a, b []float64) float64 { return dist.SqDist(a, b) }
 
 // Dist returns the Euclidean distance between two equal-length vectors.
-func Dist(a, b []float64) float64 { return math.Sqrt(SqDist(a, b)) }
+func Dist(a, b []float64) float64 { return dist.Dist(a, b) }
 
 // Dot returns the inner product of two equal-length vectors.
-func Dot(a, b []float64) float64 {
-	var s float64
-	_ = b[len(a)-1]
-	for i, av := range a {
-		s += av * b[i]
-	}
-	return s
-}
+func Dot(a, b []float64) float64 { return dist.Dot(a, b) }
 
 // Norm2 returns the squared Euclidean norm of v.
-func Norm2(v []float64) float64 {
-	var s float64
-	for _, x := range v {
-		s += x * x
-	}
-	return s
-}
+func Norm2(v []float64) float64 { return dist.Norm2(v) }
 
 // Norm returns the Euclidean norm of v.
-func Norm(v []float64) float64 { return math.Sqrt(Norm2(v)) }
+func Norm(v []float64) float64 { return dist.Norm(v) }
+
+// Iota returns the identity id slice [0, 1, …, n-1]: the full-dataset id
+// set consumed by index builders and whole-dataset SVDD training.
+func Iota(n int) []int32 {
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	return ids
+}
 
 // Mean computes the coordinate-wise mean of the points with the given ids.
 // It returns a zero vector when ids is empty.

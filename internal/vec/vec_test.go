@@ -69,13 +69,39 @@ func TestFromRowsNonFinite(t *testing.T) {
 }
 
 func TestValidate(t *testing.T) {
-	ds, _ := NewDataset([]float64{1, 2, math.NaN(), 4}, 2)
+	ds, err := NewDatasetUnchecked([]float64{1, 2, math.NaN(), 4}, 2)
+	if err != nil {
+		t.Fatalf("NewDatasetUnchecked: %v", err)
+	}
 	if err := ds.Validate(); err == nil {
 		t.Error("Validate should detect NaN")
 	}
 	ds2, _ := NewDataset([]float64{1, 2, 3, 4}, 2)
 	if err := ds2.Validate(); err != nil {
 		t.Errorf("Validate on clean data: %v", err)
+	}
+}
+
+// TestNewDatasetNonFinite is the regression test for the NewDataset /
+// FromRows validation asymmetry: both constructors now share the same
+// finite-value check, and NewDatasetUnchecked is the only way to wrap
+// non-finite coordinates.
+func TestNewDatasetNonFinite(t *testing.T) {
+	if _, err := NewDataset([]float64{1, 2, math.NaN(), 4}, 2); err == nil {
+		t.Error("NewDataset should reject NaN like FromRows does")
+	}
+	if _, err := NewDataset([]float64{math.Inf(-1), 0}, 2); err == nil {
+		t.Error("NewDataset should reject -Inf like FromRows does")
+	}
+	if _, err := NewDatasetUnchecked([]float64{1, 2, math.NaN(), 4}, 2); err != nil {
+		t.Errorf("NewDatasetUnchecked should accept non-finite values: %v", err)
+	}
+	// The structural checks still apply to the unchecked constructor.
+	if _, err := NewDatasetUnchecked([]float64{1, 2, 3}, 2); err == nil {
+		t.Error("NewDatasetUnchecked should reject non-multiple length")
+	}
+	if _, err := NewDatasetUnchecked(nil, 0); err == nil {
+		t.Error("NewDatasetUnchecked should reject zero dimension")
 	}
 }
 

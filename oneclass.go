@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dbsvec/internal/svdd"
+	"dbsvec/internal/vec"
 )
 
 // OneClassOptions configures TrainOneClass.
@@ -34,11 +35,7 @@ func TrainOneClass(d *Dataset, opts OneClassOptions) (*OneClassModel, error) {
 	if nu == 0 {
 		nu = 0.1
 	}
-	ids := make([]int32, d.Len())
-	for i := range ids {
-		ids[i] = int32(i)
-	}
-	m, err := svdd.Train(d.ds, ids, svdd.Config{Nu: nu, Sigma: opts.Sigma})
+	m, err := svdd.Train(d.ds, vec.Iota(d.Len()), svdd.Config{Nu: nu, Sigma: opts.Sigma})
 	if err != nil {
 		return nil, err
 	}
