@@ -4,7 +4,8 @@
 // Usage:
 //
 //	benchall [-exp fig6a] [-full] [-seed 1] [-budget 30s] [-workers 0]
-//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-list]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	         [-svddjson BENCH_svdd.json] [-list]
 //
 // By default every experiment runs in quick mode (reduced cardinalities so
 // the suite finishes in minutes). -full approaches the paper's scales and
@@ -34,6 +35,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "query-engine worker goroutines for DBSVEC runs (0 = all CPUs)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the harness run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at harness exit to this file")
+		svddjson   = flag.String("svddjson", "BENCH_svdd.json", "path for the svdd experiment's machine-readable report (empty = skip)")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -59,7 +61,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	cfg := experiments.Config{Quick: !*full, Seed: *seed, Budget: *budget, Workers: *workers}
+	cfg := experiments.Config{Quick: !*full, Seed: *seed, Budget: *budget, Workers: *workers, SVDDJSONPath: *svddjson}
 	start := time.Now()
 	var err error
 	if *exp == "" {

@@ -135,6 +135,10 @@ func run(algo string, eps float64, minPts, k int, nu float64, inPath, outPath st
 			fmt.Fprintf(os.Stderr, "phaseInit=%s phaseExpand=%s phaseVerify=%s\n",
 				p.Init.Round(time.Microsecond), p.Expand.Round(time.Microsecond), p.Verify.Round(time.Microsecond))
 		}
+		if s := res.Stats.SVDD; s.Total() > 0 {
+			fmt.Fprintf(os.Stderr, "svddFill=%s svddSolve=%s svddFinish=%s\n",
+				s.Fill.Round(time.Microsecond), s.Solve.Round(time.Microsecond), s.Finish.Round(time.Microsecond))
+		}
 	}
 	return nil
 }

@@ -122,6 +122,14 @@ type Options struct {
 
 	// MaxSVDDTarget caps the SVDD target-set size (default 1024).
 	MaxSVDDTarget int
+
+	// DisableWarmStart cold-starts every SVDD training round instead of
+	// seeding the solver with the previous round's multipliers for the
+	// surviving target points. Warm starting (the default) converges to the
+	// same dual at the same tolerance but along a different iterate path,
+	// so results can differ within solver tolerance from cold-start runs;
+	// disable it for A/B benchmarking or exact cold-start equivalence.
+	DisableWarmStart bool
 }
 
 // PhaseTimes is the per-phase wall-clock breakdown reported by the
@@ -129,6 +137,11 @@ type Options struct {
 // parallel DBSCAN's neighborhood materialization), Expand the expansion or
 // merge phase, Verify the noise-verification or border-attachment phase.
 type PhaseTimes = engine.PhaseTimes
+
+// SVDDTimes is the per-stage wall-clock breakdown of SVDD training
+// accumulated across a run's training rounds: kernel-matrix fill, SMO
+// solve, and radius/score extraction.
+type SVDDTimes = engine.SVDDTimes
 
 // Stats reports the work a DBSVEC run performed, exposing every term of the
 // paper's θ = s + 1 + k + m + MinPts·l cost model.
@@ -149,6 +162,9 @@ type Stats struct {
 	// Phases is the engine's wall-clock breakdown of the run; unlike the
 	// counters above it varies run to run.
 	Phases PhaseTimes
+	// SVDD is the wall-clock breakdown of all SVDD trainings, a
+	// sub-breakdown of Phases.Expand.
+	SVDD SVDDTimes
 }
 
 // Result is the outcome of a clustering run.
@@ -191,19 +207,20 @@ func ClusterContext(ctx context.Context, d *Dataset, opts Options) (*Result, err
 		return nil, err
 	}
 	res, st, err := core.Run(d.ds, core.Options{
-		Context:        ctx,
-		Eps:            opts.Eps,
-		MinPts:         opts.MinPts,
-		Nu:             opts.Nu,
-		NuMin:          opts.NuMin,
-		MemoryFactor:   opts.MemoryFactor,
-		LearnThreshold: opts.LearnThreshold,
-		DisableWeights: opts.DisableWeights,
-		RandomKernel:   opts.RandomKernel,
-		Seed:           opts.Seed,
-		IndexBuilder:   build,
-		Workers:        opts.Workers,
-		MaxSVDDTarget:  opts.MaxSVDDTarget,
+		Context:          ctx,
+		Eps:              opts.Eps,
+		MinPts:           opts.MinPts,
+		Nu:               opts.Nu,
+		NuMin:            opts.NuMin,
+		MemoryFactor:     opts.MemoryFactor,
+		LearnThreshold:   opts.LearnThreshold,
+		DisableWeights:   opts.DisableWeights,
+		RandomKernel:     opts.RandomKernel,
+		Seed:             opts.Seed,
+		IndexBuilder:     build,
+		Workers:          opts.Workers,
+		MaxSVDDTarget:    opts.MaxSVDDTarget,
+		DisableWarmStart: opts.DisableWarmStart,
 	})
 	if err != nil {
 		return nil, err
@@ -218,6 +235,7 @@ func ClusterContext(ctx context.Context, d *Dataset, opts Options) (*Result, err
 		RangeCounts:    st.RangeCounts,
 		SVDDTrainings:  st.SVDDTrainings,
 		Phases:         st.Phases,
+		SVDD:           st.SVDD,
 	}
 	return out, nil
 }

@@ -81,6 +81,17 @@ type Options struct {
 	// keeps targets under it in normal operation.
 	MaxSVDDTarget int
 
+	// DisableWarmStart cold-starts every SVDD training round instead of
+	// seeding the solver with the previous round's multipliers for the
+	// surviving target points (Section IV-B1 guarantees consecutive rounds
+	// share most of their target set, so the warm start typically lands
+	// near the new optimum). Warm starting converges to the same dual at
+	// the same KKT tolerance, but along a different iterate path, so
+	// multipliers — and in rare near-tie cases cluster boundaries — can
+	// differ within solver tolerance. Set this for A/B benchmarking or when
+	// exact equivalence with cold-start runs is required.
+	DisableWarmStart bool
+
 	// Workers is the query-execution worker count: each expansion round's
 	// support-vector query set and the noise list's pending core tests are
 	// submitted as one batch fanned across this many goroutines. <= 0
@@ -137,6 +148,10 @@ type Stats struct {
 	// Expand = SV expansion, Verify = noise verification). Not part of the
 	// θ model; determinism comparisons must ignore it.
 	Phases engine.PhaseTimes
+	// SVDD is the per-stage wall-clock of all SVDD trainings (kernel fill /
+	// SMO solve / radius extraction), a sub-breakdown of Phases.Expand.
+	// Like Phases it varies run to run.
+	SVDD engine.SVDDTimes
 }
 
 // Theta returns the paper's θ = s + 1 + k + m + MinPts·l for a run over a
@@ -365,15 +380,21 @@ func (r *runner) svExpandCluster(initial []int32, cid int32) error {
 		r.counters[id] = 0
 	}
 
+	// prev carries the previous round's model for warm-starting; Section
+	// IV-B1's incremental learning keeps consecutive target sets mostly
+	// overlapping, so the previous multipliers start the solver near the
+	// new optimum.
+	var prev *svdd.Model
 	for len(targets) > 0 {
 		if err := r.ctx.Err(); err != nil {
 			return err
 		}
 		ids := r.sampleTargets(targets)
-		model, err := r.trainSVDD(ids)
+		model, err := r.trainSVDD(ids, prev)
 		if err != nil {
 			return nil // degenerate target set; nothing to expand from
 		}
+		prev = model
 		r.stats.SVDDTrainings++
 		r.stats.SVDDIterations += int64(model.Iterations)
 		budget := r.svBudget(len(ids))
@@ -539,11 +560,17 @@ func (r *runner) effectiveNu(targetSize int) float64 {
 	}
 }
 
-// trainSVDD fits the (weighted) SVDD model for the current target ids.
-func (r *runner) trainSVDD(ids []int32) (*svdd.Model, error) {
+// trainSVDD fits the (weighted) SVDD model for the current target ids,
+// warm-starting from the previous round's model when one is supplied and
+// warm starts are enabled.
+func (r *runner) trainSVDD(ids []int32, prev *svdd.Model) (*svdd.Model, error) {
 	cfg := svdd.Config{
-		Dim:    r.ds.Dim(),
-		MinPts: r.opts.MinPts,
+		Dim:     r.ds.Dim(),
+		MinPts:  r.opts.MinPts,
+		Workers: r.eng.Workers(),
+	}
+	if prev != nil && !r.opts.DisableWarmStart {
+		cfg.WarmAlpha = warmAlphas(ids, prev)
 	}
 	switch {
 	case r.opts.NuMin:
@@ -569,7 +596,35 @@ func (r *runner) trainSVDD(ids []int32) (*svdd.Model, error) {
 		cfg.Times = times
 		cfg.Lambda = r.opts.MemoryFactor
 	}
-	return svdd.Train(r.ds, ids, cfg)
+	model, err := svdd.Train(r.ds, ids, cfg)
+	if model != nil {
+		r.stats.SVDD.Add(model.Times)
+	}
+	return model, err
+}
+
+// warmAlphas maps the previous model's multipliers onto the new target ids
+// (0 for points that were not in the previous round). The solver clamps and
+// renormalizes, so dropped mass from departed points is redistributed there.
+func warmAlphas(ids []int32, prev *svdd.Model) []float64 {
+	prevAlpha := make(map[int32]float64, len(prev.IDs))
+	for i, id := range prev.IDs {
+		if a := prev.Alpha[i]; a > 0 {
+			prevAlpha[id] = a
+		}
+	}
+	warm := make([]float64, len(ids))
+	any := false
+	for i, id := range ids {
+		if a, ok := prevAlpha[id]; ok {
+			warm[i] = a
+			any = true
+		}
+	}
+	if !any {
+		return nil // disjoint target: a cold start is the better seed
+	}
+	return warm
 }
 
 // randomSigma draws σ uniformly from [min,max] pairwise distance of the

@@ -63,9 +63,11 @@ func TestWorkersDeterminism(t *testing.T) {
 			if res.Clusters != base.Clusters {
 				t.Errorf("dataset %d: Clusters = %d (workers=%d), want %d", di, res.Clusters, workers, base.Clusters)
 			}
-			// Compare the deterministic counters; wall-clock phases vary.
+			// Compare the deterministic counters; wall-clock phases and
+			// SVDD stage times vary.
 			a, b := baseStats, st
 			a.Phases, b.Phases = engine.PhaseTimes{}, engine.PhaseTimes{}
+			a.SVDD, b.SVDD = engine.SVDDTimes{}, engine.SVDDTimes{}
 			if a != b {
 				t.Errorf("dataset %d: θ-term stats differ between workers=1 (%+v) and workers=%d (%+v)", di, a, workers, b)
 			}
@@ -150,7 +152,11 @@ func noiseRingDataset() *vec.Dataset {
 // verification and Run must surface the context error from that phase.
 func TestCancellationMidNoiseVerification(t *testing.T) {
 	ds := noiseRingDataset()
-	opts := Options{Eps: 2, MinPts: 8, Seed: 1}
+	// Warm-started SVDD rounds follow a different iterate path and can move
+	// one boundary support vector enough to trigger a merge on this dataset;
+	// the test depends on phase isolation, not warm starting, so pin the
+	// cold-start path.
+	opts := Options{Eps: 2, MinPts: 8, Seed: 1, DisableWarmStart: true}
 	// Guard against the dataset drifting vacuous: a clean run must do
 	// noise-verification counting and no merge-path counting.
 	_, st, err := Run(ds, opts)

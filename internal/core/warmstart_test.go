@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"dbsvec/internal/eval"
+)
+
+// TestWarmStartClusteringEquivalent pins the acceptance bound for the
+// warm-started SVDD rounds: warm starting follows a different SMO iterate
+// path, so individual multipliers may differ within solver tolerance, but
+// the resulting clusterings must stay equivalent — ARI against the
+// cold-start run within ε of 1 on the synthetic suite shapes.
+func TestWarmStartClusteringEquivalent(t *testing.T) {
+	const epsARI = 0.01
+	for _, spec := range []struct {
+		n, d int
+		seed int64
+	}{
+		{900, 2, 7},
+		{600, 8, 11},
+		{2000, 2, 13},
+	} {
+		ds := detBlobs(spec.n, spec.d, spec.seed)
+		cold, _, err := Run(ds, Options{Eps: 6, MinPts: 8, Seed: 3, Workers: 1, DisableWarmStart: true})
+		if err != nil {
+			t.Fatalf("n=%d d=%d cold: %v", spec.n, spec.d, err)
+		}
+		warm, _, err := Run(ds, Options{Eps: 6, MinPts: 8, Seed: 3, Workers: 1})
+		if err != nil {
+			t.Fatalf("n=%d d=%d warm: %v", spec.n, spec.d, err)
+		}
+		ari, err := eval.AdjustedRandIndex(cold, warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ari < 1-epsARI {
+			t.Errorf("n=%d d=%d: warm-vs-cold ARI = %v, want >= %v", spec.n, spec.d, ari, 1-epsARI)
+		}
+	}
+}

@@ -121,6 +121,27 @@ type PhaseTimes struct {
 // Total is the summed phase wall-clock.
 func (p PhaseTimes) Total() time.Duration { return p.Init + p.Expand + p.Verify }
 
+// SVDDTimes is the per-stage wall-clock breakdown of SVDD training,
+// accumulated across every training round of a run: Fill covers the kernel
+// matrix construction (including the adaptive-weight pass), Solve the SMO
+// optimization, Finish the radius/score extraction. Like PhaseTimes it is
+// wall-clock and must be ignored by determinism comparisons.
+type SVDDTimes struct {
+	Fill   time.Duration
+	Solve  time.Duration
+	Finish time.Duration
+}
+
+// Total is the summed training wall-clock.
+func (s SVDDTimes) Total() time.Duration { return s.Fill + s.Solve + s.Finish }
+
+// Add accumulates another training's stage times.
+func (s *SVDDTimes) Add(o SVDDTimes) {
+	s.Fill += o.Fill
+	s.Solve += o.Solve
+	s.Finish += o.Finish
+}
+
 // Stopwatch accumulates phase wall-clock with the pattern
 //
 //	sw := engine.StartPhase()

@@ -1,0 +1,85 @@
+package engine
+
+import "sync"
+
+// ForRanges partitions [0, n) into at most workers contiguous ranges of
+// approximately equal total weight and runs fn once per non-empty range,
+// concurrently when more than one range results. weight(i) is the relative
+// cost of index i; nil selects uniform weights. The partition depends only
+// on (workers, n, weight) — never on scheduling — so callers whose ranges
+// write disjoint output produce bit-identical results for every worker
+// count. This is the compute-side sibling of the query fan-out in
+// internal/index: the SVDD kernel-matrix fill uses it to parallelize the
+// dense triangular fill, whose per-row cost shrinks linearly with the row
+// index (hence the weights).
+//
+// fn is called with half-open bounds [lo, hi). workers <= 1 or n <= 0 runs
+// everything on the calling goroutine.
+func ForRanges(workers, n int, weight func(i int) int64, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	bounds := splitWeighted(n, workers, weight)
+	if len(bounds) == 2 {
+		fn(bounds[0], bounds[1])
+		return
+	}
+	var wg sync.WaitGroup
+	for r := 0; r+1 < len(bounds); r++ {
+		lo, hi := bounds[r], bounds[r+1]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
+// splitWeighted returns parts+1 monotone boundaries over [0, n): range r is
+// [bounds[r], bounds[r+1]). Ranges are chosen greedily so each carries
+// roughly total/parts weight; empty trailing ranges are dropped, so every
+// returned range is non-empty.
+func splitWeighted(n, parts int, weight func(i int) int64) []int {
+	var total int64
+	if weight == nil {
+		total = int64(n)
+	} else {
+		for i := 0; i < n; i++ {
+			total += weight(i)
+		}
+	}
+	if total <= 0 {
+		// Degenerate weights: fall back to uniform splitting.
+		total = int64(n)
+		weight = nil
+	}
+	bounds := make([]int, 1, parts+1)
+	bounds[0] = 0
+	var acc int64
+	next := 1
+	for i := 0; i < n && next < parts; i++ {
+		if weight == nil {
+			acc++
+		} else {
+			acc += weight(i)
+		}
+		// Close the current range once it reaches its proportional share of
+		// the remaining weight.
+		if acc*int64(parts) >= total*int64(next) {
+			bounds = append(bounds, i+1)
+			next++
+		}
+	}
+	if bounds[len(bounds)-1] < n {
+		bounds = append(bounds, n)
+	}
+	return bounds
+}

@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Every index of [0, n) must be visited exactly once, for any worker count
+// and weight function.
+func TestForRangesCoversExactlyOnce(t *testing.T) {
+	weights := []func(i int) int64{
+		nil,
+		func(i int) int64 { return 1 },
+		func(i int) int64 { return int64(i) }, // ascending
+		func(i int) int64 { return int64(100 - i) }, // descending (triangular fill shape)
+		func(i int) int64 { return int64(i % 3) },   // zeros interleaved
+		func(i int) int64 { return 0 },              // all-zero: uniform fallback
+	}
+	for _, n := range []int{0, 1, 2, 7, 64, 100} {
+		for _, workers := range []int{1, 2, 3, 8, 200} {
+			for wi, weight := range weights {
+				var mu sync.Mutex
+				visits := make([]int, n)
+				ForRanges(workers, n, weight, func(lo, hi int) {
+					if lo >= hi {
+						t.Errorf("n=%d workers=%d weight#%d: empty range [%d,%d)", n, workers, wi, lo, hi)
+					}
+					mu.Lock()
+					for i := lo; i < hi; i++ {
+						visits[i]++
+					}
+					mu.Unlock()
+				})
+				for i, v := range visits {
+					if v != 1 {
+						t.Fatalf("n=%d workers=%d weight#%d: index %d visited %d times", n, workers, wi, i, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The partition must depend only on (workers, n, weight), never on
+// scheduling: repeated runs collect identical range sets.
+func TestForRangesDeterministicPartition(t *testing.T) {
+	weight := func(i int) int64 { return int64(512 - i) }
+	collect := func() map[[2]int]bool {
+		var mu sync.Mutex
+		got := map[[2]int]bool{}
+		ForRanges(8, 512, weight, func(lo, hi int) {
+			mu.Lock()
+			got[[2]int{lo, hi}] = true
+			mu.Unlock()
+		})
+		return got
+	}
+	first := collect()
+	for r := 0; r < 5; r++ {
+		if got := collect(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("partition changed across runs: %v vs %v", got, first)
+		}
+	}
+}
+
+// Weighted splitting must roughly balance total weight across ranges: for
+// the triangular fill workload no range may carry more than twice the ideal
+// share (the greedy split can overshoot by at most one heavy row).
+func TestForRangesWeightedBalance(t *testing.T) {
+	n, workers := 1024, 8
+	weight := func(i int) int64 { return int64(n - i - 1) }
+	var total int64
+	for i := 0; i < n; i++ {
+		total += weight(i)
+	}
+	ideal := total / int64(workers)
+	var mu sync.Mutex
+	var ranges [][2]int
+	ForRanges(workers, n, weight, func(lo, hi int) {
+		mu.Lock()
+		ranges = append(ranges, [2]int{lo, hi})
+		mu.Unlock()
+	})
+	if len(ranges) < 2 {
+		t.Fatalf("expected a multi-range partition, got %v", ranges)
+	}
+	for _, r := range ranges {
+		var w int64
+		for i := r[0]; i < r[1]; i++ {
+			w += weight(i)
+		}
+		if w > 2*ideal {
+			t.Errorf("range %v carries weight %d, more than 2x the ideal share %d", r, w, ideal)
+		}
+	}
+}
+
+// Disjoint range writes must be race-free and ordering-independent: filling
+// a slice in parallel matches the serial fill exactly.
+func TestForRangesDisjointWrites(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 4096
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = rng.Float64()
+	}
+	fill := func(workers int) []float64 {
+		out := make([]float64, n)
+		ForRanges(workers, n, nil, func(lo, hi int) {
+			copy(out[lo:hi], want[lo:hi])
+		})
+		return out
+	}
+	for _, workers := range []int{1, 2, 8, 16} {
+		if got := fill(workers); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: parallel fill diverged", workers)
+		}
+	}
+}
+
+func TestSVDDTimes(t *testing.T) {
+	var acc SVDDTimes
+	acc.Add(SVDDTimes{Fill: time.Millisecond, Solve: 2 * time.Millisecond, Finish: 3 * time.Millisecond})
+	acc.Add(SVDDTimes{Fill: time.Millisecond})
+	if acc.Fill != 2*time.Millisecond || acc.Solve != 2*time.Millisecond || acc.Finish != 3*time.Millisecond {
+		t.Errorf("accumulation wrong: %+v", acc)
+	}
+	if acc.Total() != 7*time.Millisecond {
+		t.Errorf("Total = %v, want 7ms", acc.Total())
+	}
+}

@@ -43,6 +43,9 @@ type Config struct {
 	// Workers sets the query-engine worker count for DBSVEC runs
 	// (core.Options.Workers); 0 selects all CPUs.
 	Workers int
+	// SVDDJSONPath, when non-empty, makes the "svdd" experiment write its
+	// machine-readable report (SVDDBenchReport) to this file.
+	SVDDJSONPath string
 }
 
 func (c Config) budget() time.Duration {

@@ -14,8 +14,8 @@ func tinyCfg() Config {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 10 {
-		t.Fatalf("expected 10 experiments, got %d", len(all))
+	if len(all) != 11 {
+		t.Fatalf("expected 11 experiments, got %d", len(all))
 	}
 	for _, e := range all {
 		if e.ID == "" || e.Title == "" || e.Run == nil {

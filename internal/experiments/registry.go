@@ -29,6 +29,7 @@ func All() []Experiment {
 		{"fig8", "Figure 8: runtime vs penalty factor nu", Fig8},
 		{"fig9a", "Figure 9a: SVDD improvements, recall", Fig9a},
 		{"fig9b", "Figure 9b: SVDD improvements, efficiency", Fig9b},
+		{"svdd", "SVDD training fast path micro-benchmark (BENCH_svdd.json)", SVDDPerf},
 	}
 }
 

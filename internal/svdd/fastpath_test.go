@@ -1,0 +1,375 @@
+package svdd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dbsvec/internal/vec"
+)
+
+// gaussCloud builds an n×d standard-normal cloud, scaled so the σ = r/√2
+// rule yields a well-conditioned kernel.
+func gaussCloud(n, d int, seed int64) *vec.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	coords := make([]float64, 0, n*d)
+	for i := 0; i < n*d; i++ {
+		coords = append(coords, rng.NormFloat64()*3)
+	}
+	ds, _ := vec.NewDataset(coords, d)
+	return ds
+}
+
+// TestParallelFillBitIdentical pins the tentpole guarantee: the dense fill
+// produces bit-identical matrices for every worker count. n=200 stays in
+// the always-eager zone; n=512 exercises the parallel zone against the
+// forced serial eager fill.
+func TestParallelFillBitIdentical(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{{200, 4}, {200, 24}, {512, 8}, {512, 24}} {
+		ds := gaussCloud(tc.n, tc.d, int64(tc.n+tc.d))
+		ids := vec.Iota(tc.n)
+		sigma := SigmaLowerBound(ds, ids)
+
+		forceEagerFill = true
+		ref := newKernelMatrix(ds, ids, sigma, 1)
+		forceEagerFill = false
+		if ref.full == nil {
+			t.Fatalf("n=%d: forced serial fill is not dense", tc.n)
+		}
+		refCopy := append([]float64(nil), ref.full...)
+		releaseMatrix(ref)
+
+		for _, workers := range []int{2, 8} {
+			km := newKernelMatrix(ds, ids, sigma, workers)
+			if km.full == nil {
+				t.Fatalf("n=%d workers=%d: parallel fill is not dense", tc.n, workers)
+			}
+			for i, v := range km.full {
+				if v != refCopy[i] {
+					t.Fatalf("n=%d d=%d workers=%d: entry (%d,%d) = %x, serial %x",
+						tc.n, tc.d, workers, i/tc.n, i%tc.n, math.Float64bits(v), math.Float64bits(refCopy[i]))
+				}
+			}
+			releaseMatrix(km)
+		}
+	}
+}
+
+// TestLazyRowsMatchDenseFill pins the other half of the storage-mode
+// guarantee: lazily materialized rows (the serial path above
+// weightsExactCap) hold bit-identical values to the eager dense fill,
+// including the scalar at() fallback, in both the plain and cached-norms
+// distance regimes.
+func TestLazyRowsMatchDenseFill(t *testing.T) {
+	for _, d := range []int{8, 24} { // below and above dist.NormCachedMinDim
+		n := 300
+		ds := gaussCloud(n, d, int64(d))
+		ids := vec.Iota(n)
+		sigma := SigmaLowerBound(ds, ids)
+
+		lazy := newKernelMatrix(ds, ids, sigma, 1)
+		if lazy.full != nil {
+			t.Fatalf("d=%d: expected lazy storage at n=%d with one worker", d, n)
+		}
+		dense := newKernelMatrix(ds, ids, sigma, 2)
+		if dense.full == nil {
+			t.Fatalf("d=%d: expected dense storage with two workers", d)
+		}
+
+		// Scalar fallback before any row exists.
+		for _, pair := range [][2]int{{0, n - 1}, {7, 3}, {n / 2, n/2 + 1}} {
+			i, j := pair[0], pair[1]
+			if got, want := lazy.at(i, j), dense.at(i, j); got != want {
+				t.Errorf("d=%d: at(%d,%d) lazy %x dense %x", d, i, j,
+					math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+		// Full rows.
+		for _, i := range []int{0, 1, n / 3, n - 1} {
+			lr, dr := lazy.row(i), dense.row(i)
+			for j := 0; j < n; j++ {
+				if lr[j] != dr[j] {
+					t.Fatalf("d=%d: row %d entry %d lazy %x dense %x", d, i, j,
+						math.Float64bits(lr[j]), math.Float64bits(dr[j]))
+				}
+			}
+		}
+		releaseMatrix(lazy)
+		releaseMatrix(dense)
+	}
+}
+
+// TestTrainWorkersDeterministic verifies the end-to-end consequence: a
+// training run is bit-identical across worker counts, storage modes
+// included.
+func TestTrainWorkersDeterministic(t *testing.T) {
+	for _, d := range []int{8, 24} {
+		ds := gaussCloud(400, d, 11)
+		ids := vec.Iota(400)
+		times := make([]int, 400)
+		base, err := Train(ds, ids, Config{Nu: 0.1, Times: times, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			m, err := Train(ds, ids, Config{Nu: 0.1, Times: times, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Iterations != base.Iterations || m.R2 != base.R2 {
+				t.Fatalf("d=%d workers=%d: iterations/R2 %d/%v differ from serial %d/%v",
+					d, workers, m.Iterations, m.R2, base.Iterations, base.R2)
+			}
+			for i := range m.Alpha {
+				if m.Alpha[i] != base.Alpha[i] {
+					t.Fatalf("d=%d workers=%d: alpha[%d] differs", d, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// kktViolation returns the maximal-violating-pair gap of a trained model:
+// max over feasible down candidates of f_i minus min over feasible up
+// candidates of f_j. Convergence means the gap is below tolerance.
+func kktViolation(t *testing.T, ds *vec.Dataset, m *Model) float64 {
+	t.Helper()
+	km := newKernelMatrix(ds, m.IDs, m.Sigma, 1)
+	defer releaseMatrix(km)
+	n := len(m.IDs)
+	upVal, downVal := math.Inf(1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		var f float64
+		row := km.row(i)
+		for j := 0; j < n; j++ {
+			f += m.Alpha[j] * row[j]
+		}
+		if m.Alpha[i] < m.Upper[i]-svThreshold && f < upVal {
+			upVal = f
+		}
+		if m.Alpha[i] > svThreshold && f > downVal {
+			downVal = f
+		}
+	}
+	return downVal - upVal
+}
+
+// TestShrinkMatchesFullScan verifies that shrinking changes no observable
+// output: the final full-pass KKT re-check makes the shrunk solver converge
+// to a model satisfying the same conditions, and on these inputs the very
+// same iterate path.
+func TestShrinkMatchesFullScan(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		ds := gaussCloud(350, 6, seed)
+		ids := vec.Iota(350)
+		times := make([]int, 350)
+		full, err := Train(ds, ids, Config{Nu: 0.05, Times: times, NoShrink: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shrunk, err := Train(ds, ids, Config{Nu: 0.05, Times: times})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g := kktViolation(t, ds, shrunk); g >= defaultTol {
+			t.Errorf("seed %d: shrunk model violates KKT by %g", seed, g)
+		}
+		// Shrinking may select different pairs after the first prune, so the
+		// iterate paths can diverge — but both minimize the same convex dual
+		// to the same KKT gap, bounding the objective difference by O(tol).
+		if math.Abs(full.ObjectiveValue()-shrunk.ObjectiveValue()) > 1e-3 {
+			t.Errorf("seed %d: objective %g (shrink) vs %g (full scan)",
+				seed, shrunk.ObjectiveValue(), full.ObjectiveValue())
+		}
+		if s := shrunk.SumAlpha(); math.Abs(s-1) > 1e-9 {
+			t.Errorf("seed %d: sum alpha = %g", seed, s)
+		}
+	}
+}
+
+// TestWarmStartEquivalent verifies a warm-started training converges to the
+// same dual solution as a cold start at the same tolerance: equal objective
+// within tolerance, full KKT satisfied, feasible simplex mass.
+func TestWarmStartEquivalent(t *testing.T) {
+	ds := gaussCloud(500, 4, 9)
+	allIds := vec.Iota(500)
+	prev, err := Train(ds, allIds[:400], Config{Nu: 0.08, Times: make([]int, 400)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmAlpha := make([]float64, 500)
+	copy(warmAlpha, prev.Alpha)
+
+	cold, err := Train(ds, allIds, Config{Nu: 0.08, Times: make([]int, 500)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Train(ds, allIds, Config{Nu: 0.08, Times: make([]int, 500), WarmAlpha: warmAlpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := kktViolation(t, ds, warm); g >= defaultTol {
+		t.Errorf("warm model violates KKT by %g", g)
+	}
+	if s := warm.SumAlpha(); math.Abs(s-1) > 1e-9 {
+		t.Errorf("warm sum alpha = %g", s)
+	}
+	// Identical minima up to the solver tolerance: the dual is convex, so
+	// both runs end within tol-induced distance of the optimum.
+	if diff := math.Abs(warm.ObjectiveValue() - cold.ObjectiveValue()); diff > 1e-3 {
+		t.Errorf("warm objective %g vs cold %g (diff %g)",
+			warm.ObjectiveValue(), cold.ObjectiveValue(), diff)
+	}
+}
+
+// TestWarmStartRejectsBadLength pins the config validation.
+func TestWarmStartRejectsBadLength(t *testing.T) {
+	ds := gaussCloud(20, 2, 1)
+	if _, err := Train(ds, vec.Iota(20), Config{Nu: 0.5, WarmAlpha: make([]float64, 7)}); err == nil {
+		t.Fatal("want error for mismatched WarmAlpha length")
+	}
+}
+
+// TestInitAlpha covers the warm-start normalization cases directly.
+func TestInitAlpha(t *testing.T) {
+	upper := []float64{0.5, 0.5, 0.5, 0.5}
+	sum := func(a []float64) float64 {
+		var s float64
+		for _, v := range a {
+			s += v
+		}
+		return s
+	}
+
+	// Cold start: greedy cap-respecting fill.
+	a := make([]float64, 4)
+	initAlpha(a, upper, nil)
+	if a[0] != 0.5 || a[1] != 0.5 || a[2] != 0 || sum(a) != 1 {
+		t.Errorf("cold fill = %v", a)
+	}
+
+	// Excess mass scales down inside the boxes.
+	a = make([]float64, 4)
+	initAlpha(a, upper, []float64{0.5, 0.5, 0.5, 0.5})
+	if math.Abs(sum(a)-1) > 1e-12 || a[0] != 0.25 {
+		t.Errorf("scaled warm = %v", a)
+	}
+
+	// Deficit is pushed onto the nonzero entries first, keeping zeros zero.
+	a = make([]float64, 4)
+	initAlpha(a, upper, []float64{0.4, 0.2, 0, 0})
+	if math.Abs(sum(a)-1) > 1e-12 || a[2] != 0 || a[3] != 0 {
+		t.Errorf("sparse top-up = %v", a)
+	}
+
+	// Clamping: negatives and over-cap values land inside the box.
+	a = make([]float64, 4)
+	initAlpha(a, upper, []float64{2, -1, 0.25, 0})
+	if a[0] != 0.5 || a[1] != 0 || math.Abs(sum(a)-1) > 1e-12 {
+		t.Errorf("clamped warm = %v", a)
+	}
+
+	// All-zero warm vector falls back to the cold fill.
+	a = make([]float64, 4)
+	initAlpha(a, upper, []float64{0, 0, 0, 0})
+	if a[0] != 0.5 || a[1] != 0.5 || sum(a) != 1 {
+		t.Errorf("zero warm fill = %v", a)
+	}
+}
+
+// TestTopSupportVectorsTieBreak pins the deterministic ordering when
+// support vectors tie on boundary score: ids ascend.
+func TestTopSupportVectorsTieBreak(t *testing.T) {
+	m := &Model{
+		IDs:     []int32{42, 7, 19, 3, 88},
+		Alpha:   []float64{0.2, 0.2, 0.2, 0.2, 0.2},
+		Upper:   []float64{1, 1, 1, 1, 1},
+		svScore: []float64{0.5, 0.5, 0.5, 0.5, 0.5},
+	}
+	got := m.TopSupportVectors(3)
+	want := []int32{3, 7, 19}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("equal-score tie break = %v, want %v", got, want)
+		}
+	}
+	// Mixed scores: higher score first, ties among the rest by id.
+	m.svScore = []float64{0.5, 0.9, 0.5, 0.5, 0.5}
+	got = m.TopSupportVectors(3)
+	want = []int32{7, 3, 19}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mixed-score tie break = %v, want %v", got, want)
+		}
+	}
+	// Nil svScore (untrained construction) must not panic and still order
+	// by id on the all-equal scores.
+	m.svScore = nil
+	got = m.TopSupportVectors(2)
+	want = []int32{3, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("nil-score tie break = %v, want %v", got, want)
+		}
+	}
+}
+
+// benchTrainConfig mirrors a DBSVEC training round at the acceptance shape
+// ñ=512, d=8.
+func benchTrainConfig() Config {
+	return Config{Nu: 0.1, Times: make([]int, 512), Dim: 8, MinPts: 100}
+}
+
+// BenchmarkTrain512d8 is the acceptance micro-benchmark recorded in
+// internal/svdd/README.md. The serial baseline forces the non-adaptive
+// eager fill with a full-scan solver; the fast variants layer the adaptive
+// fill strategy, shrinking and parallel workers on top.
+func BenchmarkTrain512d8(b *testing.B) {
+	ds := gaussCloud(512, 8, 3)
+	ids := vec.Iota(512)
+	run := func(b *testing.B, cfg Config, eager bool) {
+		forceEagerFill = eager
+		defer func() { forceEagerFill = false }()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Train(ds, ids, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("baseline-eager-serial", func(b *testing.B) {
+		cfg := benchTrainConfig()
+		cfg.Workers, cfg.NoShrink = 1, true
+		run(b, cfg, true)
+	})
+	b.Run("fast-serial", func(b *testing.B) {
+		cfg := benchTrainConfig()
+		cfg.Workers = 1
+		run(b, cfg, false)
+	})
+	b.Run("fast-workers8", func(b *testing.B) {
+		cfg := benchTrainConfig()
+		cfg.Workers = 8
+		run(b, cfg, false)
+	})
+}
+
+// BenchmarkKernelFill512 isolates the dense fill the tentpole parallelizes.
+func BenchmarkKernelFill512(b *testing.B) {
+	ds := gaussCloud(512, 8, 3)
+	ids := vec.Iota(512)
+	sigma := SigmaLowerBound(ds, ids)
+	for _, workers := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			forceEagerFill = true
+			defer func() { forceEagerFill = false }()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				km := newKernelMatrix(ds, ids, sigma, workers)
+				releaseMatrix(km)
+			}
+		})
+	}
+}

@@ -5,19 +5,25 @@ import (
 	"sync"
 
 	"dbsvec/internal/dist"
+	"dbsvec/internal/engine"
 	"dbsvec/internal/vec"
 )
 
 // GaussianKernel evaluates the Gaussian (RBF) kernel of Eq. 6,
 // K(a,b) = exp(-||a-b||² / (2σ²)).
 func GaussianKernel(a, b []float64, sigma float64) float64 {
-	return math.Exp(-vec.SqDist(a, b) / (2 * sigma * sigma))
+	return math.Exp(-dist.SqDist(a, b) / (2 * sigma * sigma))
 }
 
 // kernelMatrix is a symmetric ñ×ñ Gaussian kernel matrix over a target set.
-// Small targets are materialized densely; larger ones compute rows lazily
-// and cache them, which keeps SMO at the paper's O(ñ) per iteration
-// (Section IV-D) — only the rows the solver actually touches are evaluated.
+// Small targets (ñ <= weightsExactCap, whose exact adaptive-weights pass
+// needs every row anyway) are materialized eagerly; with Workers > 1 the
+// eager fill extends to denseCap and fans out across the worker pool. All
+// other targets compute rows lazily and cache them, which keeps SMO at the
+// paper's O(ñ) per iteration (Section IV-D) — only the rows the solver
+// actually touches are evaluated, and with few support vectors that is a
+// small fraction of the matrix. Both representations produce bit-identical
+// entries (see at), so the storage choice never changes a trained model.
 type kernelMatrix struct {
 	ds    *vec.Dataset
 	m     dist.Matrix
@@ -33,10 +39,34 @@ type kernelMatrix struct {
 	norms []float64
 }
 
-// denseCap is the largest target size for which the dense ñ×ñ kernel matrix
-// is materialized eagerly. Beyond it, lazy rows win because SMO touches a
-// small fraction of the matrix.
-const denseCap = 256
+// denseCap is the largest target size for which the ñ×ñ kernel matrix is
+// materialized eagerly when Workers > 1. It matches the default
+// MaxSVDDTarget cap, so parallel DBSVEC training rounds always take the
+// dense path: the eager fill is embarrassingly parallel (ForRanges across
+// the worker pool), while the lazy rows above serialize on the solver's
+// access order. With a single worker the eager fill has no parallelism to
+// exploit and computing the full matrix would waste work whenever the
+// solver touches only a fraction of the rows, so serial trainings stay lazy
+// above weightsExactCap.
+const denseCap = 1024
+
+// weightsExactCap is the largest target size for which the adaptive weights
+// (Eq. 7) use exact kernel row sums — which read every row, so matrices up
+// to this size are always filled eagerly. Beyond it the pivot-sampled
+// estimate is used even when the matrix is dense. The cutoff matches the
+// historical dense-storage bound so weight vectors — and hence trained
+// models — are unchanged by the widened parallel denseCap.
+const weightsExactCap = 256
+
+// forceEagerFill makes newKernelMatrix materialize every target up to
+// denseCap eagerly even with one worker — the strategy a non-adaptive
+// serial implementation would use. Package benchmarks flip it to measure
+// the adaptive fill against that baseline; it is never set in production.
+var forceEagerFill = false
+
+// parallelFillMin is the smallest target size worth fanning the dense fill
+// across workers; below it goroutine startup dominates the O(ñ²) fill.
+const parallelFillMin = 128
 
 // matrixPool recycles dense kernel-matrix backing slices. DBSVEC trains
 // SVDD hundreds of times per run with similar target sizes, so reuse avoids
@@ -53,39 +83,84 @@ func getMatrixBuf(n int) []float64 {
 	return make([]float64, n)
 }
 
-// releaseMatrix returns the model's dense matrix to the pool; called by
-// Train once the solver is done with it.
+// rowPool recycles lazy kernel rows the same way: SMO materializes a row per
+// touched target, and consecutive trainings touch similar row counts at
+// similar lengths.
+var rowPool sync.Pool
+
+func getRowBuf(n int) []float64 {
+	if v := rowPool.Get(); v != nil {
+		buf := v.([]float64)
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// releaseMatrix returns the model's dense matrix and any materialized lazy
+// rows to their pools; called by Train once the solver is done with them.
 func releaseMatrix(km *kernelMatrix) {
 	if km.full != nil {
 		matrixPool.Put(km.full) //nolint:staticcheck // slice reuse is the point
 		km.full = nil
 	}
+	for i, r := range km.rows {
+		if r != nil {
+			rowPool.Put(r) //nolint:staticcheck // slice reuse is the point
+			km.rows[i] = nil
+		}
+	}
 	km.rows = nil
 }
 
-func newKernelMatrix(ds *vec.Dataset, ids []int32, sigma float64) *kernelMatrix {
+// newKernelMatrix builds the kernel matrix for the target set, fanning the
+// dense fill across workers goroutines (<= 1 fills serially).
+func newKernelMatrix(ds *vec.Dataset, ids []int32, sigma float64, workers int) *kernelMatrix {
 	km := &kernelMatrix{ds: ds, m: ds.Matrix(), ids: ids, gamma: 1 / (2 * sigma * sigma), n: len(ids)}
 	if ds.Dim() >= dist.NormCachedMinDim {
 		km.norms = dist.NormsIDs(km.m, ids)
 	}
-	if km.n <= denseCap {
+	eager := km.n <= weightsExactCap ||
+		(km.n <= denseCap && (workers > 1 || forceEagerFill))
+	if eager {
 		km.full = getMatrixBuf(km.n * km.n)
-		scratch := make([]float64, km.n)
-		for i := 0; i < km.n; i++ {
-			km.full[i*km.n+i] = 1
-			row := scratch[:km.n-i-1]
-			km.sqRow(i, i+1, row)
-			for k, d2 := range row {
-				v := math.Exp(-d2 * km.gamma)
-				j := i + 1 + k
-				km.full[i*km.n+j] = v
-				km.full[j*km.n+i] = v
-			}
-		}
+		km.fillDense(workers)
 	} else {
 		km.rows = make([][]float64, km.n)
 	}
 	return km
+}
+
+// fillDense computes the dense matrix: the upper triangle row by row via the
+// batched distance kernels, mirrored into the lower triangle. With
+// workers > 1 the rows are partitioned into contiguous ranges of equal
+// entry count (row i contributes n−i−1 upper-triangle entries) and filled
+// concurrently. Each unordered pair (i,j) is written exactly once — by the
+// range owning min(i,j) — so ranges touch disjoint matrix entries, and each
+// entry is computed with the exact arithmetic of the serial fill: the
+// parallel result is bit-identical for every worker count.
+func (km *kernelMatrix) fillDense(workers int) {
+	n := km.n
+	fill := func(lo, hi int) {
+		scratch := make([]float64, n)
+		for i := lo; i < hi; i++ {
+			km.full[i*n+i] = 1
+			row := scratch[:n-i-1]
+			km.sqRow(i, i+1, row)
+			for k, d2 := range row {
+				v := math.Exp(-d2 * km.gamma)
+				j := i + 1 + k
+				km.full[i*n+j] = v
+				km.full[j*n+i] = v
+			}
+		}
+	}
+	if workers <= 1 || n < parallelFillMin {
+		fill(0, n)
+		return
+	}
+	engine.ForRanges(workers, n, func(i int) int64 { return int64(n - i - 1) }, fill)
 }
 
 // sqRow writes the squared distances from target i to targets
@@ -110,7 +185,7 @@ func (km *kernelMatrix) row(i int) []float64 {
 	if r := km.rows[i]; r != nil {
 		return r
 	}
-	r := make([]float64, km.n)
+	r := getRowBuf(km.n)
 	km.sqRow(i, 0, r)
 	for j := range r {
 		r[j] = math.Exp(-r[j] * km.gamma)
@@ -120,7 +195,13 @@ func (km *kernelMatrix) row(i int) []float64 {
 	return r
 }
 
-// at returns K(i,j) without forcing a whole row when neither is cached.
+// at returns K(i,j) without forcing a whole row when neither is cached. The
+// scalar fallback mirrors the batched row kernels entry for entry — plain
+// SqDist below the norm-caching threshold, the cached-norms identity above
+// it — so the value is bit-identical to what a materialized row would hold.
+// IEEE addition and multiplication are commutative, so the identity is also
+// symmetric in (i,j); together this makes every K(i,j) independent of the
+// storage mode, the fill order and the worker count.
 func (km *kernelMatrix) at(i, j int) float64 {
 	if i == j {
 		return 1
@@ -134,7 +215,16 @@ func (km *kernelMatrix) at(i, j int) float64 {
 	if r := km.rows[j]; r != nil {
 		return r[i]
 	}
-	return math.Exp(-vec.SqDist(km.ds.Point(int(km.ids[i])), km.ds.Point(int(km.ids[j]))) * km.gamma)
+	var d2 float64
+	if km.norms != nil {
+		d2 = km.norms[j] + km.norms[i] - 2*dist.Dot(km.m.Row(int(km.ids[j])), km.m.Row(int(km.ids[i])))
+		if d2 < 0 {
+			d2 = 0
+		}
+	} else {
+		d2 = dist.SqDist(km.m.Row(int(km.ids[i])), km.m.Row(int(km.ids[j])))
+	}
+	return math.Exp(-d2 * km.gamma)
 }
 
 // KernelDistances evaluates the kernel distance function D(x) of Eq. 5 for

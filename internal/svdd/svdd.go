@@ -16,7 +16,13 @@
 //	subject to  0 ≤ α_i ≤ ω_i·C,  Σ α_i = 1,
 //
 // optimized by repeatedly selecting the maximal-violating pair and moving
-// mass between its two multipliers in closed form.
+// mass between its two multipliers in closed form. The training fast path
+// adds three layers on top (see internal/svdd/README.md and the "SVDD
+// solver internals" section of DESIGN.md): the dense kernel fill fans out
+// across a worker pool, a shrinking heuristic drops bound-pinned
+// multipliers from the working set (with a final full-pass KKT re-check so
+// converged models are unchanged), and incremental rounds can warm-start
+// from the previous round's multipliers.
 package svdd
 
 import (
@@ -25,6 +31,7 @@ import (
 	"math"
 	"sort"
 
+	"dbsvec/internal/engine"
 	"dbsvec/internal/vec"
 )
 
@@ -60,6 +67,22 @@ type Config struct {
 	// objective decrease. Usually converges in fewer iterations at a higher
 	// per-iteration cost.
 	SecondOrder bool
+	// Workers fans the dense kernel-matrix fill across this many goroutines
+	// with deterministic row-range partitioning (bit-identical to the
+	// serial fill for every value). <= 1 fills on the calling goroutine.
+	Workers int
+	// WarmAlpha, when non-nil, warm-starts the solver from these Lagrange
+	// multipliers (aligned with the target ids; new points carry 0). The
+	// values are clamped into [0, ω_i·C] and renormalized to Σα = 1, so any
+	// previous round's multipliers are a valid start. nil cold-starts with
+	// the greedy cap-respecting fill.
+	WarmAlpha []float64
+	// NoShrink disables the shrinking working-set heuristic, restoring the
+	// full scan over every multiplier each iteration. Kept for A/B
+	// benchmarking and differential tests: converged models are the same
+	// either way, because shrinking always ends with a full-pass KKT
+	// re-check.
+	NoShrink bool
 }
 
 // Model is a trained SVDD description of a target set.
@@ -77,6 +100,9 @@ type Model struct {
 	R2 float64
 	// Iterations is the number of SMO pair updates performed.
 	Iterations int
+	// Times is the per-stage wall-clock of this training (kernel fill /
+	// SMO solve / radius extraction), for the engine's run statistics.
+	Times engine.SVDDTimes
 
 	ds       *vec.Dataset
 	alphaDot float64   // αᵀKα, cached for Eval
@@ -104,6 +130,9 @@ func Train(ds *vec.Dataset, ids []int32, cfg Config) (*Model, error) {
 	}
 	if cfg.Nu < 0 || cfg.Nu > 1 {
 		return nil, fmt.Errorf("%w: %g", ErrBadNu, cfg.Nu)
+	}
+	if cfg.WarmAlpha != nil && len(cfg.WarmAlpha) != n {
+		return nil, fmt.Errorf("svdd: warm alphas length %d does not match target size %d", len(cfg.WarmAlpha), n)
 	}
 	nu := cfg.Nu
 	if nu == 0 {
@@ -136,7 +165,8 @@ func Train(ds *vec.Dataset, ids []int32, cfg Config) (*Model, error) {
 		return m, nil
 	}
 
-	km := newKernelMatrix(ds, ids, sigma)
+	fill := engine.StartPhase()
+	km := newKernelMatrix(ds, ids, sigma, cfg.Workers)
 
 	weights := cfg.Weights
 	if cfg.Times != nil {
@@ -172,25 +202,33 @@ func Train(ds *vec.Dataset, ids []int32, cfg Config) (*Model, error) {
 		}
 	}
 	m.Upper = upper
+	fill.Stop(&m.Times.Fill)
 
-	m.solveSMO(km, tol, maxIter, cfg.SecondOrder)
+	solve := engine.StartPhase()
+	m.solveSMO(km, tol, maxIter, cfg.SecondOrder, !cfg.NoShrink, cfg.WarmAlpha)
+	solve.Stop(&m.Times.Solve)
+
+	fin := engine.StartPhase()
 	m.finish(km)
+	fin.Stop(&m.Times.Finish)
 	releaseMatrix(km)
 	return m, nil
 }
 
-// adaptiveWeights evaluates Eq. 7 from a prepared kernel matrix. For dense
-// matrices the kernel distance D_i = c + 1 − (2/ñ)·Σ_j K_ij falls out of
-// the exact row sums. For lazy matrices it is estimated from a fixed set of
-// evenly spaced pivot rows: D̂_i = ĉ + 1 − (2/m)·Σ_{p∈pivots} K_ip. Only
-// the *ranking* of distances matters for the weights (they are normalized
-// by the maximum), so the estimate preserves the behaviour at a fraction of
-// the O(ñ²) cost — this keeps each SVDD training linear in ñ as the paper's
-// cost analysis assumes.
+// adaptiveWeights evaluates Eq. 7 from a prepared kernel matrix. For small
+// dense matrices (ñ <= weightsExactCap) the kernel distance
+// D_i = c + 1 − (2/ñ)·Σ_j K_ij falls out of the exact row sums. For larger
+// targets it is estimated from a fixed set of evenly spaced pivot rows:
+// D̂_i = ĉ + 1 − (2/m)·Σ_{p∈pivots} K_ip. Only the *ranking* of distances
+// matters for the weights (they are normalized by the maximum), so the
+// estimate preserves the behaviour at a fraction of the O(ñ²) cost — this
+// keeps each SVDD training linear in ñ as the paper's cost analysis
+// assumes. The cutoff is independent of the storage layout so that the
+// widened dense cap leaves weight vectors unchanged.
 func adaptiveWeights(km *kernelMatrix, times []int, lambda float64) []float64 {
 	n := km.n
 	dists := make([]float64, n)
-	if km.full != nil {
+	if km.full != nil && n <= weightsExactCap {
 		rowSums := make([]float64, n)
 		var double float64
 		for i := 0; i < n; i++ {
@@ -256,20 +294,113 @@ func adaptiveWeights(km *kernelMatrix, times []int, lambda float64) []float64 {
 	return w
 }
 
-// solveSMO runs SMO on the dual with first-order (maximal violating pair)
-// or second-order (WSS2) working-set selection.
-func (m *Model) solveSMO(km *kernelMatrix, tol float64, maxIter int, secondOrder bool) {
-	n := len(m.IDs)
-	alpha := m.Alpha
-	upper := m.Upper
-
-	// Feasible start: distribute the unit mass greedily respecting caps.
+// initAlpha establishes the feasible starting point: the warm-started
+// previous-round multipliers when supplied (clamped into the new boxes and
+// renormalized to Σα = 1 in a cap-aware way), else the greedy fill that
+// distributes the unit mass respecting caps.
+func initAlpha(alpha, upper, warm []float64) {
+	if warm != nil {
+		var sum float64
+		for i := range alpha {
+			a := warm[i]
+			if a < 0 {
+				a = 0
+			}
+			if a > upper[i] {
+				a = upper[i]
+			}
+			alpha[i] = a
+			sum += a
+		}
+		switch {
+		case sum > 1:
+			// Scaling down keeps every multiplier inside its box.
+			scale := 1 / sum
+			for i := range alpha {
+				alpha[i] *= scale
+			}
+			return
+		case sum > 0:
+			// Deficit: push the missing mass back onto the already-nonzero
+			// multipliers (the previous round's support vectors),
+			// proportionally to their remaining headroom. Keeping the start
+			// vector as sparse as the previous solution matters more than
+			// where exactly the mass lands — every nonzero multiplier costs
+			// a kernel row for the initial gradient and an SMO step to clear
+			// if misplaced. A greedy pass over the full target absorbs
+			// whatever the support vectors' boxes cannot take (feasibility
+			// Σ upper > 1 is guaranteed by the cap setup in Train).
+			rem := 1 - sum
+			for pass := 0; pass < 4 && rem > 1e-15; pass++ {
+				var headroom float64
+				for i := range alpha {
+					if alpha[i] > 0 {
+						headroom += upper[i] - alpha[i]
+					}
+				}
+				if headroom <= 0 {
+					break
+				}
+				scale := rem / headroom
+				if scale > 1 {
+					scale = 1
+				}
+				for i := range alpha {
+					if alpha[i] > 0 {
+						add := (upper[i] - alpha[i]) * scale
+						alpha[i] += add
+						rem -= add
+					}
+				}
+			}
+			for i := 0; i < len(alpha) && rem > 0; i++ {
+				add := upper[i] - alpha[i]
+				if add > rem {
+					add = rem
+				}
+				if add > 0 {
+					alpha[i] += add
+					rem -= add
+				}
+			}
+			return
+		}
+		// sum == 0 (all-new target or zeroed warm vector): cold start below.
+	}
 	remaining := 1.0
-	for i := 0; i < n && remaining > 0; i++ {
+	for i := 0; i < len(alpha) && remaining > 0; i++ {
 		a := math.Min(upper[i], remaining)
 		alpha[i] = a
 		remaining -= a
 	}
+}
+
+// shrinkPeriod is the number of SMO iterations between working-set pruning
+// passes. Pruning costs one scan over the active set, so it must be
+// amortized over enough iterations; too long and the solver keeps scanning
+// multipliers that have been pinned at their bounds for hundreds of
+// iterations.
+const shrinkPeriod = 64
+
+// solveSMO runs SMO on the dual with first-order (maximal violating pair)
+// or second-order (WSS2) working-set selection.
+//
+// With shrink set, the solver maintains an active working set: every
+// shrinkPeriod iterations, multipliers pinned at a bound that cannot
+// currently form a tol-violating pair (α_i = 0 with f_i within tol of the
+// maximal gradient, or α_i = u_i with f_i within tol of the minimal one)
+// are dropped from selection and from the incremental gradient update, so
+// late iterations cost O(|A|) instead of O(ñ). When the active set
+// converges, the gradient of every inactive multiplier is reconstructed and
+// a full-pass KKT re-check runs over all ñ points; only if that passes is
+// the model declared converged, so shrinking never changes the KKT
+// conditions a converged model satisfies.
+func (m *Model) solveSMO(km *kernelMatrix, tol float64, maxIter int, secondOrder, shrink bool, warm []float64) {
+	n := len(m.IDs)
+	alpha := m.Alpha
+	upper := m.Upper
+
+	initAlpha(alpha, upper, warm)
 
 	// f_i = Σ_j α_j K_ij maintained incrementally. The gradient of αᵀKα is
 	// 2f; SMO moves mass from the max-gradient "down" candidate to the
@@ -286,12 +417,39 @@ func (m *Model) solveSMO(km *kernelMatrix, tol float64, maxIter int, secondOrder
 		}
 	}
 
+	// The active working set, as indices into the target. activeMask mirrors
+	// it for the gradient reconstruction; shrunk records whether any
+	// multiplier is currently excluded.
+	active := make([]int32, n)
+	for i := range active {
+		active[i] = int32(i)
+	}
+	var activeMask []bool
+	shrunk := false
+	sincePrune := 0
+
+	// unshrink brings every excluded multiplier back: gradients of the
+	// inactive points are reconstructed and the working set reset to the
+	// full target, so the next selection pass checks the full KKT
+	// conditions.
+	unshrink := func() {
+		reconstructGradient(km, alpha, f, activeMask)
+		active = active[:0]
+		for i := 0; i < n; i++ {
+			active = append(active, int32(i))
+			activeMask[i] = true
+		}
+		shrunk = false
+		sincePrune = 0
+	}
+
 	for iter := 0; iter < maxIter; iter++ {
 		// Select the up candidate (smallest gradient among points that can
 		// grow) and the maximal-violation down candidate.
 		up, down := -1, -1
 		upVal, downVal := math.Inf(1), math.Inf(-1)
-		for i := 0; i < n; i++ {
+		for _, ii := range active {
+			i := int(ii)
 			if alpha[i] < upper[i]-svThreshold && f[i] < upVal {
 				upVal, up = f[i], i
 			}
@@ -300,15 +458,24 @@ func (m *Model) solveSMO(km *kernelMatrix, tol float64, maxIter int, secondOrder
 			}
 		}
 		if up < 0 || down < 0 || downVal-upVal < tol {
-			m.Iterations = iter
-			return
+			if !shrunk {
+				m.Iterations = iter
+				return
+			}
+			// Final full-pass KKT re-check: bring the gradients of the
+			// shrunk multipliers up to date, reactivate everything and
+			// re-run the selection. A converged verdict is therefore always
+			// issued against the full KKT conditions.
+			unshrink()
+			continue
 		}
 		if secondOrder {
 			// WSS2: re-pick the down candidate to maximize the predicted
 			// objective decrease (f_j − f_up)² / η against up.
 			rowUp := km.row(up)
 			best, bestGain := -1, 0.0
-			for j := 0; j < n; j++ {
+			for _, jj := range active {
+				j := int(jj)
 				if alpha[j] <= svThreshold || f[j]-upVal < tol {
 					continue
 				}
@@ -343,17 +510,87 @@ func (m *Model) solveSMO(km *kernelMatrix, tol float64, maxIter int, secondOrder
 			delta = alpha[j]
 		}
 		if delta <= 0 {
-			m.Iterations = iter
-			return
+			if !shrunk {
+				m.Iterations = iter
+				return
+			}
+			// Numerically stuck pair inside a shrunk working set: run the
+			// same full re-check as the converged path — the full set may
+			// offer a pair that can still move.
+			unshrink()
+			continue
 		}
 		alpha[i] += delta
 		alpha[j] -= delta
 		rowI := km.row(i)
 		rowJ := km.row(j)
-		for k := 0; k < n; k++ {
+		for _, kk := range active {
+			k := int(kk)
 			f[k] += delta * (rowI[k] - rowJ[k])
 		}
 		m.Iterations = iter + 1
+
+		if !shrink {
+			continue
+		}
+		sincePrune++
+		if sincePrune < shrinkPeriod {
+			continue
+		}
+		sincePrune = 0
+		if activeMask == nil {
+			activeMask = make([]bool, n)
+			for i := range activeMask {
+				activeMask[i] = true
+			}
+		}
+		// Prune multipliers pinned at a bound that cannot currently form a
+		// violating pair: at the lower bound they could only serve as the
+		// up side, which needs downVal − f_i ≥ tol; at the upper bound only
+		// as the down side, needing f_i − upVal ≥ tol. The extremes are the
+		// pre-step selection values — a conservative snapshot, corrected by
+		// the full re-check at convergence.
+		out := active[:0]
+		for _, ii := range active {
+			k := int(ii)
+			atLower := alpha[k] <= svThreshold
+			atUpper := alpha[k] >= upper[k]-svThreshold
+			if (atLower && downVal-f[k] < tol) || (atUpper && f[k]-upVal < tol) {
+				activeMask[k] = false
+				shrunk = true
+				continue
+			}
+			out = append(out, ii)
+		}
+		active = out
+	}
+}
+
+// reconstructGradient recomputes f_i = Σ_j α_j K_ij for every inactive
+// multiplier (the active ones are maintained incrementally). Cost is
+// O(#SV · #inactive) row accesses — paid once per unshrink, not per
+// iteration.
+func reconstructGradient(km *kernelMatrix, alpha, f []float64, activeMask []bool) {
+	n := len(alpha)
+	stale := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if !activeMask[i] {
+			f[i] = 0
+			stale = append(stale, int32(i))
+		}
+	}
+	if len(stale) == 0 {
+		return
+	}
+	for j := 0; j < n; j++ {
+		if alpha[j] == 0 {
+			continue
+		}
+		row := km.row(j)
+		aj := alpha[j]
+		for _, ii := range stale {
+			f[ii] += aj * row[ii]
+		}
 	}
 }
 
@@ -484,6 +721,12 @@ func (m *Model) Eval(x []float64) float64 {
 	}
 	return 1 - 2*s + m.alphaDot - m.R2
 }
+
+// ObjectiveValue returns the dual objective αᵀKα at the trained solution —
+// the quantity SMO minimizes. Differential tests compare it across solver
+// configurations (shrinking on/off, warm vs cold start), which must agree
+// up to the convergence tolerance.
+func (m *Model) ObjectiveValue() float64 { return m.alphaDot }
 
 // SumAlpha returns Σα (1 up to solver tolerance); exposed for tests.
 func (m *Model) SumAlpha() float64 {

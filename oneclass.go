@@ -3,6 +3,7 @@ package dbsvec
 import (
 	"fmt"
 
+	"dbsvec/internal/engine"
 	"dbsvec/internal/svdd"
 	"dbsvec/internal/vec"
 )
@@ -16,6 +17,10 @@ type OneClassOptions struct {
 	// Sigma is the Gaussian kernel width; 0 selects the paper's σ = r/√2
 	// rule over the training set (Section IV-B2).
 	Sigma float64
+	// Workers fans the kernel-matrix fill across this many goroutines with
+	// output bit-identical to the serial fill. 0 selects all CPUs, 1 runs
+	// sequentially.
+	Workers int
 }
 
 // OneClassModel is a trained Support Vector Domain Description: a minimal
@@ -35,7 +40,11 @@ func TrainOneClass(d *Dataset, opts OneClassOptions) (*OneClassModel, error) {
 	if nu == 0 {
 		nu = 0.1
 	}
-	m, err := svdd.Train(d.ds, vec.Iota(d.Len()), svdd.Config{Nu: nu, Sigma: opts.Sigma})
+	m, err := svdd.Train(d.ds, vec.Iota(d.Len()), svdd.Config{
+		Nu:      nu,
+		Sigma:   opts.Sigma,
+		Workers: engine.ResolveWorkers(opts.Workers),
+	})
 	if err != nil {
 		return nil, err
 	}
