@@ -5,7 +5,7 @@
 //
 //	benchall [-exp fig6a] [-full] [-seed 1] [-budget 30s] [-workers 0]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
-//	         [-svddjson BENCH_svdd.json] [-list]
+//	         [-svddjson BENCH_svdd.json] [-indexjson BENCH_index.json] [-list]
 //
 // By default every experiment runs in quick mode (reduced cardinalities so
 // the suite finishes in minutes). -full approaches the paper's scales and
@@ -36,6 +36,7 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the harness run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at harness exit to this file")
 		svddjson   = flag.String("svddjson", "BENCH_svdd.json", "path for the svdd experiment's machine-readable report (empty = skip)")
+		indexjson  = flag.String("indexjson", "BENCH_index.json", "path for the index experiment's machine-readable report (empty = skip)")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -61,7 +62,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	cfg := experiments.Config{Quick: !*full, Seed: *seed, Budget: *budget, Workers: *workers, SVDDJSONPath: *svddjson}
+	cfg := experiments.Config{Quick: !*full, Seed: *seed, Budget: *budget, Workers: *workers, SVDDJSONPath: *svddjson, IndexJSONPath: *indexjson}
 	start := time.Now()
 	var err error
 	if *exp == "" {

@@ -131,6 +131,9 @@ func run(algo string, eps float64, minPts, k int, nu float64, inPath, outPath st
 			fmt.Fprintf(os.Stderr, "seeds=%d supportVectors=%d merges=%d noiseList=%d rangeQueries=%d rangeCounts=%d svddTrainings=%d\n",
 				s.Seeds, s.SupportVectors, s.Merges, s.NoiseList, s.RangeQueries, s.RangeCounts, s.SVDDTrainings)
 		}
+		if b := res.Stats.IndexBuild; b > 0 {
+			fmt.Fprintf(os.Stderr, "indexBuild=%s\n", b.Round(time.Microsecond))
+		}
 		if p := res.Stats.Phases; p.Total() > 0 {
 			fmt.Fprintf(os.Stderr, "phaseInit=%s phaseExpand=%s phaseVerify=%s\n",
 				p.Init.Round(time.Microsecond), p.Expand.Round(time.Microsecond), p.Verify.Round(time.Microsecond))

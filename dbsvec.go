@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"dbsvec/internal/cluster"
 	"dbsvec/internal/core"
@@ -47,14 +48,18 @@ const (
 	IndexVPTree
 )
 
-func (k IndexKind) builder(eps float64, dim int) (index.Builder, error) {
+// builder resolves the backend's construction function. workers sizes the
+// parallel bulk loads of the tree and grid backends (<= 0 selects all CPUs);
+// every backend builds bit-identical structures for every worker count, so
+// workers only affects build wall-clock, never clustering output.
+func (k IndexKind) builder(eps float64, dim, workers int) (index.Builder, error) {
 	switch k {
 	case IndexLinear:
 		return index.BuildLinear, nil
 	case IndexKDTree:
-		return kdtree.Build, nil
+		return kdtree.BuildWorkers(workers), nil
 	case IndexRTree:
-		return rtree.Build, nil
+		return rtree.BuildWorkers(workers), nil
 	case IndexGrid:
 		w := eps
 		if dim > 0 && eps > 0 {
@@ -63,13 +68,13 @@ func (k IndexKind) builder(eps float64, dim int) (index.Builder, error) {
 		if w <= 0 {
 			return nil, fmt.Errorf("dbsvec: grid index requires eps > 0")
 		}
-		return grid.BuildWidth(w), nil
+		return grid.BuildWidthWorkers(w, workers), nil
 	case IndexParallel:
 		return index.BuildParallel, nil
 	case IndexPyramid:
 		return pyramid.Build, nil
 	case IndexVPTree:
-		return vptree.Build, nil
+		return vptree.BuildWorkers(workers), nil
 	default:
 		return nil, fmt.Errorf("dbsvec: unknown index kind %d", k)
 	}
@@ -159,6 +164,9 @@ type Stats struct {
 	RangeCounts  int64
 	// SVDDTrainings is the number of SVDD models fitted.
 	SVDDTrainings int
+	// IndexBuild is the wall-clock spent constructing the range-query index
+	// before clustering; like Phases it varies run to run.
+	IndexBuild time.Duration
 	// Phases is the engine's wall-clock breakdown of the run; unlike the
 	// counters above it varies run to run.
 	Phases PhaseTimes
@@ -202,7 +210,7 @@ func ClusterContext(ctx context.Context, d *Dataset, opts Options) (*Result, err
 	if d == nil {
 		return nil, core.ErrNilDataset
 	}
-	build, err := opts.Index.builder(opts.Eps, d.Dim())
+	build, err := opts.Index.builder(opts.Eps, d.Dim(), opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -234,6 +242,7 @@ func ClusterContext(ctx context.Context, d *Dataset, opts Options) (*Result, err
 		RangeQueries:   st.RangeQueries,
 		RangeCounts:    st.RangeCounts,
 		SVDDTrainings:  st.SVDDTrainings,
+		IndexBuild:     st.IndexBuild,
 		Phases:         st.Phases,
 		SVDD:           st.SVDD,
 	}

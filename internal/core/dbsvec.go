@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"dbsvec/internal/cluster"
 	"dbsvec/internal/engine"
@@ -144,6 +145,10 @@ type Stats struct {
 	SVDDTrainings int
 	// SVDDIterations is the total number of SMO pair updates.
 	SVDDIterations int64
+	// IndexBuild is the wall-clock spent constructing the range-query index
+	// before clustering starts. Not part of the θ model; determinism
+	// comparisons must ignore it.
+	IndexBuild time.Duration
 	// Phases is the per-phase wall-clock breakdown (Init = seed sweep,
 	// Expand = SV expansion, Verify = noise verification). Not part of the
 	// θ model; determinism comparisons must ignore it.
@@ -235,7 +240,9 @@ func Run(ds *vec.Dataset, opts Options) (*cluster.Result, Stats, error) {
 	}
 
 	n := ds.Len()
+	buildStart := time.Now()
 	idx := build(ds)
+	indexBuild := time.Since(buildStart)
 	r := &runner{
 		ds:         ds,
 		opts:       opts,
@@ -247,6 +254,7 @@ func Run(ds *vec.Dataset, opts Options) (*cluster.Result, Stats, error) {
 		core:       make([]coreState, n),
 		rng:        rand.New(rand.NewSource(opts.Seed)),
 	}
+	r.stats.IndexBuild = indexBuild
 	for i := range r.labels {
 		r.labels[i] = cluster.Unclassified
 	}

@@ -68,6 +68,7 @@ func TestWorkersDeterminism(t *testing.T) {
 			a, b := baseStats, st
 			a.Phases, b.Phases = engine.PhaseTimes{}, engine.PhaseTimes{}
 			a.SVDD, b.SVDD = engine.SVDDTimes{}, engine.SVDDTimes{}
+			a.IndexBuild, b.IndexBuild = 0, 0
 			if a != b {
 				t.Errorf("dataset %d: θ-term stats differ between workers=1 (%+v) and workers=%d (%+v)", di, a, workers, b)
 			}

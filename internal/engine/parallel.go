@@ -43,6 +43,77 @@ func ForRanges(workers, n int, weight func(i int) int64, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
+// Ranges returns the deterministic boundaries ForRanges(workers, n, nil, fn)
+// would use: bounds[r], bounds[r+1] delimit range r, half-open. Exposed for
+// callers that fan work out themselves but must merge per-range results in
+// a fixed order (e.g. the grid's parallel bounds pass).
+func Ranges(workers, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return []int{0, n}
+	}
+	return splitWeighted(n, workers, nil)
+}
+
+// Tasks is a bounded spawner for recursive divide-and-conquer work such as
+// the parallel index builds: at a fork the caller offers one branch to Try
+// and descends into the other itself, so at most `workers` goroutines
+// (including the caller) ever run. Because the work partition of those
+// builds is fixed before any task runs — node layouts and id ranges are
+// precomputed, never negotiated between goroutines — the result is
+// bit-identical for every worker count; Tasks only decides *where* a
+// subtree is built, never *what* it contains.
+//
+// A nil *Tasks is valid and never spawns, which is the serial path.
+type Tasks struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+}
+
+// NewTasks returns a spawner allowing up to workers concurrent goroutines
+// including the caller; workers <= 1 returns nil (everything runs inline).
+func NewTasks(workers int) *Tasks {
+	if workers <= 1 {
+		return nil
+	}
+	return &Tasks{sem: make(chan struct{}, workers-1)}
+}
+
+// Try runs fn on a new goroutine when a worker slot is free and reports
+// whether it did; on false the caller must run fn inline. Spawned tasks may
+// themselves call Try.
+func (g *Tasks) Try(fn func()) bool {
+	if g == nil {
+		return false
+	}
+	select {
+	case g.sem <- struct{}{}:
+	default:
+		return false
+	}
+	g.wg.Add(1)
+	go func() {
+		defer func() {
+			<-g.sem
+			g.wg.Done()
+		}()
+		fn()
+	}()
+	return true
+}
+
+// Wait blocks until every spawned task has finished. Safe on nil.
+func (g *Tasks) Wait() {
+	if g != nil {
+		g.wg.Wait()
+	}
+}
+
 // splitWeighted returns parts+1 monotone boundaries over [0, n): range r is
 // [bounds[r], bounds[r+1]). Ranges are chosen greedily so each carries
 // roughly total/parts weight; empty trailing ranges are dropped, so every

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -118,6 +119,115 @@ func TestForRangesDisjointWrites(t *testing.T) {
 		if got := fill(workers); !reflect.DeepEqual(got, want) {
 			t.Fatalf("workers=%d: parallel fill diverged", workers)
 		}
+	}
+}
+
+// Ranges must agree with the partition ForRanges executes, cover [0, n)
+// exactly, and stay monotone for every (workers, n) pair.
+func TestRangesBoundaries(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		for _, workers := range []int{0, 1, 2, 3, 8, 2000} {
+			bounds := Ranges(workers, n)
+			if n == 0 {
+				if bounds != nil {
+					t.Fatalf("Ranges(%d, 0) = %v, want nil", workers, bounds)
+				}
+				continue
+			}
+			if bounds[0] != 0 || bounds[len(bounds)-1] != n {
+				t.Fatalf("Ranges(%d, %d) = %v: does not span [0, %d)", workers, n, bounds, n)
+			}
+			for r := 0; r+1 < len(bounds); r++ {
+				if bounds[r] >= bounds[r+1] {
+					t.Fatalf("Ranges(%d, %d) = %v: range %d empty or non-monotone", workers, n, bounds, r)
+				}
+			}
+			if got := len(bounds) - 1; workers >= 1 && got > workers {
+				t.Fatalf("Ranges(%d, %d) produced %d ranges", workers, n, got)
+			}
+		}
+	}
+}
+
+// Tasks must run every offered closure exactly once — whether spawned or
+// declined — and Wait must not return before spawned work finishes.
+func TestTasksRunsAllWork(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		g := NewTasks(workers)
+		const jobs = 200
+		var ran [jobs]int32
+		var wg sync.WaitGroup
+		for i := 0; i < jobs; i++ {
+			i := i
+			fn := func() { atomic.AddInt32(&ran[i], 1) }
+			wg.Add(1)
+			if !g.Try(func() { defer wg.Done(); fn() }) {
+				fn()
+				wg.Done()
+			}
+		}
+		wg.Wait()
+		g.Wait()
+		for i, v := range ran {
+			if v != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+// At most `workers` goroutines (caller included) may run concurrently; the
+// serial nil spawner must never spawn at all.
+func TestTasksBoundsConcurrency(t *testing.T) {
+	if g := NewTasks(1); g != nil {
+		t.Fatal("NewTasks(1) should be nil (serial)")
+	}
+	var nilTasks *Tasks
+	if nilTasks.Try(func() { t.Error("nil Tasks must not spawn") }) {
+		t.Fatal("nil Tasks reported a spawn")
+	}
+	nilTasks.Wait() // must not panic
+
+	workers := 4
+	g := NewTasks(workers)
+	var cur, peak int32
+	var body func(depth int)
+	body = func(depth int) {
+		// Count only the active section: inline recursion below happens after
+		// the decrement, so cur tracks goroutines, not nesting depth.
+		c := atomic.AddInt32(&cur, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt32(&cur, -1)
+		if depth < 3 {
+			// Nested Try from spawned tasks must stay within the bound.
+			var wg sync.WaitGroup
+			wg.Add(1)
+			if !g.Try(func() { defer wg.Done(); body(depth + 1) }) {
+				body(depth + 1)
+				wg.Done()
+			}
+			wg.Wait()
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		if !g.Try(func() { defer wg.Done(); body(0) }) {
+			body(0)
+			wg.Done()
+		}
+	}
+	wg.Wait()
+	g.Wait()
+	// The caller plus workers-1 spawned goroutines.
+	if peak > int32(workers) {
+		t.Fatalf("observed %d concurrent tasks, bound is %d", peak, workers)
 	}
 }
 

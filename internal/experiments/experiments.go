@@ -46,6 +46,9 @@ type Config struct {
 	// SVDDJSONPath, when non-empty, makes the "svdd" experiment write its
 	// machine-readable report (SVDDBenchReport) to this file.
 	SVDDJSONPath string
+	// IndexJSONPath, when non-empty, makes the "index" experiment write its
+	// machine-readable report (IndexBenchReport) to this file.
+	IndexJSONPath string
 }
 
 func (c Config) budget() time.Duration {

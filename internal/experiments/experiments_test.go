@@ -14,8 +14,8 @@ func tinyCfg() Config {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 11 {
-		t.Fatalf("expected 11 experiments, got %d", len(all))
+	if len(all) != 12 {
+		t.Fatalf("expected 12 experiments, got %d", len(all))
 	}
 	for _, e := range all {
 		if e.ID == "" || e.Title == "" || e.Run == nil {
@@ -66,6 +66,22 @@ func TestTable2Smoke(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "theta/n") {
 		t.Errorf("table2 output missing theta column:\n%s", out)
+	}
+}
+
+func TestIndexPerfSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("index bench builds several large structures")
+	}
+	var buf bytes.Buffer
+	if err := IndexPerf(&buf, tinyCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"kdtree", "rtree", "vptree", "grid", "speedup", "queries/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("index bench output missing %q:\n%s", want, out)
+		}
 	}
 }
 

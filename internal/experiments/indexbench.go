@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"dbsvec/internal/data"
+	"dbsvec/internal/engine"
+	"dbsvec/internal/index"
+	"dbsvec/internal/index/grid"
+	"dbsvec/internal/index/kdtree"
+	"dbsvec/internal/index/rtree"
+	"dbsvec/internal/index/vptree"
+	"dbsvec/internal/vec"
+)
+
+// Index construction micro-benchmark. The figure experiments measure whole
+// clustering runs; this one isolates the range-query backends so the
+// parallel, cache-conscious bulk loads (and the packed-leaf query layout)
+// can be attributed individually: build wall-clock per backend x cardinality
+// x worker count, plus range-query throughput on the finished structures.
+// The build-time columns reported next to Figures 6/7 in EXPERIMENTS.md come
+// from this experiment's BENCH_index.json.
+
+// indexBenchDim and indexBenchEps pin the benchmark shape; measured numbers
+// in internal/index/README.md refer to exactly this shape.
+const (
+	indexBenchDim = 3
+	indexBenchEps = 25.0
+)
+
+// IndexBuildEntry is one backend's build time at one cardinality and worker
+// count, best of Repeats runs.
+type IndexBuildEntry struct {
+	Backend string `json:"backend"`
+	N       int    `json:"n"`
+	Workers int    `json:"workers"`
+	BuildNs int64  `json:"build_ns"`
+	// Speedup is the serial (workers=1) build time of the same backend and
+	// cardinality divided by this entry's; 1.0 for the serial rows.
+	Speedup float64 `json:"speedup_vs_serial"`
+}
+
+// IndexQueryEntry is one backend's range-query throughput at one
+// cardinality, measured on the serial-built structure (parallel builds are
+// bit-identical, so query cost does not depend on the build worker count).
+type IndexQueryEntry struct {
+	Backend       string  `json:"backend"`
+	N             int     `json:"n"`
+	Queries       int     `json:"queries"`
+	TotalNs       int64   `json:"total_ns"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	AvgResultSize float64 `json:"avg_result_size"`
+}
+
+// IndexBenchReport is the machine-readable result benchall writes to
+// BENCH_index.json.
+type IndexBenchReport struct {
+	Dim          int               `json:"dim"`
+	Eps          float64           `json:"eps"`
+	Seed         int64             `json:"seed"`
+	Repeats      int               `json:"repeats"`
+	Sizes        []int             `json:"sizes"`
+	WorkerCounts []int             `json:"worker_counts"`
+	Builds       []IndexBuildEntry `json:"builds"`
+	Queries      []IndexQueryEntry `json:"queries"`
+}
+
+// indexBenchBackend names one backend and its workers-parameterized builder.
+type indexBenchBackend struct {
+	name  string
+	build func(ds *vec.Dataset, workers int) index.Index
+}
+
+func indexBenchBackends() []indexBenchBackend {
+	gridWidth := indexBenchEps / math.Sqrt(float64(indexBenchDim))
+	return []indexBenchBackend{
+		{"kdtree", func(ds *vec.Dataset, w int) index.Index { return kdtree.NewWorkers(ds, w) }},
+		{"rtree", func(ds *vec.Dataset, w int) index.Index { return rtree.BulkWorkers(ds, w) }},
+		{"vptree", func(ds *vec.Dataset, w int) index.Index { return vptree.NewWorkers(ds, w) }},
+		{"grid", func(ds *vec.Dataset, w int) index.Index { return grid.NewWorkers(ds, gridWidth, w) }},
+	}
+}
+
+// indexBenchWorkerCounts returns the deduplicated, ascending worker counts
+// to sweep: serial, 2, and the resolved session worker count.
+func indexBenchWorkerCounts(cfg Config) []int {
+	set := map[int]bool{1: true, 2: true, engine.ResolveWorkers(cfg.Workers): true}
+	counts := make([]int, 0, len(set))
+	for w := range set {
+		counts = append(counts, w)
+	}
+	sort.Ints(counts)
+	return counts
+}
+
+// RunIndexBench executes the micro-benchmark and returns the report.
+func RunIndexBench(cfg Config) (*IndexBenchReport, error) {
+	sizes := []int{100_000, 500_000}
+	repeats, queries := 5, 1000
+	if cfg.Quick {
+		sizes = []int{20_000, 50_000}
+		repeats, queries = 3, 400
+	}
+	workerCounts := indexBenchWorkerCounts(cfg)
+
+	rep := &IndexBenchReport{
+		Dim:          indexBenchDim,
+		Eps:          indexBenchEps,
+		Seed:         cfg.Seed,
+		Repeats:      repeats,
+		Sizes:        sizes,
+		WorkerCounts: workerCounts,
+	}
+
+	for _, n := range sizes {
+		ds := data.Blobs(n, indexBenchDim, 16, 30, 1000, 0.02, cfg.Seed)
+		for _, b := range indexBenchBackends() {
+			serialNs := int64(0)
+			for _, workers := range workerCounts {
+				best := int64(math.MaxInt64)
+				for r := 0; r < repeats; r++ {
+					start := time.Now()
+					b.build(ds, workers)
+					if ns := time.Since(start).Nanoseconds(); ns < best {
+						best = ns
+					}
+				}
+				if workers == 1 {
+					serialNs = best
+				}
+				rep.Builds = append(rep.Builds, IndexBuildEntry{
+					Backend: b.name,
+					N:       n,
+					Workers: workers,
+					BuildNs: best,
+					Speedup: speedup(serialNs, best),
+				})
+			}
+
+			// Query throughput on the serial-built structure; parallel builds
+			// produce bit-identical trees, so one measurement covers them all.
+			idx := b.build(ds, 1)
+			stride := ds.Len() / queries
+			if stride < 1 {
+				stride = 1
+			}
+			var results int64
+			buf := make([]int32, 0, 4096)
+			start := time.Now()
+			for q := 0; q < queries; q++ {
+				buf = idx.RangeQuery(ds.Point(q*stride%ds.Len()), indexBenchEps, buf[:0])
+				results += int64(len(buf))
+			}
+			total := time.Since(start).Nanoseconds()
+			qps := 0.0
+			if total > 0 {
+				qps = float64(queries) / (float64(total) / 1e9)
+			}
+			rep.Queries = append(rep.Queries, IndexQueryEntry{
+				Backend:       b.name,
+				N:             n,
+				Queries:       queries,
+				TotalNs:       total,
+				QueriesPerSec: qps,
+				AvgResultSize: float64(results) / float64(queries),
+			})
+		}
+	}
+	return rep, nil
+}
+
+// IndexPerf is the registry entry: it prints the build and query tables and,
+// when cfg.IndexJSONPath is set, writes the machine-readable report there.
+func IndexPerf(w io.Writer, cfg Config) error {
+	header(w, "Index construction: parallel bulk loads + packed leaf blocks")
+	rep, err := RunIndexBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-8s %9s %8s %12s %9s\n", "backend", "n", "workers", "build", "speedup")
+	for _, e := range rep.Builds {
+		fmt.Fprintf(w, "%-8s %9d %8d %11.3fms %8.2fx\n",
+			e.Backend, e.N, e.Workers, float64(e.BuildNs)/1e6, e.Speedup)
+	}
+	fmt.Fprintf(w, "\n%-8s %9s %8s %12s %14s %10s\n", "backend", "n", "queries", "total", "queries/s", "avg|hood|")
+	for _, e := range rep.Queries {
+		fmt.Fprintf(w, "%-8s %9d %8d %11.3fms %14.0f %10.1f\n",
+			e.Backend, e.N, e.Queries, float64(e.TotalNs)/1e6, e.QueriesPerSec, e.AvgResultSize)
+	}
+	if cfg.IndexJSONPath != "" {
+		if err := WriteIndexBenchJSON(cfg.IndexJSONPath, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.IndexJSONPath)
+	}
+	return nil
+}
+
+// WriteIndexBenchJSON writes the report as indented JSON.
+func WriteIndexBenchJSON(path string, rep *IndexBenchReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -30,6 +30,7 @@ func All() []Experiment {
 		{"fig9a", "Figure 9a: SVDD improvements, recall", Fig9a},
 		{"fig9b", "Figure 9b: SVDD improvements, efficiency", Fig9b},
 		{"svdd", "SVDD training fast path micro-benchmark (BENCH_svdd.json)", SVDDPerf},
+		{"index", "Index construction micro-benchmark (BENCH_index.json)", IndexPerf},
 	}
 }
 

@@ -15,7 +15,9 @@ package grid
 import (
 	"encoding/binary"
 	"math"
+	"sync"
 
+	"dbsvec/internal/engine"
 	"dbsvec/internal/index"
 	"dbsvec/internal/vec"
 )
@@ -27,42 +29,143 @@ type Grid struct {
 	origin []float64 // per-dimension minimum, anchors cell 0
 	cells  map[string][]int32
 	coords map[string][]int32 // cell key -> integer cell coordinates
+	order  []string           // cell keys in first-encounter (ascending id) order
 }
 
-// New builds a grid over ds with the given cell width. Width must be
-// positive; callers typically pass eps/sqrt(d) so that any two points in the
-// same cell are within eps of each other. A non-positive width is a caller
-// bug and panics.
-func New(ds *vec.Dataset, width float64) *Grid {
+// New builds a grid over ds with the given cell width on the calling
+// goroutine. Width must be positive; callers typically pass eps/sqrt(d) so
+// that any two points in the same cell are within eps of each other. A
+// non-positive width is a caller bug and panics.
+func New(ds *vec.Dataset, width float64) *Grid { return NewWorkers(ds, width, 1) }
+
+// NewWorkers builds a grid using up to workers goroutines (<= 0 selects all
+// CPUs). Binning is a two-pass counting sort: pass one computes every
+// point's cell key in parallel (the float math dominates the build), pass
+// two bins ids serially in ascending order into one flat slice the cell map
+// slices into. Cell contents, directory and origin are bit-identical to the
+// serial build for every worker count.
+func NewWorkers(ds *vec.Dataset, width float64, workers int) *Grid {
 	if width <= 0 {
 		panic("grid: cell width must be positive")
 	}
+	workers = engine.ResolveWorkers(workers)
 	g := &Grid{
 		ds:     ds,
 		width:  width,
 		cells:  make(map[string][]int32),
 		coords: make(map[string][]int32),
 	}
-	lo, _ := ds.Bounds()
-	g.origin = lo
+	g.origin = boundsLo(ds, workers)
 	if g.origin == nil {
 		g.origin = make([]float64, ds.Dim())
 	}
-	cc := make([]int32, ds.Dim())
-	for i := 0; i < ds.Len(); i++ {
-		g.cellCoords(ds.Point(i), cc)
-		k := key(cc)
-		if _, ok := g.cells[k]; !ok {
-			g.coords[k] = append([]int32(nil), cc...)
-		}
-		g.cells[k] = append(g.cells[k], int32(i))
+	n, d := ds.Len(), ds.Dim()
+	if n == 0 {
+		return g
 	}
+	kw := 4 * d // key width in bytes
+	keys := make([]byte, n*kw)
+	engine.ForRanges(workers, n, nil, func(lo, hi int) {
+		cc := make([]int32, d)
+		for i := lo; i < hi; i++ {
+			g.cellCoords(ds.Point(i), cc)
+			for j, c := range cc {
+				binary.LittleEndian.PutUint32(keys[i*kw+4*j:], uint32(c))
+			}
+		}
+	})
+	// Serial binning pass: assign cell slots in first-encounter order and
+	// count, then place ids ascending into a flat arena shared by all cells
+	// (one allocation instead of one append chain per cell).
+	slotOf := make(map[string]int)
+	var slotKey []string
+	var counts []int32
+	for i := 0; i < n; i++ {
+		k := keys[i*kw : (i+1)*kw]
+		slot, ok := slotOf[string(k)]
+		if !ok {
+			slot = len(slotKey)
+			slotOf[string(k)] = slot
+			slotKey = append(slotKey, string(k))
+			counts = append(counts, 0)
+		}
+		counts[slot]++
+	}
+	offsets := make([]int32, len(counts)+1)
+	for s, c := range counts {
+		offsets[s+1] = offsets[s] + c
+	}
+	flat := make([]int32, n)
+	cursor := append([]int32(nil), offsets[:len(counts)]...)
+	for i := 0; i < n; i++ {
+		slot := slotOf[string(keys[i*kw:(i+1)*kw])]
+		flat[cursor[slot]] = int32(i)
+		cursor[slot]++
+	}
+	for s, k := range slotKey {
+		g.cells[k] = flat[offsets[s]:offsets[s+1]:offsets[s+1]]
+		cc := make([]int32, d)
+		for j := range cc {
+			cc[j] = int32(binary.LittleEndian.Uint32([]byte(k)[4*j:]))
+		}
+		g.coords[k] = cc
+	}
+	g.order = slotKey
 	return g
 }
 
-// BuildWidth returns an index.Builder that uses the given cell width.
+// boundsLo returns the per-dimension minimum over all points, computed over
+// parallel shards. Min is associative and commutative over the finite
+// coordinates a Dataset admits, so the shard merge is order-insensitive and
+// the result matches Dataset.Bounds exactly.
+func boundsLo(ds *vec.Dataset, workers int) []float64 {
+	n, d := ds.Len(), ds.Dim()
+	if n == 0 {
+		return nil
+	}
+	bounds := engine.Ranges(workers, n)
+	los := make([][]float64, len(bounds)-1)
+	var wg sync.WaitGroup
+	for r := 0; r+1 < len(bounds); r++ {
+		r, lo, hi := r, bounds[r], bounds[r+1]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sl := make([]float64, d)
+			copy(sl, ds.Point(lo))
+			for i := lo + 1; i < hi; i++ {
+				p := ds.Point(i)
+				for j, v := range p {
+					if v < sl[j] {
+						sl[j] = v
+					}
+				}
+			}
+			los[r] = sl
+		}()
+	}
+	wg.Wait()
+	out := los[0]
+	for _, sl := range los[1:] {
+		for j, v := range sl {
+			if v < out[j] {
+				out[j] = v
+			}
+		}
+	}
+	return out
+}
+
+// BuildWidth returns an index.Builder that uses the given cell width
+// (serial build).
 func BuildWidth(width float64) index.Builder {
 	return func(ds *vec.Dataset) index.Index { return New(ds, width) }
+}
+
+// BuildWidthWorkers returns an index.Builder binning with the given worker
+// count (<= 0: all CPUs).
+func BuildWidthWorkers(width float64, workers int) index.Builder {
+	return func(ds *vec.Dataset) index.Index { return NewWorkers(ds, width, workers) }
 }
 
 // Width returns the cell side length.
@@ -91,10 +194,13 @@ func (g *Grid) CellOf(p []float64) string {
 // Points returns the ids bucketed in the cell with the given key.
 func (g *Grid) Points(cellKey string) []int32 { return g.cells[cellKey] }
 
-// Cells iterates over every occupied cell, passing its key and point ids.
+// Cells iterates over every occupied cell in first-encounter (ascending id)
+// order, passing its key and point ids. The order is a build invariant, not
+// map iteration order, so repeated walks and walks over identically built
+// grids agree.
 func (g *Grid) Cells(fn func(key string, pts []int32)) {
-	for k, pts := range g.cells {
-		fn(k, pts)
+	for _, k := range g.order {
+		fn(k, g.cells[k])
 	}
 }
 
@@ -162,8 +268,10 @@ func (g *Grid) NeighborCells(q []float64, radius float64, fn func(key string, pt
 		rec(0)
 		return
 	}
-	for ck, cc := range g.coords {
-		rect := g.CellRect(cc)
+	// Directory scan in first-encounter order: deterministic, unlike ranging
+	// over the map, so query results are reproducible across runs and builds.
+	for _, ck := range g.order {
+		rect := g.CellRect(g.coords[ck])
 		minD2 := rect.MinDist2(q)
 		if minD2 > r2 {
 			continue

@@ -3,6 +3,7 @@ package grid
 import (
 	"math"
 	"math/rand"
+	"slices"
 	"testing"
 
 	"dbsvec/internal/index"
@@ -18,6 +19,58 @@ func TestConformance(t *testing.T) {
 		}
 		return New(ds, w)
 	})
+}
+
+func TestConformanceParallelBuild(t *testing.T) {
+	indextest.Run(t, "grid-parallel", func(ds *vec.Dataset) index.Index {
+		w := 10.0
+		if ds.Dim() > 0 {
+			w = 10 / math.Sqrt(float64(ds.Dim()))
+		}
+		return NewWorkers(ds, w, 4)
+	})
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	indextest.RunBuildDeterminism(t, "grid", func(ds *vec.Dataset, workers int) index.Index {
+		return NewWorkers(ds, 7.5, workers)
+	})
+}
+
+// TestParallelBinningIdentical: the two-pass counting-sort build must
+// reproduce the serial build's cell directory exactly — same keys, same
+// coordinates, same ascending id runs.
+func TestParallelBinningIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{0, 1, 3, 4096} {
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = []float64{rng.Float64() * 200, rng.Float64() * 200}
+		}
+		ds, _ := vec.FromRows(rows)
+		if n == 0 {
+			ds, _ = vec.NewDataset(nil, 2)
+		}
+		serial := NewWorkers(ds, 3, 1)
+		for _, workers := range []int{2, 8} {
+			par := NewWorkers(ds, 3, workers)
+			if len(par.cells) != len(serial.cells) {
+				t.Fatalf("n=%d workers=%d: %d cells != %d", n, workers, len(par.cells), len(serial.cells))
+			}
+			for k, want := range serial.cells {
+				got, ok := par.cells[k]
+				if !ok || !slices.Equal(got, want) {
+					t.Fatalf("n=%d workers=%d: cell %q ids %v != %v", n, workers, k, got, want)
+				}
+				if !slices.Equal(par.coords[k], serial.coords[k]) {
+					t.Fatalf("n=%d workers=%d: cell %q coords differ", n, workers, k)
+				}
+			}
+			if !slices.Equal(par.origin, serial.origin) {
+				t.Fatalf("n=%d workers=%d: origin %v != %v", n, workers, par.origin, serial.origin)
+			}
+		}
+	}
 }
 
 func TestCellBucketing(t *testing.T) {

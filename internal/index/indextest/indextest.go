@@ -192,6 +192,90 @@ func batchCancel(t *testing.T, build index.Builder, ds *vec.Dataset, eps float64
 	}
 }
 
+// WorkersBuilder constructs an index over ds using up to workers
+// goroutines; it is the constructor shape shared by the parallel-build
+// backends (kdtree.NewWorkers, rtree.BulkWorkers, …).
+type WorkersBuilder func(ds *vec.Dataset, workers int) index.Index
+
+// nearester is the optional exact nearest-neighbor capability some backends
+// expose; when present it participates in the determinism comparison.
+type nearester interface {
+	Nearest(q []float64) (int32, float64)
+}
+
+// RunBuildDeterminism is the parallel-build conformance property: an index
+// built with workers=1 and one built with workers=N must answer every query
+// bit-identically — same ids in the same order from RangeQuery, same
+// RangeCount (limited and exhaustive), same Nearest id and squared distance
+// where exposed — on the fuzz corpus. Backends guarantee this by fixing the
+// work partition before any goroutine runs, so this check pins that no
+// scheduling dependence has crept into construction.
+func RunBuildDeterminism(t *testing.T, name string, build WorkersBuilder) {
+	t.Helper()
+	corpus := []struct {
+		label string
+		ds    *vec.Dataset
+		eps   float64
+	}{
+		{"uniform2d", uniform(4000, 2, 21), 4},
+		{"uniform5d", uniform(3000, 5, 22), 30},
+		{"clustered3d", clustered(5000, 3, 23), 10},
+		{"duplicates", duplicates(2000, 2, 24), 8},
+		{"tiny", uniform(5, 3, 25), 50},
+	}
+	for _, tc := range corpus {
+		tc := tc
+		t.Run(name+"/build-determinism/"+tc.label, func(t *testing.T) {
+			serial := build(tc.ds, 1)
+			rng := rand.New(rand.NewSource(26))
+			lo, hi := tc.ds.Bounds()
+			for _, workers := range []int{2, 3, 8} {
+				par := build(tc.ds, workers)
+				if par.Len() != serial.Len() {
+					t.Fatalf("workers=%d: Len %d != %d", workers, par.Len(), serial.Len())
+				}
+				for iter := 0; iter < 40; iter++ {
+					var q []float64
+					if iter%2 == 0 {
+						q = tc.ds.Point(rng.Intn(tc.ds.Len()))
+					} else {
+						q = make([]float64, tc.ds.Dim())
+						for j := range q {
+							span := hi[j] - lo[j]
+							q[j] = lo[j] - 0.2*span + rng.Float64()*1.4*span
+						}
+					}
+					e := tc.eps * (0.2 + rng.Float64()*1.6)
+					got := par.RangeQuery(q, e, nil)
+					want := serial.RangeQuery(q, e, nil)
+					// Exact slice equality: parallel builds must preserve
+					// result *order*, not just the id set.
+					if !equal(got, want) {
+						t.Fatalf("workers=%d RangeQuery(q=%v eps=%g): got %v want %v", workers, q, e, got, want)
+					}
+					if g, w := par.RangeCount(q, e, 0), serial.RangeCount(q, e, 0); g != w {
+						t.Fatalf("workers=%d RangeCount = %d, want %d", workers, g, w)
+					}
+					if len(want) >= 3 {
+						if g, w := par.RangeCount(q, e, 3), serial.RangeCount(q, e, 3); g != w {
+							t.Fatalf("workers=%d RangeCount(limit=3) = %d, want %d", workers, g, w)
+						}
+					}
+					pn, pok := par.(nearester)
+					sn, sok := serial.(nearester)
+					if pok && sok {
+						gid, gd := pn.Nearest(q)
+						wid, wd := sn.Nearest(q)
+						if gid != wid || gd != wd {
+							t.Fatalf("workers=%d Nearest = (%d,%v), want (%d,%v)", workers, gid, gd, wid, wd)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 func uniform(n, d int, seed int64) *vec.Dataset {
 	rng := rand.New(rand.NewSource(seed))
 	coords := make([]float64, n*d)

@@ -3,15 +3,25 @@
 // experiment section and doubles as a general exact range-query index.
 //
 // The tree is built once by recursive median splitting (Hoare selection on
-// the widest-spread dimension) and stored in an implicit array layout: node
-// i has children 2i+1 and 2i+2. Leaves hold small runs of point ids that are
-// scanned linearly, which in practice beats splitting to single points.
+// the widest-spread dimension). Nodes are stored in preorder: a node's left
+// child immediately follows it and the right child follows the whole left
+// subtree, whose size is a pure function of the range length. That layout is
+// fixed before construction starts, so independent subtrees can be built
+// concurrently (see NewWorkers) and still produce a tree bit-identical to
+// the serial build. Leaves hold small runs of point ids that are scanned
+// linearly, which in practice beats splitting to single points.
+//
+// After the structure is built the leaf points are additionally packed into
+// a contiguous leaf-ordered matrix, so range queries stream each leaf as one
+// cache-friendly block scan instead of gathering rows by id; hits are
+// remapped to original ids through the leaf permutation.
 package kdtree
 
 import (
 	"math"
 
 	"dbsvec/internal/dist"
+	"dbsvec/internal/engine"
 	"dbsvec/internal/index"
 	"dbsvec/internal/vec"
 )
@@ -19,11 +29,19 @@ import (
 // LeafSize is the maximum number of points kept in a leaf before splitting.
 const LeafSize = 16
 
+// spawnMin is the smallest range a parallel build hands to another worker;
+// below it the task overhead exceeds the split work.
+const spawnMin = 2048
+
 // Tree is an immutable kd-tree. Safe for concurrent readers.
 type Tree struct {
 	ds    *vec.Dataset
 	ids   []int32 // permutation of 0..n-1; leaves own contiguous runs
 	nodes []node
+	// packed holds the points in leaf order (Row(k) is the point with id
+	// ids[k]), so leaf scans stream contiguous memory. An empty matrix
+	// falls back to gathering rows by id; both paths are bit-identical.
+	packed dist.Matrix
 }
 
 type node struct {
@@ -37,46 +55,137 @@ type node struct {
 	right    int32
 }
 
-// New bulk-loads a kd-tree over ds.
-func New(ds *vec.Dataset) *Tree {
+// New bulk-loads a kd-tree over ds on the calling goroutine.
+func New(ds *vec.Dataset) *Tree { return NewWorkers(ds, 1) }
+
+// NewWorkers bulk-loads a kd-tree over ds using up to workers goroutines
+// (<= 0 selects all CPUs). The resulting tree — node layout, id permutation
+// and packed leaf matrix — is bit-identical for every worker count: median
+// splitting is deterministic and the preorder node layout is computed ahead
+// of construction, so workers only pick up pre-assigned subtree slots.
+func NewWorkers(ds *vec.Dataset, workers int) *Tree {
 	n := ds.Len()
 	t := &Tree{ds: ds, ids: vec.Iota(n)}
-	if n > 0 {
-		t.build(0, n)
+	if n == 0 {
+		return t
 	}
+	workers = engine.ResolveWorkers(workers)
+	memo := subtreeSizes(n)
+	t.nodes = make([]node, memo[sizeKey(n)])
+	b := &buildState{t: t, memo: memo, tasks: engine.NewTasks(workers)}
+	b.build(0, 0, n, newBuildScratch(ds.Dim()))
+	b.tasks.Wait()
+	t.packLeaves(workers)
 	return t
 }
 
-// Build is an index.Builder for Tree.
+// Build is an index.Builder for Tree (serial build).
 func Build(ds *vec.Dataset) index.Index { return New(ds) }
+
+// BuildWorkers returns an index.Builder that constructs the tree with the
+// given worker count (<= 0: all CPUs).
+func BuildWorkers(workers int) index.Builder {
+	return func(ds *vec.Dataset) index.Index { return NewWorkers(ds, workers) }
+}
 
 // Len returns the number of indexed points.
 func (t *Tree) Len() int { return t.ds.Len() }
 
-// build recursively partitions ids[start:end) and returns the node index.
-func (t *Tree) build(start, end int) int32 {
-	self := int32(len(t.nodes))
-	t.nodes = append(t.nodes, node{})
+// sizeKey normalizes a range length for the subtree-size memo; lengths at or
+// below LeafSize all map to a single leaf.
+func sizeKey(m int) int {
+	if m <= LeafSize {
+		return LeafSize
+	}
+	return m
+}
+
+// subtreeSizes returns the node count of a subtree over every range length
+// reachable from n. A range of length m splits into floor(m/2) and
+// ceil(m/2), so the reachable set — and with it the whole preorder node
+// layout — depends only on n, never on coordinates or scheduling.
+func subtreeSizes(n int) map[int]int32 {
+	memo := make(map[int]int32)
+	var count func(m int) int32
+	count = func(m int) int32 {
+		if m <= LeafSize {
+			return 1
+		}
+		if c, ok := memo[m]; ok {
+			return c
+		}
+		c := 1 + count(m/2) + count(m-m/2)
+		memo[m] = c
+		return c
+	}
+	memo[LeafSize] = 1
+	memo[sizeKey(n)] = count(n)
+	return memo
+}
+
+// buildScratch holds the per-goroutine lo/hi buffers of widestDim, hoisted
+// out of the recursion so a build performs O(workers) bound-buffer
+// allocations instead of one pair per internal node.
+type buildScratch struct {
+	lo, hi []float64
+}
+
+func newBuildScratch(d int) *buildScratch {
+	return &buildScratch{lo: make([]float64, d), hi: make([]float64, d)}
+}
+
+// buildState carries the shared read-only build inputs: the precomputed
+// subtree-size memo (frozen before any task spawns) and the task budget.
+type buildState struct {
+	t     *Tree
+	memo  map[int]int32
+	tasks *engine.Tasks
+}
+
+// build constructs the subtree over ids[start:end) into node slot self. The
+// slot indices of both children are derived from the memo, so concurrent
+// builds write disjoint node ranges.
+func (b *buildState) build(self int32, start, end int, sc *buildScratch) {
+	t := b.t
 	if end-start <= LeafSize {
 		t.nodes[self] = node{start: int32(start), end: int32(end), left: -1, right: -1}
-		return self
+		return
 	}
-	dim := t.widestDim(start, end)
+	dim := t.widestDim(start, end, sc)
 	mid := (start + end) / 2
 	t.selectNth(start, end, mid, dim)
 	splitVal := t.ds.Point(int(t.ids[mid]))[dim]
-	left := t.build(start, mid)
-	right := t.build(mid, end)
+	left := self + 1
+	right := left + b.memo[sizeKey(mid-start)]
 	t.nodes[self] = node{splitDim: int32(dim), splitVal: splitVal, left: left, right: right}
-	return self
+	if end-mid >= spawnMin && b.tasks.Try(func() {
+		b.build(right, mid, end, newBuildScratch(t.ds.Dim()))
+	}) {
+		b.build(left, start, mid, sc)
+		return
+	}
+	b.build(left, start, mid, sc)
+	b.build(right, mid, end, sc)
+}
+
+// packLeaves copies the points into leaf order so every leaf owns a
+// contiguous block of the packed matrix.
+func (t *Tree) packLeaves(workers int) {
+	d := t.ds.Dim()
+	coords := make([]float64, len(t.ids)*d)
+	engine.ForRanges(workers, len(t.ids), nil, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			copy(coords[k*d:(k+1)*d], t.ds.Point(int(t.ids[k])))
+		}
+	})
+	t.packed = dist.Matrix{Coords: coords, Dim: d}
 }
 
 // widestDim returns the dimension with the largest coordinate spread over
 // ids[start:end).
-func (t *Tree) widestDim(start, end int) int {
+func (t *Tree) widestDim(start, end int, sc *buildScratch) int {
 	d := t.ds.Dim()
-	lo := make([]float64, d)
-	hi := make([]float64, d)
+	lo, hi := sc.lo[:d], sc.hi[:d]
 	p0 := t.ds.Point(int(t.ids[start]))
 	copy(lo, p0)
 	copy(hi, p0)
@@ -142,6 +251,30 @@ func (t *Tree) selectNth(start, end, nth, dim int) {
 	}
 }
 
+// scanLeaf appends the ids of leaf nd's points within eps2 of q. The packed
+// path streams the leaf's contiguous block and remaps positions to original
+// ids; the gather path reads rows by id. Both visit the same points in the
+// same order with the same distance kernel, so output is bit-identical.
+func (t *Tree) scanLeaf(nd *node, q []float64, eps2 float64, buf []int32) []int32 {
+	if t.packed.Coords == nil {
+		return t.ds.FilterWithinIDs(q, eps2, t.ids[nd.start:nd.end], buf)
+	}
+	mark := len(buf)
+	buf = dist.FilterWithinRange(t.packed, q, eps2, int(nd.start), int(nd.end), buf)
+	for i := mark; i < len(buf); i++ {
+		buf[i] = t.ids[buf[i]]
+	}
+	return buf
+}
+
+// countLeaf counts leaf nd's points within eps2 of q (see scanLeaf).
+func (t *Tree) countLeaf(nd *node, q []float64, eps2 float64, limit int) int {
+	if t.packed.Coords == nil {
+		return t.ds.CountWithinIDs(q, eps2, t.ids[nd.start:nd.end], limit)
+	}
+	return dist.CountWithinRange(t.packed, q, eps2, int(nd.start), int(nd.end), limit)
+}
+
 // RangeQuery implements index.Index.
 func (t *Tree) RangeQuery(q []float64, eps float64, buf []int32) []int32 {
 	if t.ds.Len() == 0 {
@@ -152,7 +285,7 @@ func (t *Tree) RangeQuery(q []float64, eps float64, buf []int32) []int32 {
 	rec = func(ni int32) {
 		nd := &t.nodes[ni]
 		if nd.left < 0 { // leaf
-			buf = t.ds.FilterWithinIDs(q, eps2, t.ids[nd.start:nd.end], buf)
+			buf = t.scanLeaf(nd, q, eps2, buf)
 			return
 		}
 		diff := q[nd.splitDim] - nd.splitVal
@@ -182,7 +315,7 @@ func (t *Tree) RangeCount(q []float64, eps float64, limit int) int {
 			if limit > 0 {
 				rem = limit - count
 			}
-			count += t.ds.CountWithinIDs(q, eps2, t.ids[nd.start:nd.end], rem)
+			count += t.countLeaf(nd, q, eps2, rem)
 			return limit > 0 && count >= limit
 		}
 		diff := q[nd.splitDim] - nd.splitVal

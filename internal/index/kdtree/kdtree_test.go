@@ -1,16 +1,96 @@
 package kdtree
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"testing"
 
+	"dbsvec/internal/index"
 	"dbsvec/internal/index/indextest"
 	dbssrc "dbsvec/internal/vec"
 )
 
 func TestConformance(t *testing.T) {
 	indextest.Run(t, "kdtree", Build)
+}
+
+func TestConformanceParallelBuild(t *testing.T) {
+	indextest.Run(t, "kdtree-parallel", BuildWorkers(4))
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	indextest.RunBuildDeterminism(t, "kdtree", func(ds *dbssrc.Dataset, workers int) index.Index {
+		return NewWorkers(ds, workers)
+	})
+}
+
+// TestParallelStructureIdentical pins the stronger internal property behind
+// RunBuildDeterminism: parallel builds produce the very same node array, id
+// permutation and packed matrix as the serial build, not merely the same
+// query answers.
+func TestParallelStructureIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 17, 5000} {
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = []float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+		}
+		ds, _ := dbssrc.FromRows(rows)
+		serial := NewWorkers(ds, 1)
+		for _, workers := range []int{2, 5, 16} {
+			par := NewWorkers(ds, workers)
+			if !slices.Equal(par.ids, serial.ids) {
+				t.Fatalf("n=%d workers=%d: id permutation differs", n, workers)
+			}
+			if !slices.Equal(par.nodes, serial.nodes) {
+				t.Fatalf("n=%d workers=%d: node layout differs", n, workers)
+			}
+			if !slices.Equal(par.packed.Coords, serial.packed.Coords) {
+				t.Fatalf("n=%d workers=%d: packed matrix differs", n, workers)
+			}
+		}
+	}
+}
+
+// TestPackedMatchesGather pins the acceptance property of the packed-leaf
+// layout: streaming the contiguous leaf blocks must yield bitwise-identical
+// results — same ids, same order, same counts — as the historical
+// gather-by-id leaf scan.
+func TestPackedMatchesGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, d := range []int{2, 3, 5, 9} {
+		n := 3000
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, d)
+			for j := range rows[i] {
+				rows[i][j] = rng.Float64() * 100
+			}
+		}
+		ds, _ := dbssrc.FromRows(rows)
+		packed := New(ds)
+		gather := &Tree{ds: packed.ds, ids: packed.ids, nodes: packed.nodes} // packed matrix absent: leaf scans gather by id
+		for iter := 0; iter < 60; iter++ {
+			q := make([]float64, d)
+			for j := range q {
+				q[j] = rng.Float64() * 100
+			}
+			eps := 5 + rng.Float64()*30
+			got := packed.RangeQuery(q, eps, nil)
+			want := gather.RangeQuery(q, eps, nil)
+			if !slices.Equal(got, want) {
+				t.Fatalf("d=%d eps=%g: packed %v != gather %v", d, eps, got, want)
+			}
+			if g, w := packed.RangeCount(q, eps, 0), gather.RangeCount(q, eps, 0); g != w {
+				t.Fatalf("d=%d: packed count %d != gather %d", d, g, w)
+			}
+			if g, w := packed.RangeCount(q, eps, 7), gather.RangeCount(q, eps, 7); g != w {
+				t.Fatalf("d=%d: packed limited count %d != gather %d", d, g, w)
+			}
+		}
+	}
 }
 
 func TestNearest(t *testing.T) {
@@ -54,6 +134,51 @@ func TestNearestMatchesBrute(t *testing.T) {
 		if math.Abs(gotD-bestD) > 1e-9 {
 			t.Fatalf("Nearest distance %v, brute force %v", gotD, bestD)
 		}
+	}
+}
+
+func benchDataset(n, d int) *dbssrc.Dataset {
+	rng := rand.New(rand.NewSource(9))
+	coords := make([]float64, n*d)
+	for i := range coords {
+		coords[i] = rng.Float64() * 1000
+	}
+	ds, _ := dbssrc.NewDataset(coords, d)
+	return ds
+}
+
+func BenchmarkBuild100k(b *testing.B) {
+	ds := benchDataset(100000, 4)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				NewWorkers(ds, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkLeafScan100k contrasts the packed contiguous leaf blocks against
+// the historical gather-by-id leaf scan on the same tree (both paths return
+// bitwise-identical results; see TestPackedMatchesGather).
+func BenchmarkLeafScan100k(b *testing.B) {
+	ds := benchDataset(100000, 4)
+	packed := New(ds)
+	gather := &Tree{ds: packed.ds, ids: packed.ids, nodes: packed.nodes}
+	variants := []struct {
+		name string
+		tr   *Tree
+	}{{"packed", packed}, {"gather", gather}}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			buf := make([]int32, 0, 1024)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf = v.tr.RangeQuery(ds.Point(i%ds.Len()), 100, buf[:0])
+			}
+			_ = buf
+		})
 	}
 }
 

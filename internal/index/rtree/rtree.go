@@ -14,9 +14,12 @@
 package rtree
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
+	"dbsvec/internal/engine"
 	"dbsvec/internal/index"
 	"dbsvec/internal/vec"
 )
@@ -52,22 +55,38 @@ func New(ds *vec.Dataset) *Tree {
 	return &Tree{ds: ds, dim: ds.Dim(), root: &nodeT{leaf: true}}
 }
 
-// Bulk STR-loads all points of ds and returns the resulting tree.
-func Bulk(ds *vec.Dataset) *Tree {
+// Bulk STR-loads all points of ds on the calling goroutine and returns the
+// resulting tree.
+func Bulk(ds *vec.Dataset) *Tree { return BulkWorkers(ds, 1) }
+
+// BulkWorkers STR-loads all points of ds using up to workers goroutines
+// (<= 0 selects all CPUs): the per-tile slabs of the STR recursion are
+// sorted concurrently and the leaf nodes with their bounding rectangles are
+// computed in parallel. Tile boundaries, sort keys (with an id tie-break)
+// and output slots are all fixed before any task runs, so the tree is
+// bit-identical for every worker count.
+func BulkWorkers(ds *vec.Dataset, workers int) *Tree {
 	t := &Tree{ds: ds, dim: ds.Dim()}
 	n := ds.Len()
 	if n == 0 {
 		t.root = &nodeT{leaf: true}
 		return t
 	}
-	leaves := t.strPack(vec.Iota(n))
+	workers = engine.ResolveWorkers(workers)
+	leaves := t.strPack(vec.Iota(n), workers)
 	t.size = n
-	t.root = t.buildUpward(leaves)
+	t.root = t.buildUpward(leaves, workers)
 	return t
 }
 
-// Build is an index.Builder using STR bulk loading.
+// Build is an index.Builder using STR bulk loading (serial build).
 func Build(ds *vec.Dataset) index.Index { return Bulk(ds) }
+
+// BuildWorkers returns an index.Builder that STR bulk-loads with the given
+// worker count (<= 0: all CPUs).
+func BuildWorkers(workers int) index.Builder {
+	return func(ds *vec.Dataset) index.Index { return BulkWorkers(ds, workers) }
+}
 
 // BuildDynamic is an index.Builder using one-at-a-time R* insertion.
 func BuildDynamic(ds *vec.Dataset) index.Index {
@@ -78,16 +97,36 @@ func BuildDynamic(ds *vec.Dataset) index.Index {
 	return t
 }
 
+// spawnMin is the smallest slab a parallel bulk load hands to another
+// worker.
+const spawnMin = 2048
+
+// sortIDsByDim sorts ids by the given coordinate, breaking ties by id.
+// The id tie-break makes the order — and with it the whole STR tiling — a
+// total order independent of the incoming permutation, which pins the tree
+// shape across build configurations (pdqsort is unstable, so without the
+// tie-break equal coordinates could land in input-dependent order).
+func (t *Tree) sortIDsByDim(ids []int32, dim int) {
+	slices.SortFunc(ids, func(a, b int32) int {
+		va, vb := t.ds.Point(int(a))[dim], t.ds.Point(int(b))[dim]
+		if va != vb {
+			return cmp.Compare(va, vb)
+		}
+		return cmp.Compare(a, b)
+	})
+}
+
 // strPack tile-sorts point ids into leaf nodes.
-func (t *Tree) strPack(ids []int32) []entry {
+func (t *Tree) strPack(ids []int32, workers int) []entry {
+	tasks := engine.NewTasks(workers)
 	// Recursive tiling over dimensions: sort by dim 0, slice into vertical
-	// runs, recurse with dim 1, etc.
+	// runs, recurse with dim 1, etc. Each slab is independent after its
+	// boundaries are cut, so slabs run as parallel tasks; their group lists
+	// land in pre-assigned slots and are concatenated in slab order.
 	var pack func(ids []int32, dim int) [][]int32
 	pack = func(ids []int32, dim int) [][]int32 {
+		t.sortIDsByDim(ids, dim)
 		if dim == t.dim-1 || len(ids) <= MaxEntries {
-			sort.Slice(ids, func(a, b int) bool {
-				return t.ds.Point(int(ids[a]))[dim] < t.ds.Point(int(ids[b]))[dim]
-			})
 			var out [][]int32
 			for s := 0; s < len(ids); s += MaxEntries {
 				e := s + MaxEntries
@@ -98,9 +137,6 @@ func (t *Tree) strPack(ids []int32) []entry {
 			}
 			return out
 		}
-		sort.Slice(ids, func(a, b int) bool {
-			return t.ds.Point(int(ids[a]))[dim] < t.ds.Point(int(ids[b]))[dim]
-		})
 		nLeaves := (len(ids) + MaxEntries - 1) / MaxEntries
 		// Number of slabs along this axis ~ ceil(nLeaves^(1/(remaining dims))).
 		rem := t.dim - dim
@@ -109,40 +145,71 @@ func (t *Tree) strPack(ids []int32) []entry {
 			slabs = 1
 		}
 		per := (len(ids) + slabs - 1) / slabs
-		var out [][]int32
+		var bounds [][2]int
 		for s := 0; s < len(ids); s += per {
 			e := s + per
 			if e > len(ids) {
 				e = len(ids)
 			}
-			out = append(out, pack(ids[s:e], dim+1)...)
+			bounds = append(bounds, [2]int{s, e})
+		}
+		parts := make([][][]int32, len(bounds))
+		var wg sync.WaitGroup
+		for i := range bounds {
+			i := i
+			slab := ids[bounds[i][0]:bounds[i][1]]
+			run := func() { parts[i] = pack(slab, dim+1) }
+			wg.Add(1)
+			if len(slab) >= spawnMin && tasks.Try(func() { defer wg.Done(); run() }) {
+				continue
+			}
+			run()
+			wg.Done()
+		}
+		wg.Wait()
+		var out [][]int32
+		for _, p := range parts {
+			out = append(out, p...)
 		}
 		return out
 	}
 	groups := pack(ids, 0)
-	leaves := make([]entry, 0, len(groups))
-	for _, g := range groups {
-		nd := &nodeT{leaf: true, entries: make([]entry, 0, len(g))}
-		for _, id := range g {
-			nd.entries = append(nd.entries, entry{rect: vec.RectOf(t.ds.Point(int(id))), id: id})
+	tasks.Wait()
+
+	// Materialize leaf nodes and their MBRs in parallel; leaves[i] depends
+	// only on groups[i].
+	leaves := make([]entry, len(groups))
+	engine.ForRanges(workers, len(groups), nil, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g := groups[i]
+			nd := &nodeT{leaf: true, entries: make([]entry, 0, len(g))}
+			for _, id := range g {
+				nd.entries = append(nd.entries, entry{rect: vec.RectOf(t.ds.Point(int(id))), id: id})
+			}
+			leaves[i] = entry{rect: nodeRect(nd, t.dim), child: nd}
 		}
-		leaves = append(leaves, entry{rect: nodeRect(nd, t.dim), child: nd})
-	}
+	})
 	return leaves
 }
 
 // buildUpward packs child entries level by level until one root remains.
-func (t *Tree) buildUpward(children []entry) *nodeT {
+// Each level's nodes are cut at fixed MaxEntries boundaries, so node
+// construction and MBR computation parallelize over disjoint chunks.
+func (t *Tree) buildUpward(children []entry, workers int) *nodeT {
 	for len(children) > 1 {
-		var next []entry
-		for s := 0; s < len(children); s += MaxEntries {
-			e := s + MaxEntries
-			if e > len(children) {
-				e = len(children)
+		chunks := (len(children) + MaxEntries - 1) / MaxEntries
+		next := make([]entry, chunks)
+		engine.ForRanges(workers, chunks, nil, func(lo, hi int) {
+			for c := lo; c < hi; c++ {
+				s := c * MaxEntries
+				e := s + MaxEntries
+				if e > len(children) {
+					e = len(children)
+				}
+				nd := &nodeT{entries: append([]entry(nil), children[s:e]...)}
+				next[c] = entry{rect: nodeRect(nd, t.dim), child: nd}
 			}
-			nd := &nodeT{entries: append([]entry(nil), children[s:e]...)}
-			next = append(next, entry{rect: nodeRect(nd, t.dim), child: nd})
-		}
+		})
 		children = next
 	}
 	if len(children) == 0 {
@@ -267,12 +334,20 @@ func (t *Tree) split(nd *nodeT) *nodeT {
 	return sib
 }
 
+// sortEntriesByAxis orders split candidates by (Lo, Hi, id) along the axis.
+// The id tie-break settles point entries with identical rectangles
+// deterministically; branch entries (id 0) with fully equal keys keep an
+// arbitrary but reproducible order, as pdqsort is deterministic for a given
+// input permutation.
 func sortEntriesByAxis(ents []entry, axis int) {
-	sort.Slice(ents, func(a, b int) bool {
-		if ents[a].rect.Lo[axis] != ents[b].rect.Lo[axis] {
-			return ents[a].rect.Lo[axis] < ents[b].rect.Lo[axis]
+	slices.SortFunc(ents, func(a, b entry) int {
+		if c := cmp.Compare(a.rect.Lo[axis], b.rect.Lo[axis]); c != 0 {
+			return c
 		}
-		return ents[a].rect.Hi[axis] < ents[b].rect.Hi[axis]
+		if c := cmp.Compare(a.rect.Hi[axis], b.rect.Hi[axis]); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.id, b.id)
 	})
 }
 

@@ -2,8 +2,10 @@ package rtree
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 
+	"dbsvec/internal/index"
 	"dbsvec/internal/index/indextest"
 	"dbsvec/internal/vec"
 )
@@ -14,6 +16,56 @@ func TestConformanceBulk(t *testing.T) {
 
 func TestConformanceDynamic(t *testing.T) {
 	indextest.Run(t, "rtree-dynamic", BuildDynamic)
+}
+
+func TestConformanceParallelBulk(t *testing.T) {
+	indextest.Run(t, "rtree-parallel", BuildWorkers(4))
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	indextest.RunBuildDeterminism(t, "rtree", func(ds *vec.Dataset, workers int) index.Index {
+		return BulkWorkers(ds, workers)
+	})
+}
+
+// TestParallelStructureIdentical: STR tiling with the id tie-break is a
+// total order, so parallel bulk loads must reproduce the serial tree node
+// for node.
+func TestParallelStructureIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	rows := make([][]float64, 7000)
+	for i := range rows {
+		// Heavy coordinate duplication exercises the tie-break.
+		rows[i] = []float64{float64(int(rng.Float64() * 40)), float64(int(rng.Float64() * 40)), rng.Float64() * 40}
+	}
+	ds, _ := vec.FromRows(rows)
+	serial := BulkWorkers(ds, 1)
+	for _, workers := range []int{2, 5, 16} {
+		par := BulkWorkers(ds, workers)
+		if !sameTree(serial.root, par.root) {
+			t.Fatalf("workers=%d: tree structure differs from serial build", workers)
+		}
+	}
+}
+
+// sameTree compares two subtrees entry for entry (rects, ids, recursion).
+func sameTree(a, b *nodeT) bool {
+	if a.leaf != b.leaf || len(a.entries) != len(b.entries) {
+		return false
+	}
+	for i := range a.entries {
+		ea, eb := &a.entries[i], &b.entries[i]
+		if ea.id != eb.id || !slices.Equal(ea.rect.Lo, eb.rect.Lo) || !slices.Equal(ea.rect.Hi, eb.rect.Hi) {
+			return false
+		}
+		if (ea.child == nil) != (eb.child == nil) {
+			return false
+		}
+		if ea.child != nil && !sameTree(ea.child, eb.child) {
+			return false
+		}
+	}
+	return true
 }
 
 func TestInvariantsAfterInserts(t *testing.T) {

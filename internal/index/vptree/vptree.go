@@ -4,11 +4,20 @@
 // whose axis-aligned pruning decays with dimensionality, VP-trees prune
 // with the triangle inequality alone, making them a useful exact backend
 // for the high-dimensional workloads in Figures 6b and 7.
+//
+// Construction partitions the id slice in place around the median distance
+// to the vantage point, so every subtree owns a contiguous id range and the
+// preorder node layout — like the kd-tree's — is a pure function of the
+// input size. Vantage points are drawn from a per-node hash rather than a
+// sequential PRNG, which keeps the choice reproducible AND independent of
+// build order, so subtrees can be constructed concurrently (NewWorkers)
+// with bit-identical results for every worker count. Leaf points are packed
+// into a contiguous leaf-ordered matrix for cache-friendly leaf scans.
 package vptree
 
 import (
-	"math/rand"
-
+	"dbsvec/internal/dist"
+	"dbsvec/internal/engine"
 	"dbsvec/internal/index"
 	"dbsvec/internal/vec"
 )
@@ -16,11 +25,17 @@ import (
 // LeafSize is the maximum number of points stored in a leaf.
 const LeafSize = 16
 
+// spawnMin is the smallest subtree a parallel build hands to another worker.
+const spawnMin = 2048
+
 // Tree is an immutable vantage-point tree. Safe for concurrent readers.
 type Tree struct {
 	ds    *vec.Dataset
 	nodes []node
-	ids   []int32 // leaf storage, contiguous runs
+	ids   []int32 // permutation of 0..n-1; every subtree owns a contiguous run
+	// packed holds the points in leaf order (Row(k) is the point with id
+	// ids[k]); see the kd-tree for the streaming-leaf-scan rationale.
+	packed dist.Matrix
 }
 
 type node struct {
@@ -34,42 +49,109 @@ type node struct {
 	start, end int32
 }
 
-// New builds a VP-tree over ds. Vantage points are chosen with a
-// deterministic PRNG so builds are reproducible.
-func New(ds *vec.Dataset) *Tree {
-	t := &Tree{ds: ds}
+// New builds a VP-tree over ds on the calling goroutine. Vantage points are
+// chosen by a deterministic per-node hash so builds are reproducible.
+func New(ds *vec.Dataset) *Tree { return NewWorkers(ds, 1) }
+
+// NewWorkers builds a VP-tree over ds using up to workers goroutines (<= 0
+// selects all CPUs). The tree is bit-identical for every worker count.
+func NewWorkers(ds *vec.Dataset, workers int) *Tree {
 	n := ds.Len()
-	ids := vec.Iota(n)
-	rng := rand.New(rand.NewSource(1))
-	t.ids = make([]int32, 0, n)
-	if n > 0 {
-		t.build(ids, rng)
+	t := &Tree{ds: ds, ids: vec.Iota(n)}
+	if n == 0 {
+		return t
 	}
+	workers = engine.ResolveWorkers(workers)
+	memo := subtreeSizes(n)
+	t.nodes = make([]node, memo[sizeKey(n)])
+	b := &buildState{t: t, memo: memo, tasks: engine.NewTasks(workers)}
+	b.build(0, 0, n, make([]float64, n-1))
+	b.tasks.Wait()
+	t.packLeaves(workers)
 	return t
 }
 
-// Build is an index.Builder.
+// Build is an index.Builder (serial build).
 func Build(ds *vec.Dataset) index.Index { return New(ds) }
 
-// build recursively partitions ids and returns the node index.
-func (t *Tree) build(ids []int32, rng *rand.Rand) int32 {
-	self := int32(len(t.nodes))
-	t.nodes = append(t.nodes, node{inside: -1, outside: -1})
-	if len(ids) <= LeafSize {
-		start := int32(len(t.ids))
-		t.ids = append(t.ids, ids...)
-		t.nodes[self].start = start
-		t.nodes[self].end = start + int32(len(ids))
-		return self
-	}
-	// Choose a vantage point and move it out of the working set.
-	vi := rng.Intn(len(ids))
-	vp := ids[vi]
-	ids[vi] = ids[len(ids)-1]
-	rest := ids[:len(ids)-1]
+// BuildWorkers returns an index.Builder that constructs the tree with the
+// given worker count (<= 0: all CPUs).
+func BuildWorkers(workers int) index.Builder {
+	return func(ds *vec.Dataset) index.Index { return NewWorkers(ds, workers) }
+}
 
-	// Partition rest by the median distance to vp.
-	dists := make([]float64, len(rest))
+// sizeKey normalizes a range length for the subtree-size memo.
+func sizeKey(m int) int {
+	if m <= LeafSize {
+		return LeafSize
+	}
+	return m
+}
+
+// subtreeSizes returns the node count of a subtree over every range length
+// reachable from n: a range of m points splits into an inside half of
+// (m-1)/2 + 1 points (the vantage point plus everything within the median
+// radius) and an outside half holding the rest.
+func subtreeSizes(n int) map[int]int32 {
+	memo := make(map[int]int32)
+	var count func(m int) int32
+	count = func(m int) int32 {
+		if m <= LeafSize {
+			return 1
+		}
+		if c, ok := memo[m]; ok {
+			return c
+		}
+		in := (m-1)/2 + 1
+		c := 1 + count(in) + count(m-in)
+		memo[m] = c
+		return c
+	}
+	memo[LeafSize] = 1
+	memo[sizeKey(n)] = count(n)
+	return memo
+}
+
+// vantageIndex picks the vantage position within a subtree's id range by
+// hashing the node's preorder slot (splitmix64 finalizer). The draw depends
+// only on (slot, range length), never on which goroutine builds the
+// subtree.
+func vantageIndex(self int32, m int) int {
+	x := uint64(self)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return int(x % uint64(m))
+}
+
+type buildState struct {
+	t     *Tree
+	memo  map[int]int32
+	tasks *engine.Tasks
+}
+
+// build constructs the subtree over ids[off:off+m) into node slot self.
+// dscratch is a distance buffer of at least m-1 entries owned by the
+// calling goroutine.
+func (b *buildState) build(self int32, off, m int, dscratch []float64) {
+	t := b.t
+	if m <= LeafSize {
+		t.nodes[self] = node{inside: -1, outside: -1, start: int32(off), end: int32(off + m)}
+		return
+	}
+	seg := t.ids[off : off+m]
+
+	// Move the vantage point to the front; it stays in the inside subtree
+	// (distance 0 to itself).
+	vi := vantageIndex(self, m)
+	seg[0], seg[vi] = seg[vi], seg[0]
+	vp := seg[0]
+	rest := seg[1:]
+
+	// Partition rest in place by the median distance to vp.
+	dists := dscratch[:len(rest)]
 	vpPoint := t.ds.Point(int(vp))
 	for i, id := range rest {
 		dists[i] = vec.Dist(t.ds.Point(int(id)), vpPoint)
@@ -78,17 +160,30 @@ func (t *Tree) build(ids []int32, rng *rand.Rand) int32 {
 	quickselect(rest, dists, mid)
 	radius := dists[mid]
 
-	// The vantage point itself lives in the inside subtree (distance 0).
-	insideIDs := append([]int32{vp}, rest[:mid]...)
-	outsideIDs := rest[mid:]
+	in := mid + 1 // vp + rest[:mid]
+	inside := self + 1
+	outside := inside + b.memo[sizeKey(in)]
+	t.nodes[self] = node{vp: vp, radius: radius, inside: inside, outside: outside}
+	if m-in >= spawnMin && b.tasks.Try(func() {
+		b.build(outside, off+in, m-in, make([]float64, m-in-1))
+	}) {
+		b.build(inside, off, in, dscratch)
+		return
+	}
+	b.build(inside, off, in, dscratch)
+	b.build(outside, off+in, m-in, dscratch)
+}
 
-	t.nodes[self].vp = vp
-	t.nodes[self].radius = radius
-	inside := t.build(insideIDs, rng)
-	outside := t.build(outsideIDs, rng)
-	t.nodes[self].inside = inside
-	t.nodes[self].outside = outside
-	return self
+// packLeaves copies the points into leaf order (see kdtree.packLeaves).
+func (t *Tree) packLeaves(workers int) {
+	d := t.ds.Dim()
+	coords := make([]float64, len(t.ids)*d)
+	engine.ForRanges(workers, len(t.ids), nil, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			copy(coords[k*d:(k+1)*d], t.ds.Point(int(t.ids[k])))
+		}
+	})
+	t.packed = dist.Matrix{Coords: coords, Dim: d}
 }
 
 // quickselect partially sorts (ids, dists) so the element with rank nth is
@@ -125,6 +220,28 @@ func quickselect(ids []int32, dists []float64, nth int) {
 // Len returns the number of indexed points.
 func (t *Tree) Len() int { return t.ds.Len() }
 
+// scanLeaf appends leaf nd's points within eps2 of q, streaming the packed
+// block when available (bit-identical to the gather path; see kdtree).
+func (t *Tree) scanLeaf(nd *node, q []float64, eps2 float64, buf []int32) []int32 {
+	if t.packed.Coords == nil {
+		return t.ds.FilterWithinIDs(q, eps2, t.ids[nd.start:nd.end], buf)
+	}
+	mark := len(buf)
+	buf = dist.FilterWithinRange(t.packed, q, eps2, int(nd.start), int(nd.end), buf)
+	for i := mark; i < len(buf); i++ {
+		buf[i] = t.ids[buf[i]]
+	}
+	return buf
+}
+
+// countLeaf counts leaf nd's points within eps2 of q (see scanLeaf).
+func (t *Tree) countLeaf(nd *node, q []float64, eps2 float64, limit int) int {
+	if t.packed.Coords == nil {
+		return t.ds.CountWithinIDs(q, eps2, t.ids[nd.start:nd.end], limit)
+	}
+	return dist.CountWithinRange(t.packed, q, eps2, int(nd.start), int(nd.end), limit)
+}
+
 // RangeQuery implements index.Index.
 func (t *Tree) RangeQuery(q []float64, eps float64, buf []int32) []int32 {
 	if t.ds.Len() == 0 {
@@ -135,7 +252,7 @@ func (t *Tree) RangeQuery(q []float64, eps float64, buf []int32) []int32 {
 	rec = func(ni int32) {
 		nd := &t.nodes[ni]
 		if nd.inside < 0 { // leaf
-			buf = t.ds.FilterWithinIDs(q, eps2, t.ids[nd.start:nd.end], buf)
+			buf = t.scanLeaf(nd, q, eps2, buf)
 			return
 		}
 		d := vec.Dist(t.ds.Point(int(nd.vp)), q)
@@ -167,7 +284,7 @@ func (t *Tree) RangeCount(q []float64, eps float64, limit int) int {
 			if limit > 0 {
 				rem = limit - count
 			}
-			count += t.ds.CountWithinIDs(q, eps2, t.ids[nd.start:nd.end], rem)
+			count += t.countLeaf(nd, q, eps2, rem)
 			return limit > 0 && count >= limit
 		}
 		d := vec.Dist(t.ds.Point(int(nd.vp)), q)

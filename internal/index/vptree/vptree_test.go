@@ -2,6 +2,7 @@ package vptree
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 
 	"dbsvec/internal/index"
@@ -11,6 +12,71 @@ import (
 
 func TestConformance(t *testing.T) {
 	indextest.Run(t, "vptree", Build)
+}
+
+func TestConformanceParallelBuild(t *testing.T) {
+	indextest.Run(t, "vptree-parallel", BuildWorkers(4))
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	indextest.RunBuildDeterminism(t, "vptree", func(ds *vec.Dataset, workers int) index.Index {
+		return NewWorkers(ds, workers)
+	})
+}
+
+// TestParallelStructureIdentical: parallel builds must reproduce the serial
+// build's node array, id permutation and packed matrix exactly (vantage
+// selection hashes the preorder slot, so it cannot depend on scheduling).
+func TestParallelStructureIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rows := make([][]float64, 6000)
+	for i := range rows {
+		rows[i] = []float64{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	ds, _ := vec.FromRows(rows)
+	serial := NewWorkers(ds, 1)
+	for _, workers := range []int{2, 6, 16} {
+		par := NewWorkers(ds, workers)
+		if !slices.Equal(par.ids, serial.ids) {
+			t.Fatalf("workers=%d: id permutation differs", workers)
+		}
+		if !slices.Equal(par.nodes, serial.nodes) {
+			t.Fatalf("workers=%d: node layout differs", workers)
+		}
+		if !slices.Equal(par.packed.Coords, serial.packed.Coords) {
+			t.Fatalf("workers=%d: packed matrix differs", workers)
+		}
+	}
+}
+
+// TestPackedMatchesGather: streaming the packed leaf blocks is bitwise
+// equivalent to the gather-by-id leaf scan (see the kdtree sibling test).
+func TestPackedMatchesGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := 6
+	rows := make([][]float64, 2500)
+	for i := range rows {
+		rows[i] = make([]float64, d)
+		for j := range rows[i] {
+			rows[i][j] = rng.Float64() * 100
+		}
+	}
+	ds, _ := vec.FromRows(rows)
+	packed := New(ds)
+	gather := &Tree{ds: packed.ds, ids: packed.ids, nodes: packed.nodes}
+	for iter := 0; iter < 60; iter++ {
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = rng.Float64() * 100
+		}
+		eps := 10 + rng.Float64()*40
+		if got, want := packed.RangeQuery(q, eps, nil), gather.RangeQuery(q, eps, nil); !slices.Equal(got, want) {
+			t.Fatalf("eps=%g: packed %v != gather %v", eps, got, want)
+		}
+		if g, w := packed.RangeCount(q, eps, 5), gather.RangeCount(q, eps, 5); g != w {
+			t.Fatalf("packed limited count %d != gather %d", g, w)
+		}
+	}
 }
 
 func TestHighDimensional(t *testing.T) {
