@@ -1,0 +1,79 @@
+package dbsvec
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestClusterBudgetPartialResult(t *testing.T) {
+	ds, _ := NewDataset(blobRows(2000, 41))
+	res, err := ClusterContext(context.Background(), ds, Options{
+		Eps: 4, MinPts: 8,
+		Budget: Budget{MaxRangeQueries: 10},
+	})
+	var be *BudgetExceededError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BudgetExceededError", err)
+	}
+	if res == nil {
+		t.Fatal("budget trip must still return the partial clustering")
+	}
+	for i, l := range res.Labels {
+		if l != Noise && (l < 0 || int(l) >= res.Clusters) {
+			t.Fatalf("label[%d] = %d outside [0, %d) ∪ {Noise}", i, l, res.Clusters)
+		}
+	}
+	if be.RangeQueries < 10 {
+		t.Errorf("budget error snapshot %+v, want >= 10 queries", be)
+	}
+}
+
+func TestClusterBudgetDurationWithTreeIndex(t *testing.T) {
+	// A pre-expired duration budget must interrupt even the index build and
+	// still produce a valid (all-noise) partial result.
+	ds, _ := NewDataset(blobRows(2000, 42))
+	res, err := ClusterContext(context.Background(), ds, Options{
+		Eps: 4, MinPts: 8, Index: IndexKDTree,
+		Budget: Budget{MaxDuration: time.Nanosecond},
+	})
+	var be *BudgetExceededError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BudgetExceededError", err)
+	}
+	if be.Limit != "duration" {
+		t.Errorf("Limit = %q, want duration", be.Limit)
+	}
+	if res == nil {
+		t.Fatal("want partial result")
+	}
+	for i, l := range res.Labels {
+		if l != Noise {
+			t.Fatalf("label[%d] = %d, want all noise on an instantly expired budget", i, l)
+		}
+	}
+}
+
+func TestClusterBudgetDisabledZeroValue(t *testing.T) {
+	ds, _ := NewDataset(blobRows(400, 43))
+	res, err := Cluster(ds, Options{Eps: 4, MinPts: 8, Budget: Budget{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 2 || res.Stats.Degraded != 0 {
+		t.Errorf("clusters = %d degraded = %d, want 2 and 0", res.Clusters, res.Stats.Degraded)
+	}
+}
+
+func TestClusterInvalidParamsExported(t *testing.T) {
+	ds, _ := NewDataset(blobRows(50, 44))
+	_, err := Cluster(ds, Options{Eps: -1, MinPts: 8})
+	if !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("err = %v, want ErrInvalidParams", err)
+	}
+	_, err = Cluster(ds, Options{Eps: 4, MinPts: 8, Budget: Budget{MaxSVDDRounds: -1}})
+	if !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("err = %v, want ErrInvalidParams for negative budget", err)
+	}
+}

@@ -3,14 +3,17 @@
 //
 // Usage:
 //
-//	benchall [-exp fig6a] [-full] [-seed 1] [-budget 30s] [-workers 0]
-//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	benchall [-exp fig6a] [-full] [-seed 1] [-budget 30s] [-runtimeout 0]
+//	         [-workers 0] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	         [-svddjson BENCH_svdd.json] [-indexjson BENCH_index.json] [-list]
 //
 // By default every experiment runs in quick mode (reduced cardinalities so
 // the suite finishes in minutes). -full approaches the paper's scales and
 // can run for hours. -exp selects a single experiment by id. -workers sets
 // the query-engine worker count used by DBSVEC runs (0 = all CPUs).
+// -budget skips runs predicted (from prior samples) to be too slow, while
+// -runtimeout arms a hard in-flight wall-clock budget on each DBSVEC run:
+// a run that trips it contributes its best-effort partial clustering.
 // -cpuprofile and -memprofile write pprof profiles covering the whole
 // harness run, for feeding into `go tool pprof`.
 package main
@@ -32,6 +35,7 @@ func main() {
 		full       = flag.Bool("full", false, "use paper-scale cardinalities (slow)")
 		seed       = flag.Int64("seed", 1, "random seed for data generation and algorithms")
 		budget     = flag.Duration("budget", 0, "per-run time budget before an algorithm is dropped from a sweep (0 = default)")
+		runTimeout = flag.Duration("runtimeout", 0, "hard wall-clock budget per DBSVEC run; tripped runs report their partial clustering (0 = off)")
 		workers    = flag.Int("workers", 0, "query-engine worker goroutines for DBSVEC runs (0 = all CPUs)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the harness run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at harness exit to this file")
@@ -62,7 +66,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	cfg := experiments.Config{Quick: !*full, Seed: *seed, Budget: *budget, Workers: *workers, SVDDJSONPath: *svddjson, IndexJSONPath: *indexjson}
+	cfg := experiments.Config{Quick: !*full, Seed: *seed, Budget: *budget, RunTimeout: *runTimeout, Workers: *workers, SVDDJSONPath: *svddjson, IndexJSONPath: *indexjson}
 	start := time.Now()
 	var err error
 	if *exp == "" {

@@ -5,13 +5,20 @@
 //
 //	dbsvec -eps 5000 -minpts 100 [-algo dbsvec] [-in points.csv] [-out labeled.csv]
 //	       [-nu 0] [-normalize 0] [-index linear] [-seed 1] [-workers 0] [-stats]
+//	       [-timeout 0] [-maxrounds 0] [-maxqueries 0]
 //
 // Algorithms: dbsvec (default), dbscan, pdbscan, rho, lsh, nq, kmeans
 // (with -k).
 // Reading from stdin and writing to stdout are the defaults.
+//
+// The -timeout / -maxrounds / -maxqueries flags bound the DBSVEC run's work
+// (wall clock, SVDD trainings, range queries). When a limit fires, the
+// best-effort partial clustering is still written to -out; the exceeded
+// budget is reported on stderr and the exit code stays 0.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -20,6 +27,12 @@ import (
 
 	"dbsvec"
 )
+
+type budgetFlags struct {
+	timeout    time.Duration
+	maxRounds  int
+	maxQueries int64
+}
 
 func main() {
 	var (
@@ -35,16 +48,20 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "query-engine worker goroutines (0 = all CPUs)")
 		stats     = flag.Bool("stats", false, "print run statistics to stderr")
+		timeout   = flag.Duration("timeout", 0, "dbsvec: wall-clock budget; on expiry the partial clustering is written (0 = unlimited)")
+		maxRound  = flag.Int("maxrounds", 0, "dbsvec: SVDD training budget (0 = unlimited)")
+		maxQuery  = flag.Int64("maxqueries", 0, "dbsvec: range-query budget (0 = unlimited)")
 	)
 	flag.Parse()
 
-	if err := run(*algo, *eps, *minPts, *k, *nu, *inPath, *outPath, *normalize, *indexKind, *seed, *workers, *stats); err != nil {
+	b := budgetFlags{timeout: *timeout, maxRounds: *maxRound, maxQueries: *maxQuery}
+	if err := run(*algo, *eps, *minPts, *k, *nu, *inPath, *outPath, *normalize, *indexKind, *seed, *workers, *stats, b); err != nil {
 		fmt.Fprintf(os.Stderr, "dbsvec: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(algo string, eps float64, minPts, k int, nu float64, inPath, outPath string, normalize float64, indexKind string, seed int64, workers int, stats bool) error {
+func run(algo string, eps float64, minPts, k int, nu float64, inPath, outPath string, normalize float64, indexKind string, seed int64, workers int, stats bool, budget budgetFlags) error {
 	var in io.Reader = os.Stdin
 	if inPath != "" {
 		f, err := os.Open(inPath)
@@ -84,9 +101,23 @@ func run(algo string, eps float64, minPts, k int, nu float64, inPath, outPath st
 
 	start := time.Now()
 	var res *dbsvec.Result
+	var budgetErr *dbsvec.BudgetExceededError
 	switch algo {
 	case "dbsvec":
-		res, err = dbsvec.Cluster(ds, dbsvec.Options{Eps: eps, MinPts: minPts, Nu: nu, Index: idx, Seed: seed, Workers: workers})
+		res, err = dbsvec.Cluster(ds, dbsvec.Options{
+			Eps: eps, MinPts: minPts, Nu: nu, Index: idx, Seed: seed, Workers: workers,
+			Budget: dbsvec.Budget{
+				MaxDuration:     budget.timeout,
+				MaxSVDDRounds:   budget.maxRounds,
+				MaxRangeQueries: budget.maxQueries,
+			},
+		})
+		// A tripped budget still yields a valid partial clustering: warn and
+		// keep going so the labels reach -out.
+		if errors.As(err, &budgetErr) && res != nil {
+			fmt.Fprintf(os.Stderr, "dbsvec: %v (writing partial clustering)\n", budgetErr)
+			err = nil
+		}
 	case "dbscan":
 		res, err = dbsvec.DBSCAN(ds, eps, minPts, idx)
 	case "pdbscan":
@@ -128,8 +159,12 @@ func run(algo string, eps float64, minPts, k int, nu float64, inPath, outPath st
 			algo, ds.Len(), ds.Dim(), res.Clusters, res.NoiseCount(), elapsed.Round(time.Millisecond))
 		if algo == "dbsvec" {
 			s := res.Stats
-			fmt.Fprintf(os.Stderr, "seeds=%d supportVectors=%d merges=%d noiseList=%d rangeQueries=%d rangeCounts=%d svddTrainings=%d\n",
-				s.Seeds, s.SupportVectors, s.Merges, s.NoiseList, s.RangeQueries, s.RangeCounts, s.SVDDTrainings)
+			fmt.Fprintf(os.Stderr, "seeds=%d supportVectors=%d merges=%d noiseList=%d rangeQueries=%d rangeCounts=%d svddTrainings=%d degraded=%d\n",
+				s.Seeds, s.SupportVectors, s.Merges, s.NoiseList, s.RangeQueries, s.RangeCounts, s.SVDDTrainings, s.Degraded)
+			if budgetErr != nil {
+				fmt.Fprintf(os.Stderr, "budgetExceeded=%s budgetElapsed=%s budgetRounds=%d budgetQueries=%d\n",
+					budgetErr.Limit, budgetErr.Elapsed.Round(time.Millisecond), budgetErr.SVDDRounds, budgetErr.RangeQueries)
+			}
 		}
 		if b := res.Stats.IndexBuild; b > 0 {
 			fmt.Fprintf(os.Stderr, "indexBuild=%s\n", b.Round(time.Microsecond))

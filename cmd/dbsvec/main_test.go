@@ -28,7 +28,7 @@ func TestRunAllAlgorithms(t *testing.T) {
 	in := writeInput(t)
 	for _, algo := range []string{"dbsvec", "dbscan", "pdbscan", "rho", "lsh", "nq"} {
 		out := filepath.Join(t.TempDir(), "out.csv")
-		if err := run(algo, 5, 5, 0, 0, in, out, 0, "linear", 1, 0, false); err != nil {
+		if err := run(algo, 5, 5, 0, 0, in, out, 0, "linear", 1, 0, false, budgetFlags{}); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 		data, err := os.ReadFile(out)
@@ -49,7 +49,7 @@ func TestRunAllAlgorithms(t *testing.T) {
 func TestRunKMeans(t *testing.T) {
 	in := writeInput(t)
 	out := filepath.Join(t.TempDir(), "out.csv")
-	if err := run("kmeans", 0, 0, 2, 0, in, out, 0, "linear", 1, 0, false); err != nil {
+	if err := run("kmeans", 0, 0, 2, 0, in, out, 0, "linear", 1, 0, false, budgetFlags{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -58,7 +58,7 @@ func TestRunIndexKinds(t *testing.T) {
 	in := writeInput(t)
 	for _, idx := range []string{"linear", "kdtree", "rtree", "grid", "parallel", "pyramid", "vptree"} {
 		out := filepath.Join(t.TempDir(), "out.csv")
-		if err := run("dbscan", 5, 5, 0, 0, in, out, 0, idx, 1, 0, false); err != nil {
+		if err := run("dbscan", 5, 5, 0, 0, in, out, 0, idx, 1, 0, false, budgetFlags{}); err != nil {
 			t.Fatalf("index %s: %v", idx, err)
 		}
 	}
@@ -69,23 +69,40 @@ func TestRunNormalize(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "out.csv")
 	// After normalization to [0,1000], eps must be rescaled accordingly;
 	// eps=20 separates clumps at 0 and ~100 (of 1000).
-	if err := run("dbsvec", 20, 5, 0, 0, in, out, 1000, "linear", 1, 0, true); err != nil {
+	if err := run("dbsvec", 20, 5, 0, 0, in, out, 1000, "linear", 1, 0, true, budgetFlags{}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunBudgetPartialOutput(t *testing.T) {
+	in := writeInput(t)
+	out := filepath.Join(t.TempDir(), "out.csv")
+	// A tiny range-query budget trips mid-run; the CLI must still succeed
+	// and write a full-length labeled file (best-effort partial clustering).
+	if err := run("dbsvec", 5, 5, 0, 0, in, out, 0, "linear", 1, 0, true, budgetFlags{maxQueries: 1}); err != nil {
+		t.Fatalf("budget trip must not fail the command: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(string(data)), "\n"); len(lines) != 21 {
+		t.Fatalf("wrote %d lines, want 21", len(lines))
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	in := writeInput(t)
-	if err := run("bogus", 5, 5, 0, 0, in, "", 0, "linear", 1, 0, false); err == nil {
+	if err := run("bogus", 5, 5, 0, 0, in, "", 0, "linear", 1, 0, false, budgetFlags{}); err == nil {
 		t.Error("unknown algorithm should error")
 	}
-	if err := run("dbscan", 5, 5, 0, 0, in, "", 0, "bogus", 1, 0, false); err == nil {
+	if err := run("dbscan", 5, 5, 0, 0, in, "", 0, "bogus", 1, 0, false, budgetFlags{}); err == nil {
 		t.Error("unknown index should error")
 	}
-	if err := run("dbscan", 5, 5, 0, 0, "/nonexistent/file.csv", "", 0, "linear", 1, 0, false); err == nil {
+	if err := run("dbscan", 5, 5, 0, 0, "/nonexistent/file.csv", "", 0, "linear", 1, 0, false, budgetFlags{}); err == nil {
 		t.Error("missing input file should error")
 	}
-	if err := run("dbscan", -5, 5, 0, 0, in, "", 0, "linear", 1, 0, false); err == nil {
+	if err := run("dbscan", -5, 5, 0, 0, in, "", 0, "linear", 1, 0, false, budgetFlags{}); err == nil {
 		t.Error("invalid eps should error")
 	}
 }

@@ -15,7 +15,33 @@ import (
 	"dbsvec/internal/index/pyramid"
 	"dbsvec/internal/index/rtree"
 	"dbsvec/internal/index/vptree"
+	"dbsvec/internal/svdd"
 )
+
+// Budget bounds the work a Cluster run may perform; see the field docs on
+// the core type. A run that trips a budget limit still returns a valid
+// partial clustering together with a *BudgetExceededError.
+type Budget = core.Budget
+
+// BudgetExceededError reports which Budget limit fired; it accompanies a
+// valid partial Result, not a nil one.
+type BudgetExceededError = core.BudgetExceededError
+
+// WorkerPanicError wraps a panic recovered from a worker goroutine (or the
+// clustering run itself), carrying the panic value and the goroutine's
+// stack. Cluster never crashes the process on an internal panic; it returns
+// one of these.
+type WorkerPanicError = engine.WorkerPanicError
+
+// ErrInvalidParams is wrapped by every parameter-validation failure, so
+// errors.Is(err, ErrInvalidParams) classifies any up-front rejection.
+var ErrInvalidParams = core.ErrInvalidParams
+
+// ErrNotConverged reports that an SVDD solve hit its iteration cap before
+// reaching the KKT tolerance. TrainOneClass returns it alongside a usable
+// (best-iterate) model; inside Cluster it triggers the exact-expansion
+// fallback counted in Stats.Degraded.
+var ErrNotConverged = svdd.ErrNotConverged
 
 // Noise is the label assigned to noise points in Result.Labels.
 const Noise int32 = cluster.Noise
@@ -80,6 +106,26 @@ func (k IndexKind) builder(eps float64, dim, workers int) (index.Builder, error)
 	}
 }
 
+// ctxBuilder resolves the cancellable construction function: the tree
+// backends build natively under the context (a Budget deadline interrupts
+// the bulk load at subtree granularity); the rest adapt via entry/exit
+// checks.
+func (k IndexKind) ctxBuilder(eps float64, dim, workers int) (index.CtxBuilder, error) {
+	switch k {
+	case IndexKDTree:
+		return kdtree.BuildWorkersCtx(workers), nil
+	case IndexRTree:
+		return rtree.BuildWorkersCtx(workers), nil
+	case IndexVPTree:
+		return vptree.BuildWorkersCtx(workers), nil
+	}
+	b, err := k.builder(eps, dim, workers)
+	if err != nil {
+		return nil, err
+	}
+	return index.WithContext(b), nil
+}
+
 // Options configures Cluster. Zero values of optional fields select the
 // paper's defaults.
 type Options struct {
@@ -135,6 +181,13 @@ type Options struct {
 	// so results can differ within solver tolerance from cold-start runs;
 	// disable it for A/B benchmarking or exact cold-start equivalence.
 	DisableWarmStart bool
+
+	// Budget bounds the run's work (wall clock, SVDD rounds, range
+	// queries). When a limit fires, Cluster returns the best-effort partial
+	// clustering built so far together with a *BudgetExceededError: check
+	// for it with errors.As and decide whether the partial result is good
+	// enough. The zero value disables every limit.
+	Budget Budget
 }
 
 // PhaseTimes is the per-phase wall-clock breakdown reported by the
@@ -164,6 +217,10 @@ type Stats struct {
 	RangeCounts  int64
 	// SVDDTrainings is the number of SVDD models fitted.
 	SVDDTrainings int
+	// Degraded counts sub-clusters completed by the exact range-query
+	// expansion fallback after their SVDD training failed recoverably
+	// (non-convergence, degenerate kernel width, all-SV blowup).
+	Degraded int
 	// IndexBuild is the wall-clock spent constructing the range-query index
 	// before clustering; like Phases it varies run to run.
 	IndexBuild time.Duration
@@ -206,11 +263,15 @@ func Cluster(d *Dataset, opts Options) (*Result, error) {
 
 // ClusterContext runs DBSVEC with cancellation: when ctx is cancelled the
 // run stops between phases and returns ctx's error.
+//
+// When Options.Budget trips, the returned *Result is non-nil — the valid
+// partial clustering — and the error is a *BudgetExceededError; every other
+// error comes with a nil Result.
 func ClusterContext(ctx context.Context, d *Dataset, opts Options) (*Result, error) {
 	if d == nil {
 		return nil, core.ErrNilDataset
 	}
-	build, err := opts.Index.builder(opts.Eps, d.Dim(), opts.Workers)
+	build, err := opts.Index.ctxBuilder(opts.Eps, d.Dim(), opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -225,12 +286,13 @@ func ClusterContext(ctx context.Context, d *Dataset, opts Options) (*Result, err
 		DisableWeights:   opts.DisableWeights,
 		RandomKernel:     opts.RandomKernel,
 		Seed:             opts.Seed,
-		IndexBuilder:     build,
+		IndexBuilderCtx:  build,
 		Workers:          opts.Workers,
 		MaxSVDDTarget:    opts.MaxSVDDTarget,
 		DisableWarmStart: opts.DisableWarmStart,
+		Budget:           opts.Budget,
 	})
-	if err != nil {
+	if err != nil && res == nil {
 		return nil, err
 	}
 	out := wrapResult(res)
@@ -242,9 +304,10 @@ func ClusterContext(ctx context.Context, d *Dataset, opts Options) (*Result, err
 		RangeQueries:   st.RangeQueries,
 		RangeCounts:    st.RangeCounts,
 		SVDDTrainings:  st.SVDDTrainings,
+		Degraded:       st.Degraded,
 		IndexBuild:     st.IndexBuild,
 		Phases:         st.Phases,
 		SVDD:           st.SVDD,
 	}
-	return out, nil
+	return out, err
 }

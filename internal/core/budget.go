@@ -1,0 +1,70 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Budget bounds the work a DBSVEC run may perform. The zero value disables
+// every limit. Limits are enforced at round boundaries (seed sweep steps,
+// expansion rounds, noise verification) and — for MaxDuration — inside
+// long-running primitives via a context deadline, so a tripped budget stops
+// the run within one query batch or SVDD solve checkpoint.
+//
+// A budgeted run that trips does NOT fail: Run returns the best-effort
+// partial clustering built so far (every label is a valid cluster id or
+// Noise — unreached points are reported as Noise) together with a
+// *BudgetExceededError describing which limit fired.
+type Budget struct {
+	// MaxDuration caps wall-clock time. Enforced via a context deadline
+	// derived for the run, so it also interrupts index construction and
+	// mid-solve SVDD iterations.
+	MaxDuration time.Duration
+	// MaxSVDDRounds caps the number of SVDD trainings (Stats.SVDDTrainings).
+	MaxSVDDRounds int
+	// MaxRangeQueries caps the total number of range queries and counting
+	// queries (Stats.RangeQueries + Stats.RangeCounts).
+	MaxRangeQueries int64
+}
+
+func (b Budget) enabled() bool {
+	return b.MaxDuration > 0 || b.MaxSVDDRounds > 0 || b.MaxRangeQueries > 0
+}
+
+func (b Budget) validate() error {
+	if b.MaxDuration < 0 {
+		return fmt.Errorf("%w: budget MaxDuration %v must be non-negative", ErrInvalidParams, b.MaxDuration)
+	}
+	if b.MaxSVDDRounds < 0 {
+		return fmt.Errorf("%w: budget MaxSVDDRounds %d must be non-negative", ErrInvalidParams, b.MaxSVDDRounds)
+	}
+	if b.MaxRangeQueries < 0 {
+		return fmt.Errorf("%w: budget MaxRangeQueries %d must be non-negative", ErrInvalidParams, b.MaxRangeQueries)
+	}
+	return nil
+}
+
+// BudgetExceededError reports that a run stopped early because a Budget
+// limit fired. It accompanies a *valid partial result*, not a nil one.
+type BudgetExceededError struct {
+	// Limit names the limit that fired: "duration", "svdd-rounds" or
+	// "range-queries".
+	Limit string
+	// Elapsed is the wall-clock time consumed when the limit fired.
+	Elapsed time.Duration
+	// SVDDRounds and RangeQueries snapshot the corresponding work counters
+	// at the moment the limit fired.
+	SVDDRounds   int
+	RangeQueries int64
+}
+
+func (e *BudgetExceededError) Error() string {
+	return fmt.Sprintf("dbsvec: budget exceeded (%s) after %v, %d svdd rounds, %d range queries",
+		e.Limit, e.Elapsed, e.SVDDRounds, e.RangeQueries)
+}
+
+// errBudget is the internal control-flow sentinel that unwinds a tripped
+// budget out of the expansion machinery; Run translates it into the
+// runner's recorded *BudgetExceededError plus a partial result.
+var errBudget = errors.New("dbsvec: budget exhausted")

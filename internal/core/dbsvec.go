@@ -31,6 +31,7 @@ import (
 
 	"dbsvec/internal/cluster"
 	"dbsvec/internal/engine"
+	"dbsvec/internal/fault"
 	"dbsvec/internal/index"
 	"dbsvec/internal/svdd"
 	"dbsvec/internal/unionfind"
@@ -76,6 +77,13 @@ type Options struct {
 	// scan — DBSVEC needs no index (Section III-D).
 	IndexBuilder index.Builder
 
+	// IndexBuilderCtx, when non-nil, takes precedence over IndexBuilder and
+	// supplies a cancellable backend construction: a Budget deadline or a
+	// cancelled Context interrupts the build itself instead of waiting for
+	// it to finish. The tree backends export native CtxBuilders;
+	// index.WithContext adapts any plain Builder.
+	IndexBuilderCtx index.CtxBuilder
+
 	// MaxSVDDTarget caps the SVDD target-set size; larger targets are
 	// deterministically subsampled before training. 0 selects 1024. The cap
 	// bounds the O(ñ²) kernel work per training round; incremental learning
@@ -106,22 +114,42 @@ type Options struct {
 	// inside expansion rounds and noise verification (the engine checks it
 	// throughout every query batch).
 	Context context.Context
+
+	// Budget bounds the run's work. Unlike an external cancellation, a
+	// tripped budget returns a best-effort *partial* clustering together
+	// with a *BudgetExceededError. The zero value disables every limit.
+	Budget Budget
 }
 
+// ErrInvalidParams is the root of the parameter-validation taxonomy: every
+// rejection of malformed Options wraps it, so callers can classify any
+// up-front failure with errors.Is(err, ErrInvalidParams) and read the
+// specific violation from the message.
+var ErrInvalidParams = errors.New("dbsvec: invalid parameters")
+
 func (o Options) validate() error {
-	if o.Eps < 0 {
-		return fmt.Errorf("dbsvec: eps %g must be non-negative", o.Eps)
+	if o.Eps <= 0 {
+		return fmt.Errorf("%w: eps %g must be positive", ErrInvalidParams, o.Eps)
 	}
 	if o.MinPts < 1 {
-		return fmt.Errorf("dbsvec: MinPts %d must be at least 1", o.MinPts)
+		return fmt.Errorf("%w: MinPts %d must be at least 1", ErrInvalidParams, o.MinPts)
 	}
 	if o.Nu < 0 || o.Nu > 1 {
-		return fmt.Errorf("dbsvec: nu %g must be in [0,1]", o.Nu)
+		return fmt.Errorf("%w: nu %g must be in (0,1] (0 selects the adaptive ν*)", ErrInvalidParams, o.Nu)
 	}
 	if o.MemoryFactor < 0 || (o.MemoryFactor > 0 && o.MemoryFactor <= 1) {
-		return fmt.Errorf("dbsvec: memory factor λ %g must exceed 1", o.MemoryFactor)
+		return fmt.Errorf("%w: memory factor λ %g must exceed 1", ErrInvalidParams, o.MemoryFactor)
 	}
-	return nil
+	if o.Workers < 0 {
+		return fmt.Errorf("%w: Workers %d must be non-negative (0 selects GOMAXPROCS)", ErrInvalidParams, o.Workers)
+	}
+	if o.MaxSVDDTarget < 0 {
+		return fmt.Errorf("%w: MaxSVDDTarget %d must be non-negative", ErrInvalidParams, o.MaxSVDDTarget)
+	}
+	if o.LearnThreshold < -1 {
+		return fmt.Errorf("%w: LearnThreshold %d must be -1 (disabled), 0 (default) or positive", ErrInvalidParams, o.LearnThreshold)
+	}
+	return o.Budget.validate()
 }
 
 // Stats reports the work a run performed. The paper's cost model
@@ -145,6 +173,12 @@ type Stats struct {
 	SVDDTrainings int
 	// SVDDIterations is the total number of SMO pair updates.
 	SVDDIterations int64
+	// Degraded counts the sub-clusters whose SVDD training failed in a
+	// recoverable way (non-convergence, degenerate kernel width, all-SV
+	// blowup) and that were therefore completed by the exact range-query
+	// expansion fallback instead of support-vector expansion. A degraded
+	// sub-cluster loses the θ speedup but keeps DBSCAN-exact semantics.
+	Degraded int
 	// IndexBuild is the wall-clock spent constructing the range-query index
 	// before clustering starts. Not part of the θ model; determinism
 	// comparisons must ignore it.
@@ -186,8 +220,17 @@ const (
 type runner struct {
 	ds   *vec.Dataset
 	opts Options
-	ctx  context.Context
-	idx  index.Index
+	// ctx is the run's working context: the caller's Context with the
+	// Budget.MaxDuration deadline layered on top. parent is the caller's
+	// context alone — checking it apart from ctx is what distinguishes an
+	// external cancellation (hard error, partial work discarded) from a
+	// budget trip (partial result returned).
+	ctx    context.Context
+	parent context.Context
+	start  time.Time
+	// budgetErr records the first Budget limit that fired (see trip).
+	budgetErr *BudgetExceededError
+	idx       index.Index
 	// eng fans each round's SV query set and the noise list's core tests
 	// across the worker pool; the sequential seed queries go through idx.
 	eng    *engine.Engine
@@ -213,7 +256,25 @@ type runner struct {
 
 // Run executes DBSVEC over ds and returns the clustering, run statistics,
 // and an error for invalid inputs.
-func Run(ds *vec.Dataset, opts Options) (*cluster.Result, Stats, error) {
+//
+// Failure contract:
+//   - invalid Options wrap ErrInvalidParams; a nil dataset is ErrNilDataset;
+//   - an external cancellation (Options.Context) returns the context's error
+//     with partial work discarded;
+//   - a tripped Options.Budget returns a *valid partial clustering* plus a
+//     *BudgetExceededError — every label is a cluster id or Noise;
+//   - a panic anywhere in the run (worker goroutines included) is contained
+//     and returned as a *fault.WorkerPanicError, never a crash.
+func Run(ds *vec.Dataset, opts Options) (res *cluster.Result, st Stats, err error) {
+	var r *runner
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, fault.AsWorkerPanic(v)
+			if r != nil {
+				st = r.stats
+			}
+		}
+	}()
 	if ds == nil {
 		return nil, Stats{}, ErrNilDataset
 	}
@@ -229,35 +290,64 @@ func Run(ds *vec.Dataset, opts Options) (*cluster.Result, Stats, error) {
 	if opts.MaxSVDDTarget == 0 {
 		opts.MaxSVDDTarget = defaultMaxSVDDTarget
 	}
-	build := opts.IndexBuilder
-	if build == nil {
-		build = index.BuildLinear
+	buildCtx := opts.IndexBuilderCtx
+	if buildCtx == nil {
+		build := opts.IndexBuilder
+		if build == nil {
+			build = index.BuildLinear
+		}
+		buildCtx = index.WithContext(build)
 	}
 
-	ctx := opts.Context
-	if ctx == nil {
-		ctx = context.Background()
+	parent := opts.Context
+	if parent == nil {
+		parent = context.Background()
+	}
+	start := time.Now()
+	ctx := parent
+	if opts.Budget.MaxDuration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(parent, start.Add(opts.Budget.MaxDuration))
+		defer cancel()
 	}
 
 	n := ds.Len()
-	buildStart := time.Now()
-	idx := build(ds)
-	indexBuild := time.Since(buildStart)
-	r := &runner{
+	r = &runner{
 		ds:         ds,
 		opts:       opts,
 		ctx:        ctx,
-		idx:        idx,
-		eng:        engine.New(ds, idx, opts.Eps, opts.Workers),
+		parent:     parent,
+		start:      start,
 		labels:     make([]int32, n),
 		clusterSet: unionfind.New(0),
 		core:       make([]coreState, n),
 		rng:        rand.New(rand.NewSource(opts.Seed)),
 	}
-	r.stats.IndexBuild = indexBuild
 	for i := range r.labels {
 		r.labels[i] = cluster.Unclassified
 	}
+
+	buildStart := time.Now()
+	idx, buildErr := buildCtx(ctx, ds)
+	r.stats.IndexBuild = time.Since(buildStart)
+	if buildErr != nil {
+		if perr := parent.Err(); perr != nil {
+			return nil, r.stats, perr
+		}
+		if opts.Budget.MaxDuration > 0 && ctx.Err() != nil {
+			// The duration budget expired during index construction:
+			// nothing was clustered, so the best-effort partial result is
+			// "everything noise".
+			_ = r.trip("duration")
+			for i := range r.labels {
+				r.labels[i] = cluster.Noise
+			}
+			return (&cluster.Result{Labels: r.labels}).Compact(), r.stats, r.budgetErr
+		}
+		return nil, r.stats, buildErr
+	}
+	r.idx = idx
+	r.eng = engine.New(ds, idx, opts.Eps, opts.Workers)
 
 	if n == 0 {
 		return &cluster.Result{Labels: r.labels}, r.stats, nil
@@ -266,11 +356,13 @@ func Run(ds *vec.Dataset, opts Options) (*cluster.Result, Stats, error) {
 	// Initialization sweep (Algorithm 2). Seed queries are inherently
 	// sequential (each depends on the labels the previous expansion wrote);
 	// the expansions they trigger run their rounds on the engine.
+	var runErr error
 	sweep := engine.StartPhase()
 	for i := 0; i < n; i++ {
 		if i%256 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, r.stats, err
+			if err := r.checkpoint(); err != nil {
+				runErr = err
+				break
 			}
 		}
 		if r.labels[i] != cluster.Unclassified {
@@ -303,31 +395,103 @@ func Run(ds *vec.Dataset, opts Options) (*cluster.Result, Stats, error) {
 			}
 		}
 		expand := engine.StartPhase()
-		err := r.svExpandCluster(newClu, cid)
+		expandErr := r.svExpandCluster(newClu, cid)
 		expand.Stop(&r.stats.Phases.Expand)
-		if err != nil {
-			return nil, r.stats, err
+		if expandErr != nil {
+			runErr = expandErr
+			break
 		}
 	}
 	sweep.Stop(&r.stats.Phases.Init)
 	r.stats.Phases.Init -= r.stats.Phases.Expand // sweep time minus nested expansions
-
-	r.stats.NoiseList = len(r.noiseIDs)
-	verify := engine.StartPhase()
-	err := r.noiseVerification()
-	verify.Stop(&r.stats.Phases.Verify)
-	if err != nil {
-		return nil, r.stats, err
+	if runErr != nil && !errors.Is(runErr, errBudget) {
+		return nil, r.stats, runErr
 	}
 
-	// Canonicalize merged cluster ids into dense labels.
+	r.stats.NoiseList = len(r.noiseIDs)
+	if runErr == nil {
+		verify := engine.StartPhase()
+		verifyErr := r.noiseVerification()
+		verify.Stop(&r.stats.Phases.Verify)
+		if verifyErr != nil {
+			if !errors.Is(verifyErr, errBudget) {
+				return nil, r.stats, verifyErr
+			}
+			runErr = verifyErr
+		}
+	}
+
+	// Canonicalize merged cluster ids into dense labels. Compact maps every
+	// negative label — including points a tripped budget left Unclassified —
+	// to Noise, so a partial result satisfies the same labeling invariants
+	// as a complete one.
 	for i, l := range r.labels {
 		if l >= 0 {
 			r.labels[i] = r.clusterSet.Find(l)
 		}
 	}
-	res := (&cluster.Result{Labels: r.labels}).Compact()
+	res = (&cluster.Result{Labels: r.labels}).Compact()
+	if runErr != nil {
+		return res, r.stats, r.budgetErr
+	}
 	return res, r.stats, nil
+}
+
+// checkpoint is the per-round budget and cancellation gate. External
+// cancellation wins over any budget limit; a fired limit is recorded once
+// via trip and unwound with the errBudget sentinel.
+func (r *runner) checkpoint() error {
+	if err := r.parent.Err(); err != nil {
+		return err
+	}
+	if fault.Error(fault.DeadlineFire) != nil {
+		return r.trip("duration")
+	}
+	b := r.opts.Budget
+	if !b.enabled() {
+		return nil
+	}
+	if b.MaxDuration > 0 && r.ctx.Err() != nil {
+		return r.trip("duration")
+	}
+	if b.MaxSVDDRounds > 0 && r.stats.SVDDTrainings >= b.MaxSVDDRounds {
+		return r.trip("svdd-rounds")
+	}
+	if b.MaxRangeQueries > 0 && r.stats.RangeQueries+r.stats.RangeCounts >= b.MaxRangeQueries {
+		return r.trip("range-queries")
+	}
+	return nil
+}
+
+// trip records the first budget limit that fired and returns the errBudget
+// sentinel that unwinds the run to its partial-result finalization.
+func (r *runner) trip(limit string) error {
+	if r.budgetErr == nil {
+		r.budgetErr = &BudgetExceededError{
+			Limit:        limit,
+			Elapsed:      time.Since(r.start),
+			SVDDRounds:   r.stats.SVDDTrainings,
+			RangeQueries: r.stats.RangeQueries + r.stats.RangeCounts,
+		}
+	}
+	return errBudget
+}
+
+// queryErr classifies an error that surfaced from a query batch or an SVDD
+// solve: an external cancellation is returned as the caller's context error,
+// a deadline raced by the duration budget becomes a budget trip, anything
+// else passes through unchanged.
+func (r *runner) queryErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if perr := r.parent.Err(); perr != nil {
+		return perr
+	}
+	if r.opts.Budget.MaxDuration > 0 && errors.Is(err, context.DeadlineExceeded) {
+		return r.trip("duration")
+	}
+	return err
 }
 
 // rangeQuery materializes the ε-neighborhood of point id (shared buffer).
@@ -394,17 +558,37 @@ func (r *runner) svExpandCluster(initial []int32, cid int32) error {
 	// new optimum.
 	var prev *svdd.Model
 	for len(targets) > 0 {
-		if err := r.ctx.Err(); err != nil {
+		if err := r.checkpoint(); err != nil {
 			return err
 		}
 		ids := r.sampleTargets(targets)
 		model, err := r.trainSVDD(ids, prev)
+		if model != nil {
+			r.stats.SVDDTrainings++
+			r.stats.SVDDIterations += int64(model.Iterations)
+		}
 		if err != nil {
-			return nil // degenerate target set; nothing to expand from
+			switch {
+			case errors.Is(err, svdd.ErrNotConverged),
+				errors.Is(err, svdd.ErrDegenerateSigma),
+				errors.Is(err, svdd.ErrAllSupportVectors):
+				// Graceful degradation: the SVDD model for THIS sub-cluster
+				// is unusable (or unreliable), so finish the sub-cluster with
+				// exact range-query expansion from its current target set.
+				// Other sub-clusters keep the support-vector fast path.
+				r.stats.Degraded++
+				frontier := make([]int32, len(targets))
+				for i, tg := range targets {
+					frontier[i] = tg.id
+				}
+				return r.exactExpand(frontier, cid)
+			case errors.Is(err, svdd.ErrEmptyTarget):
+				return nil
+			default:
+				return r.queryErr(err)
+			}
 		}
 		prev = model
-		r.stats.SVDDTrainings++
-		r.stats.SVDDIterations += int64(model.Iterations)
 		budget := r.svBudget(len(ids))
 		svs := model.TopSupportVectors(budget)
 		r.stats.SupportVectors += int64(len(svs))
@@ -471,7 +655,7 @@ func (r *runner) expandFrom(svs []int32, cid int32, skip []int32) ([]int32, erro
 	}
 	hoods, err := r.eng.Neighborhoods(r.ctx, cand)
 	if err != nil {
-		return nil, err
+		return nil, r.queryErr(err)
 	}
 	r.stats.RangeQueries += int64(len(cand))
 
@@ -494,6 +678,54 @@ func (r *runner) expandFrom(svs []int32, cid int32, skip []int32) ([]int32, erro
 		}
 	}
 	return fresh, nil
+}
+
+// exactExpand is the degradation fallback: classic DBSCAN frontier
+// expansion over the sub-cluster, one ε-range query per member instead of
+// per core support vector. It produces exactly the density-reachable set of
+// the frontier (Lemma 1 semantics without the SV shortcut), so a degraded
+// sub-cluster differs from the SV-expanded one only where the SVDD budget
+// would have split a thin bridge — never by mislabeling.
+func (r *runner) exactExpand(frontier []int32, cid int32) error {
+	for len(frontier) > 0 {
+		if err := r.checkpoint(); err != nil {
+			return err
+		}
+		cand := make([]int32, 0, len(frontier))
+		for _, id := range frontier {
+			if r.core[id] != coreNo {
+				cand = append(cand, id)
+			}
+		}
+		if len(cand) == 0 {
+			return nil
+		}
+		hoods, err := r.eng.Neighborhoods(r.ctx, cand)
+		if err != nil {
+			return r.queryErr(err)
+		}
+		r.stats.RangeQueries += int64(len(cand))
+		var fresh []int32
+		for qi, id := range cand {
+			hood := hoods[qi]
+			if len(hood) < r.opts.MinPts {
+				r.core[id] = coreNo
+				continue
+			}
+			r.core[id] = coreYes
+			for _, p := range hood {
+				switch r.labels[p] {
+				case cluster.Unclassified, cluster.Noise:
+					r.labels[p] = cid
+					fresh = append(fresh, p)
+				default:
+					r.maybeMerge(p, cid)
+				}
+			}
+		}
+		frontier = fresh
+	}
+	return nil
 }
 
 // nextTargets applies incremental learning (Section IV-B1): bump every
@@ -576,6 +808,7 @@ func (r *runner) trainSVDD(ids []int32, prev *svdd.Model) (*svdd.Model, error) {
 		Dim:     r.ds.Dim(),
 		MinPts:  r.opts.MinPts,
 		Workers: r.eng.Workers(),
+		Context: r.ctx,
 	}
 	if prev != nil && !r.opts.DisableWarmStart {
 		cfg.WarmAlpha = warmAlphas(ids, prev)

@@ -1,0 +1,68 @@
+//go:build faultinject
+
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dbsvec/internal/fault"
+)
+
+// TestFaultInjectionSweep drives every injection point through several
+// firing modes and asserts the blanket robustness contract: DBSVEC never
+// crashes — each run ends in a valid clustering, a valid partial clustering
+// with a *BudgetExceededError, or a typed error. Runs only under the
+// faultinject build tag (the dedicated CI job).
+func TestFaultInjectionSweep(t *testing.T) {
+	if !fault.TagEnabled {
+		t.Fatal("faultinject tag test compiled without the tag")
+	}
+	ds := threeBlobs(42)
+	modes := []struct {
+		name string
+		mode fault.Mode
+	}{
+		{"always", fault.Always()},
+		{"first", fault.Nth(1)},
+		{"third", fault.Nth(3)},
+		{"prob25", fault.Prob(0.25)},
+	}
+	for _, p := range fault.Points() {
+		for _, m := range modes {
+			for _, workers := range []int{1, 4} {
+				name := fmt.Sprintf("%s/%s/w%d", p, m.name, workers)
+				t.Run(name, func(t *testing.T) {
+					restore := fault.Activate(fault.NewInjector(7).Arm(p, m.mode))
+					defer restore()
+					res, st, err := Run(ds, Options{Eps: 3, MinPts: 10, Workers: workers, Seed: 7})
+					switch {
+					case err == nil:
+						if res == nil {
+							t.Fatal("nil result with nil error")
+						}
+						checkLabels(t, res)
+					default:
+						var be *BudgetExceededError
+						var wp *fault.WorkerPanicError
+						switch {
+						case errors.As(err, &be):
+							if res == nil {
+								t.Fatal("budget error must come with a partial result")
+							}
+							checkLabels(t, res)
+						case errors.As(err, &wp), errors.Is(err, fault.ErrInjected):
+							if res != nil {
+								t.Error("hard failure must not return a result")
+							}
+						default:
+							t.Fatalf("untyped error escaped: %v", err)
+						}
+					}
+					_ = st
+				})
+			}
+		}
+	}
+}

@@ -17,6 +17,9 @@ import (
 // sequentially against the warmed core cache, keeping labels and stats
 // identical to the sequential formulation for every worker count.
 func (r *runner) noiseVerification() error {
+	if err := r.checkpoint(); err != nil {
+		return err
+	}
 	// corePending marks ids already collected into the batch; it never
 	// escapes this function (every pending id is resolved below).
 	const corePending coreState = 3
@@ -38,7 +41,7 @@ func (r *runner) noiseVerification() error {
 			for _, q := range cand {
 				r.core[q] = coreUnknown
 			}
-			return err
+			return r.queryErr(err)
 		}
 		r.stats.RangeCounts += int64(len(cand))
 		for i, q := range cand {

@@ -57,20 +57,24 @@ func ReadBinary(r io.Reader) (*vec.Dataset, error) {
 		return nil, fmt.Errorf("data: reading binary header: %w", err)
 	}
 	if string(head[:4]) != binMagic {
-		return nil, fmt.Errorf("data: bad magic %q", head[:4])
+		return nil, fmt.Errorf("%w: bad magic %q", ErrMalformed, head[:4])
 	}
 	if v := binary.LittleEndian.Uint32(head[4:]); v != binVersion {
-		return nil, fmt.Errorf("data: unsupported binary version %d", v)
+		return nil, fmt.Errorf("%w: unsupported binary version %d", ErrMalformed, v)
 	}
 	n := binary.LittleEndian.Uint64(head[8:])
 	d := binary.LittleEndian.Uint64(head[16:])
 	if d == 0 || d > 1<<20 {
-		return nil, fmt.Errorf("data: implausible dimensionality %d", d)
+		return nil, fmt.Errorf("%w: implausible dimensionality %d", ErrMalformed, d)
+	}
+	// Reject oversized headers before computing n*d: the product itself can
+	// wrap around uint64 for hostile (n, d) pairs and sneak past a cap
+	// checked only on the product.
+	const maxValues = (1 << 40) / 8
+	if n > maxValues/d {
+		return nil, fmt.Errorf("%w: dataset too large: %d x %d values", ErrMalformed, n, d)
 	}
 	total := n * d
-	if total > (1<<40)/8 {
-		return nil, fmt.Errorf("data: dataset too large: %d values", total)
-	}
 	coords := make([]float64, total)
 	raw := make([]byte, 8*4096)
 	idx := 0
@@ -80,7 +84,7 @@ func ReadBinary(r io.Reader) (*vec.Dataset, error) {
 			want = len(raw)
 		}
 		if _, err := io.ReadFull(br, raw[:want]); err != nil {
-			return nil, fmt.Errorf("data: truncated coordinates: %w", err)
+			return nil, fmt.Errorf("%w: truncated coordinates: %w", ErrMalformed, err)
 		}
 		for off := 0; off < want; off += 8 {
 			coords[idx] = math.Float64frombits(binary.LittleEndian.Uint64(raw[off:]))
@@ -89,10 +93,10 @@ func ReadBinary(r io.Reader) (*vec.Dataset, error) {
 	}
 	ds, err := vec.NewDataset(coords, int(d))
 	if err != nil {
-		return nil, fmt.Errorf("data: %w", err)
+		return nil, fmt.Errorf("%w: %w", ErrMalformed, err)
 	}
 	if err := ds.Validate(); err != nil {
-		return nil, fmt.Errorf("data: %w", err)
+		return nil, fmt.Errorf("%w: %w", ErrMalformed, err)
 	}
 	return ds, nil
 }

@@ -43,7 +43,7 @@ func ReadCSV(r io.Reader) (*vec.Dataset, error) {
 				headerAllowed = false
 				continue
 			}
-			return nil, fmt.Errorf("data: line %d: non-numeric field", lineNo)
+			return nil, fmt.Errorf("%w: line %d: non-numeric field", ErrMalformed, lineNo)
 		}
 		headerAllowed = false
 		rows = append(rows, row)
@@ -53,7 +53,9 @@ func ReadCSV(r io.Reader) (*vec.Dataset, error) {
 	}
 	ds, err := vec.FromRows(rows)
 	if err != nil {
-		return nil, fmt.Errorf("data: %w", err)
+		// Ragged rows and non-finite values are input defects, not I/O
+		// failures; fold them into the malformed taxonomy.
+		return nil, fmt.Errorf("%w: %w", ErrMalformed, err)
 	}
 	return ds, nil
 }

@@ -1,0 +1,11 @@
+package data
+
+import "errors"
+
+// ErrMalformed is the root of the loader error taxonomy: every rejection of
+// malformed input — non-numeric CSV fields, ragged rows, non-finite values,
+// bad binary headers, truncated coordinate blocks — wraps it, so callers can
+// classify any parse failure with errors.Is(err, ErrMalformed) and surface
+// the specific violation from the message. I/O failures of the underlying
+// reader are NOT malformed input and do not wrap it.
+var ErrMalformed = errors.New("data: malformed input")

@@ -11,6 +11,7 @@ import (
 
 	"dbsvec/internal/cluster"
 	"dbsvec/internal/engine"
+	"dbsvec/internal/fault"
 	"dbsvec/internal/index"
 	"dbsvec/internal/vec"
 )
@@ -52,9 +53,15 @@ type Stats struct {
 }
 
 // Run clusters ds with the given parameters using the index produced by
-// build (index.BuildLinear when nil).
-func Run(ds *vec.Dataset, p Params, build index.Builder) (*cluster.Result, Stats, error) {
-	var st Stats
+// build (index.BuildLinear when nil). A panic inside the run (index
+// construction included) is contained and returned as a
+// *fault.WorkerPanicError.
+func Run(ds *vec.Dataset, p Params, build index.Builder) (res *cluster.Result, st Stats, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, fault.AsWorkerPanic(v)
+		}
+	}()
 	if ds == nil {
 		return nil, st, ErrNilDataset
 	}
@@ -69,7 +76,7 @@ func Run(ds *vec.Dataset, p Params, build index.Builder) (*cluster.Result, Stats
 	for i := range labels {
 		labels[i] = cluster.Unclassified
 	}
-	res := &cluster.Result{Labels: labels}
+	res = &cluster.Result{Labels: labels}
 	if n == 0 {
 		return res, st, nil
 	}

@@ -5,6 +5,7 @@ import (
 
 	"dbsvec/internal/cluster"
 	"dbsvec/internal/engine"
+	"dbsvec/internal/fault"
 	"dbsvec/internal/index"
 	"dbsvec/internal/unionfind"
 	"dbsvec/internal/vec"
@@ -25,8 +26,12 @@ import (
 // and identical across worker counts (the engine returns neighborhoods in
 // point order and phases 2–3 are sequential). workers <= 0 selects
 // GOMAXPROCS.
-func RunParallel(ds *vec.Dataset, p Params, build index.Builder, workers int) (*cluster.Result, Stats, error) {
-	var st Stats
+func RunParallel(ds *vec.Dataset, p Params, build index.Builder, workers int) (res *cluster.Result, st Stats, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, fault.AsWorkerPanic(v)
+		}
+	}()
 	if ds == nil {
 		return nil, st, ErrNilDataset
 	}
@@ -41,7 +46,7 @@ func RunParallel(ds *vec.Dataset, p Params, build index.Builder, workers int) (*
 	for i := range labels {
 		labels[i] = cluster.Noise
 	}
-	res := &cluster.Result{Labels: labels}
+	res = &cluster.Result{Labels: labels}
 	if n == 0 {
 		return res, st, nil
 	}

@@ -15,9 +15,17 @@ import (
 	"runtime"
 	"time"
 
+	"dbsvec/internal/fault"
 	"dbsvec/internal/index"
 	"dbsvec/internal/vec"
 )
+
+// WorkerPanicError is a panic recovered from a worker goroutine spawned by
+// ForRanges, Tasks or the index batch fan-out, converted to a typed error.
+// It is defined in internal/fault (the leaf package both the engine and the
+// index layer can import) and aliased here as the engine is the public face
+// of the worker machinery.
+type WorkerPanicError = fault.WorkerPanicError
 
 // Engine schedules batches of ε-range queries over one dataset and index.
 // An Engine is owned by a single algorithm run; its batch methods reuse
@@ -71,6 +79,9 @@ func (e *Engine) allQueries() index.Queries {
 // The returned slices live in the engine's arena and are valid until the
 // next batch call. ctx is honored inside the batch.
 func (e *Engine) Neighborhoods(ctx context.Context, ids []int32) ([][]int32, error) {
+	if err := fault.Error(fault.IndexQueryError); err != nil {
+		return nil, err
+	}
 	hoods, err := e.idx.BatchRangeQuery(ctx, e.idQueries(ids), e.eps, e.workers, e.hoods)
 	if err != nil {
 		return nil, err
@@ -82,6 +93,9 @@ func (e *Engine) Neighborhoods(ctx context.Context, ids []int32) ([][]int32, err
 // AllNeighborhoodsOwned materializes the ε-neighborhood of every dataset
 // point; the caller owns the result (nothing is reused).
 func (e *Engine) AllNeighborhoodsOwned(ctx context.Context) ([][]int32, error) {
+	if err := fault.Error(fault.IndexQueryError); err != nil {
+		return nil, err
+	}
 	return e.idx.BatchRangeQuery(ctx, e.allQueries(), e.eps, e.workers, nil)
 }
 
@@ -89,6 +103,9 @@ func (e *Engine) AllNeighborhoodsOwned(ctx context.Context) ([][]int32, error) {
 // (RangeCount semantics), in id order. The returned slice lives in the
 // engine's arena and is valid until the next batch call.
 func (e *Engine) Counts(ctx context.Context, ids []int32, limit int) ([]int, error) {
+	if err := fault.Error(fault.IndexQueryError); err != nil {
+		return nil, err
+	}
 	counts, err := e.idx.BatchRangeCount(ctx, e.idQueries(ids), e.eps, limit, e.workers, e.counts)
 	if err != nil {
 		return nil, err
@@ -100,6 +117,9 @@ func (e *Engine) Counts(ctx context.Context, ids []int32, limit int) ([]int, err
 // AllCountsOwned runs a counting query for every dataset point; the caller
 // owns the result.
 func (e *Engine) AllCountsOwned(ctx context.Context, limit int) ([]int, error) {
+	if err := fault.Error(fault.IndexQueryError); err != nil {
+		return nil, err
+	}
 	return e.idx.BatchRangeCount(ctx, e.allQueries(), e.eps, limit, e.workers, nil)
 }
 
@@ -125,21 +145,30 @@ func (p PhaseTimes) Total() time.Duration { return p.Init + p.Expand + p.Verify 
 // accumulated across every training round of a run: Fill covers the kernel
 // matrix construction (including the adaptive-weight pass), Solve the SMO
 // optimization, Finish the radius/score extraction. Like PhaseTimes it is
-// wall-clock and must be ignored by determinism comparisons.
+// wall-clock and must be ignored by determinism comparisons. Rounds and
+// NotConverged are deterministic counters riding along: Rounds counts the
+// trainings accumulated, NotConverged the subset that exhausted MaxIter
+// before reaching the KKT tolerance (previously indistinguishable from
+// converged models — see svdd.ErrNotConverged).
 type SVDDTimes struct {
 	Fill   time.Duration
 	Solve  time.Duration
 	Finish time.Duration
+
+	Rounds       int
+	NotConverged int
 }
 
 // Total is the summed training wall-clock.
 func (s SVDDTimes) Total() time.Duration { return s.Fill + s.Solve + s.Finish }
 
-// Add accumulates another training's stage times.
+// Add accumulates another training's stage times and counters.
 func (s *SVDDTimes) Add(o SVDDTimes) {
 	s.Fill += o.Fill
 	s.Solve += o.Solve
 	s.Finish += o.Finish
+	s.Rounds += o.Rounds
+	s.NotConverged += o.NotConverged
 }
 
 // Stopwatch accumulates phase wall-clock with the pattern

@@ -1,6 +1,11 @@
 package engine
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+
+	"dbsvec/internal/fault"
+)
 
 // ForRanges partitions [0, n) into at most workers contiguous ranges of
 // approximately equal total weight and runs fn once per non-empty range,
@@ -31,16 +36,33 @@ func ForRanges(workers, n int, weight func(i int) int64, fn func(lo, hi int)) {
 		fn(bounds[0], bounds[1])
 		return
 	}
+	// Every spawned range recovers its own panic; after the barrier the
+	// panic of the lowest range index — a pure function of the partition,
+	// not of scheduling — is re-panicked on the caller as a typed
+	// *WorkerPanicError, so an outer recover boundary sees one deterministic
+	// error instead of a crashed process.
 	var wg sync.WaitGroup
+	panics := make([]*fault.WorkerPanicError, len(bounds)-1)
 	for r := 0; r+1 < len(bounds); r++ {
-		lo, hi := bounds[r], bounds[r+1]
+		r, lo, hi := r, bounds[r], bounds[r+1]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					panics[r] = fault.AsWorkerPanic(v)
+				}
+			}()
+			fault.PanicNow(fault.WorkerPanic)
 			fn(lo, hi)
 		}()
 	}
 	wg.Wait()
+	for _, pe := range panics {
+		if pe != nil {
+			panic(pe)
+		}
+	}
 }
 
 // Ranges returns the deterministic boundaries ForRanges(workers, n, nil, fn)
@@ -70,9 +92,19 @@ func Ranges(workers, n int) []int {
 // subtree is built, never *what* it contains.
 //
 // A nil *Tasks is valid and never spawns, which is the serial path.
+//
+// Panics inside spawned tasks are recovered and re-panicked on the caller by
+// Wait as one typed *WorkerPanicError (the earliest spawned panicking task
+// wins), so a failing subtree build surfaces at the caller's recover
+// boundary instead of killing the process.
 type Tasks struct {
 	sem chan struct{}
 	wg  sync.WaitGroup
+
+	spawnSeq atomic.Int64
+	mu       sync.Mutex
+	panicSeq int64
+	panicErr *fault.WorkerPanicError
 }
 
 // NewTasks returns a spawner allowing up to workers concurrent goroutines
@@ -97,20 +129,39 @@ func (g *Tasks) Try(fn func()) bool {
 		return false
 	}
 	g.wg.Add(1)
+	seq := g.spawnSeq.Add(1)
 	go func() {
 		defer func() {
+			if v := recover(); v != nil {
+				pe := fault.AsWorkerPanic(v)
+				g.mu.Lock()
+				if g.panicErr == nil || seq < g.panicSeq {
+					g.panicErr, g.panicSeq = pe, seq
+				}
+				g.mu.Unlock()
+			}
 			<-g.sem
 			g.wg.Done()
 		}()
+		fault.PanicNow(fault.WorkerPanic)
 		fn()
 	}()
 	return true
 }
 
-// Wait blocks until every spawned task has finished. Safe on nil.
+// Wait blocks until every spawned task has finished, then re-panicks the
+// recorded worker panic (if any) on the calling goroutine. Safe on nil.
 func (g *Tasks) Wait() {
-	if g != nil {
-		g.wg.Wait()
+	if g == nil {
+		return
+	}
+	g.wg.Wait()
+	g.mu.Lock()
+	pe := g.panicErr
+	g.panicErr = nil
+	g.mu.Unlock()
+	if pe != nil {
+		panic(pe)
 	}
 }
 

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -43,6 +44,11 @@ type Config struct {
 	// Workers sets the query-engine worker count for DBSVEC runs
 	// (core.Options.Workers); 0 selects all CPUs.
 	Workers int
+	// RunTimeout, when positive, arms a hard per-run wall-clock budget
+	// (core.Budget.MaxDuration) on every DBSVEC run. Unlike Budget — which
+	// skips runs predicted to be slow — a tripped RunTimeout stops the run
+	// in flight and the experiment proceeds with the partial clustering.
+	RunTimeout time.Duration
 	// SVDDJSONPath, when non-empty, makes the "svdd" experiment write its
 	// machine-readable report (SVDDBenchReport) to this file.
 	SVDDJSONPath string
@@ -92,15 +98,21 @@ func fmtDur(a algoResult) string {
 // parameters, used uniformly across experiments.
 
 func runDBSVEC(ds *vec.Dataset, eps float64, minPts int, cfg Config) func() (*cluster.Result, error) {
-	return func() (*cluster.Result, error) {
-		res, _, err := core.Run(ds, core.Options{Eps: eps, MinPts: minPts, Seed: cfg.Seed, Workers: cfg.Workers})
-		return res, err
-	}
+	return runDBSVECOpts(ds, core.Options{
+		Eps: eps, MinPts: minPts, Seed: cfg.Seed, Workers: cfg.Workers,
+		Budget: core.Budget{MaxDuration: cfg.RunTimeout},
+	})
 }
 
 func runDBSVECOpts(ds *vec.Dataset, opts core.Options) func() (*cluster.Result, error) {
 	return func() (*cluster.Result, error) {
 		res, _, err := core.Run(ds, opts)
+		// A tripped run budget still carries a valid partial clustering;
+		// experiments report it rather than aborting the whole table.
+		var be *core.BudgetExceededError
+		if errors.As(err, &be) && res != nil {
+			return res, nil
+		}
 		return res, err
 	}
 }

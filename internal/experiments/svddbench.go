@@ -119,7 +119,7 @@ func RunSVDDBench(cfg Config) (*SVDDBenchReport, error) {
 			c.Workers = v.Workers
 			c.NoShrink = !v.Shrink
 			m, err := svdd.Train(ds, ids, c)
-			if err != nil {
+			if err != nil && m == nil {
 				return nil, fmt.Errorf("svdd bench %s: %w", v.Name, err)
 			}
 			v.accumulate(m)
@@ -154,7 +154,7 @@ func RunSVDDBench(cfg Config) (*SVDDBenchReport, error) {
 					c.WarmAlpha = warm
 				}
 				m, err := svdd.Train(ds, ids[:n], c)
-				if err != nil {
+				if err != nil && m == nil {
 					return nil, fmt.Errorf("svdd bench %s: %w", v.Name, err)
 				}
 				v.accumulate(m)

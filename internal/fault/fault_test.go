@@ -1,0 +1,115 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestInactiveSitesAreNoOps(t *testing.T) {
+	if Armed(WorkerPanic) {
+		t.Error("Armed fired without an active injector")
+	}
+	if err := Error(IndexQueryError); err != nil {
+		t.Errorf("Error = %v without an active injector", err)
+	}
+	PanicNow(WorkerPanic) // must not panic
+}
+
+func TestNthFiresExactlyOnce(t *testing.T) {
+	in := NewInjector(1).Arm(SolverNonConverge, Nth(3))
+	defer Activate(in)()
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if Armed(SolverNonConverge) {
+			if i != 2 {
+				t.Errorf("fired on occurrence %d, want 3", i+1)
+			}
+			fired++
+		}
+	}
+	if fired != 1 {
+		t.Errorf("fired %d times, want 1", fired)
+	}
+	if got := in.Occurrences(SolverNonConverge); got != 10 {
+		t.Errorf("Occurrences = %d, want 10", got)
+	}
+}
+
+func TestAlwaysAndRestore(t *testing.T) {
+	restore := Activate(NewInjector(1).Arm(DeadlineFire, Always()))
+	if !Armed(DeadlineFire) || !Armed(DeadlineFire) {
+		t.Error("Always mode did not fire on every occurrence")
+	}
+	restore()
+	if Armed(DeadlineFire) {
+		t.Error("site still armed after restore")
+	}
+}
+
+func TestProbIsSeedDeterministic(t *testing.T) {
+	pattern := func(seed int64) string {
+		in := NewInjector(seed).Arm(IndexQueryError, Prob(0.5))
+		defer Activate(in)()
+		var b strings.Builder
+		for i := 0; i < 64; i++ {
+			if Armed(IndexQueryError) {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		return b.String()
+	}
+	a, b := pattern(7), pattern(7)
+	if a != b {
+		t.Errorf("same seed produced different patterns:\n%s\n%s", a, b)
+	}
+	if c := pattern(8); c == a {
+		t.Errorf("different seeds produced identical pattern %s", a)
+	}
+	if !strings.Contains(a, "1") || !strings.Contains(a, "0") {
+		t.Errorf("Prob(0.5) pattern degenerate: %s", a)
+	}
+}
+
+func TestInjectedErrorMatchesSentinel(t *testing.T) {
+	err := fmt.Errorf("wrapped: %w", &InjectedError{P: WorkerPanic})
+	if !errors.Is(err, ErrInjected) {
+		t.Error("InjectedError does not match ErrInjected")
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.P != WorkerPanic {
+		t.Errorf("errors.As failed or wrong point: %v", ie)
+	}
+}
+
+func TestAsWorkerPanicPassthrough(t *testing.T) {
+	orig := &WorkerPanicError{Value: "boom", Stack: []byte("stack")}
+	if got := AsWorkerPanic(orig); got != orig {
+		t.Error("existing WorkerPanicError was rewrapped")
+	}
+	if got := AsWorkerPanic(nil); got != nil {
+		t.Errorf("AsWorkerPanic(nil) = %v", got)
+	}
+	pe := AsWorkerPanic("kaboom")
+	if pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Errorf("conversion lost value or stack: %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), "kaboom") {
+		t.Errorf("Error() = %q", pe.Error())
+	}
+}
+
+func TestRecoverTo(t *testing.T) {
+	f := func() (err error) {
+		defer RecoverTo(&err)
+		panic("deep failure")
+	}
+	err := f()
+	var pe *WorkerPanicError
+	if !errors.As(err, &pe) || pe.Value != "deep failure" {
+		t.Fatalf("err = %v, want WorkerPanicError carrying the panic value", err)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !faultinject
+
+package fault
+
+// TagEnabled reports whether the build carries the faultinject tag. The
+// injector itself works in every build (activation is a runtime decision);
+// the tag only gates the exhaustive CI sweep tests, which are too slow for
+// the default test run.
+const TagEnabled = false

@@ -1,0 +1,7 @@
+//go:build faultinject
+
+package fault
+
+// TagEnabled reports whether the build carries the faultinject tag; see
+// tag_off.go.
+const TagEnabled = true

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"dbsvec/internal/fault"
 )
 
 // Queries addresses a batch of query points by position. The batch executor
@@ -115,6 +117,15 @@ func (f *fanout) BatchRangeCount(ctx context.Context, qs Queries, eps float64, l
 }
 
 // run executes fn(i, At(i)) for every query index, fanned across workers.
+//
+// Worker panics are contained: each worker recovers its own panic, records
+// it keyed by the query index being processed, and raises a stop flag so the
+// remaining workers abandon the batch at their next stride claim. After the
+// barrier the panic with the lowest query index is returned as a typed
+// *fault.WorkerPanicError — a deterministic choice when one query
+// deterministically panics, independent of which worker claimed it. The
+// sequential path converts a panic the same way, so both paths report
+// batch failures as errors rather than crashing the caller.
 func (f *fanout) run(ctx context.Context, qs Queries, workers int, fn func(i int, q []float64)) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -126,25 +137,46 @@ func (f *fanout) run(ctx context.Context, qs Queries, workers int, fn func(i int
 	workers = ClampWorkers(workers, m)
 	if workers == 1 {
 		// Sequential fast path on the calling goroutine.
-		scratch := scratchFor(qs)
-		for i := 0; i < m; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
+		return func() (err error) {
+			defer fault.RecoverTo(&err)
+			fault.PanicNow(fault.WorkerPanic)
+			scratch := scratchFor(qs)
+			for i := 0; i < m; i++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				fn(i, qs.At(i, scratch))
 			}
-			fn(i, qs.At(i, scratch))
-		}
-		return nil
+			return nil
+		}()
 	}
 	var next atomic.Int64
+	var stop atomic.Bool
+	var mu sync.Mutex
+	panicIdx := -1
+	var panicErr *fault.WorkerPanicError
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
+			cur := -1
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					pe := fault.AsWorkerPanic(v)
+					mu.Lock()
+					if panicErr == nil || (cur >= 0 && cur < panicIdx) {
+						panicErr, panicIdx = pe, cur
+					}
+					mu.Unlock()
+					stop.Store(true)
+				}
+			}()
+			fault.PanicNow(fault.WorkerPanic)
 			scratch := scratchFor(qs)
 			for {
 				start := int(next.Add(batchStride)) - batchStride
-				if start >= m || ctx.Err() != nil {
+				if start >= m || stop.Load() || ctx.Err() != nil {
 					return
 				}
 				end := start + batchStride
@@ -152,12 +184,16 @@ func (f *fanout) run(ctx context.Context, qs Queries, workers int, fn func(i int
 					end = m
 				}
 				for i := start; i < end; i++ {
+					cur = i
 					fn(i, qs.At(i, scratch))
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	if panicErr != nil {
+		return panicErr
+	}
 	return ctx.Err()
 }
 

@@ -36,6 +36,33 @@ type Index interface {
 // pluggable index take a Builder so each run indexes its own data.
 type Builder func(ds *vec.Dataset) Index
 
+// CtxBuilder is the cancellable, error-returning construction contract: a
+// build observing ctx's cancellation abandons its partial structure and
+// returns ctx's error. The tree backends provide native CtxBuilders that
+// check the context at subtree granularity; WithContext adapts any plain
+// Builder with entry/exit checks.
+type CtxBuilder func(ctx context.Context, ds *vec.Dataset) (Index, error)
+
+// WithContext adapts a plain Builder to the CtxBuilder contract. The build
+// itself is not interruptible — the context is checked before and after —
+// so backends with long builds should provide a native CtxBuilder instead.
+func WithContext(b Builder) CtxBuilder {
+	return func(ctx context.Context, ds *vec.Dataset) (Index, error) {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		idx := b(ds)
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		return idx, nil
+	}
+}
+
 // Linear is the exhaustive-scan index: O(n) per query, zero build cost,
 // no extra memory. It is the ground-truth oracle for all other indexes.
 type Linear struct {

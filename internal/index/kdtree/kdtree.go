@@ -18,7 +18,9 @@
 package kdtree
 
 import (
+	"context"
 	"math"
+	"sync/atomic"
 
 	"dbsvec/internal/dist"
 	"dbsvec/internal/engine"
@@ -64,19 +66,36 @@ func New(ds *vec.Dataset) *Tree { return NewWorkers(ds, 1) }
 // splitting is deterministic and the preorder node layout is computed ahead
 // of construction, so workers only pick up pre-assigned subtree slots.
 func NewWorkers(ds *vec.Dataset, workers int) *Tree {
+	t, _ := NewWorkersCtx(context.Background(), ds, workers)
+	return t
+}
+
+// NewWorkersCtx bulk-loads like NewWorkers but honours ctx: the build checks
+// for cancellation at the entry of every subtree of spawnMin points or more
+// and, when ctx is cancelled, abandons the partial structure and returns
+// ctx's error. An uncancelled build is bit-identical to NewWorkers.
+func NewWorkersCtx(ctx context.Context, ds *vec.Dataset, workers int) (*Tree, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	n := ds.Len()
 	t := &Tree{ds: ds, ids: vec.Iota(n)}
 	if n == 0 {
-		return t
+		return t, nil
 	}
 	workers = engine.ResolveWorkers(workers)
 	memo := subtreeSizes(n)
 	t.nodes = make([]node, memo[sizeKey(n)])
-	b := &buildState{t: t, memo: memo, tasks: engine.NewTasks(workers)}
+	b := &buildState{t: t, memo: memo, tasks: engine.NewTasks(workers), ctx: ctx}
 	b.build(0, 0, n, newBuildScratch(ds.Dim()))
 	b.tasks.Wait()
+	if b.cancelled.Load() {
+		return nil, ctx.Err()
+	}
 	t.packLeaves(workers)
-	return t
+	return t, nil
 }
 
 // Build is an index.Builder for Tree (serial build).
@@ -86,6 +105,18 @@ func Build(ds *vec.Dataset) index.Index { return New(ds) }
 // given worker count (<= 0: all CPUs).
 func BuildWorkers(workers int) index.Builder {
 	return func(ds *vec.Dataset) index.Index { return NewWorkers(ds, workers) }
+}
+
+// BuildWorkersCtx returns an index.CtxBuilder with mid-build cancellation
+// (see NewWorkersCtx).
+func BuildWorkersCtx(workers int) index.CtxBuilder {
+	return func(ctx context.Context, ds *vec.Dataset) (index.Index, error) {
+		t, err := NewWorkersCtx(ctx, ds, workers)
+		if err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
 }
 
 // Len returns the number of indexed points.
@@ -136,10 +167,32 @@ func newBuildScratch(d int) *buildScratch {
 
 // buildState carries the shared read-only build inputs: the precomputed
 // subtree-size memo (frozen before any task spawns) and the task budget.
+// ctx and the sticky cancelled flag implement mid-build cancellation; both
+// are ignored on the plain NewWorkers path (Background is never cancelled).
 type buildState struct {
-	t     *Tree
-	memo  map[int]int32
-	tasks *engine.Tasks
+	t         *Tree
+	memo      map[int]int32
+	tasks     *engine.Tasks
+	ctx       context.Context
+	cancelled atomic.Bool
+}
+
+// stop reports whether the build has been cancelled. Checked only at
+// subtrees of spawnMin points or more, so the serial hot path stays free of
+// per-node overhead while cancellation latency stays bounded by one small
+// subtree's build time.
+func (b *buildState) stop() bool {
+	if b.ctx == nil {
+		return false
+	}
+	if b.cancelled.Load() {
+		return true
+	}
+	if b.ctx.Err() != nil {
+		b.cancelled.Store(true)
+		return true
+	}
+	return false
 }
 
 // build constructs the subtree over ids[start:end) into node slot self. The
@@ -147,6 +200,9 @@ type buildState struct {
 // builds write disjoint node ranges.
 func (b *buildState) build(self int32, start, end int, sc *buildScratch) {
 	t := b.t
+	if end-start >= spawnMin && b.stop() {
+		return
+	}
 	if end-start <= LeafSize {
 		t.nodes[self] = node{start: int32(start), end: int32(end), left: -1, right: -1}
 		return

@@ -15,9 +15,11 @@ package rtree
 
 import (
 	"cmp"
+	"context"
 	"math"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"dbsvec/internal/engine"
 	"dbsvec/internal/index"
@@ -66,17 +68,34 @@ func Bulk(ds *vec.Dataset) *Tree { return BulkWorkers(ds, 1) }
 // and output slots are all fixed before any task runs, so the tree is
 // bit-identical for every worker count.
 func BulkWorkers(ds *vec.Dataset, workers int) *Tree {
+	t, _ := BulkWorkersCtx(context.Background(), ds, workers)
+	return t
+}
+
+// BulkWorkersCtx STR-loads like BulkWorkers but honours ctx: cancellation is
+// checked at the entry of every slab of spawnMin points or more, and a
+// cancelled build abandons its partial tiling and returns ctx's error. An
+// uncancelled build is bit-identical to BulkWorkers.
+func BulkWorkersCtx(ctx context.Context, ds *vec.Dataset, workers int) (*Tree, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	t := &Tree{ds: ds, dim: ds.Dim()}
 	n := ds.Len()
 	if n == 0 {
 		t.root = &nodeT{leaf: true}
-		return t
+		return t, nil
 	}
 	workers = engine.ResolveWorkers(workers)
-	leaves := t.strPack(vec.Iota(n), workers)
+	leaves, cancelled := t.strPack(vec.Iota(n), workers, ctx)
+	if cancelled {
+		return nil, ctx.Err()
+	}
 	t.size = n
 	t.root = t.buildUpward(leaves, workers)
-	return t
+	return t, nil
 }
 
 // Build is an index.Builder using STR bulk loading (serial build).
@@ -86,6 +105,18 @@ func Build(ds *vec.Dataset) index.Index { return Bulk(ds) }
 // worker count (<= 0: all CPUs).
 func BuildWorkers(workers int) index.Builder {
 	return func(ds *vec.Dataset) index.Index { return BulkWorkers(ds, workers) }
+}
+
+// BuildWorkersCtx returns an index.CtxBuilder with mid-build cancellation
+// (see BulkWorkersCtx).
+func BuildWorkersCtx(workers int) index.CtxBuilder {
+	return func(ctx context.Context, ds *vec.Dataset) (index.Index, error) {
+		t, err := BulkWorkersCtx(ctx, ds, workers)
+		if err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
 }
 
 // BuildDynamic is an index.Builder using one-at-a-time R* insertion.
@@ -116,15 +147,35 @@ func (t *Tree) sortIDsByDim(ids []int32, dim int) {
 	})
 }
 
-// strPack tile-sorts point ids into leaf nodes.
-func (t *Tree) strPack(ids []int32, workers int) []entry {
+// strPack tile-sorts point ids into leaf nodes. ctx (nil on the plain path)
+// allows mid-build cancellation: slabs of spawnMin points or more check the
+// sticky cancelled flag at entry and bail out, and the second return value
+// reports whether that happened (the partial tiling must then be discarded).
+func (t *Tree) strPack(ids []int32, workers int, ctx context.Context) ([]entry, bool) {
 	tasks := engine.NewTasks(workers)
+	var cancelled atomic.Bool
+	stop := func() bool {
+		if ctx == nil {
+			return false
+		}
+		if cancelled.Load() {
+			return true
+		}
+		if ctx.Err() != nil {
+			cancelled.Store(true)
+			return true
+		}
+		return false
+	}
 	// Recursive tiling over dimensions: sort by dim 0, slice into vertical
 	// runs, recurse with dim 1, etc. Each slab is independent after its
 	// boundaries are cut, so slabs run as parallel tasks; their group lists
 	// land in pre-assigned slots and are concatenated in slab order.
 	var pack func(ids []int32, dim int) [][]int32
 	pack = func(ids []int32, dim int) [][]int32 {
+		if len(ids) >= spawnMin && stop() {
+			return nil
+		}
 		t.sortIDsByDim(ids, dim)
 		if dim == t.dim-1 || len(ids) <= MaxEntries {
 			var out [][]int32
@@ -175,6 +226,9 @@ func (t *Tree) strPack(ids []int32, workers int) []entry {
 	}
 	groups := pack(ids, 0)
 	tasks.Wait()
+	if cancelled.Load() {
+		return nil, true
+	}
 
 	// Materialize leaf nodes and their MBRs in parallel; leaves[i] depends
 	// only on groups[i].
@@ -189,7 +243,7 @@ func (t *Tree) strPack(ids []int32, workers int) []entry {
 			leaves[i] = entry{rect: nodeRect(nd, t.dim), child: nd}
 		}
 	})
-	return leaves
+	return leaves, false
 }
 
 // buildUpward packs child entries level by level until one root remains.

@@ -1,0 +1,67 @@
+package vptree
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"dbsvec/internal/leakcheck"
+	"dbsvec/internal/vec"
+)
+
+type countingCtx struct {
+	context.Context
+	after int64
+	calls atomic.Int64
+}
+
+func (c *countingCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *countingCtx) Done() <-chan struct{} { return nil }
+
+func cancelDS(n int, seed int64) *vec.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = []float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+	}
+	ds, _ := vec.FromRows(rows)
+	return ds
+}
+
+func TestBuildCancelledUpFront(t *testing.T) {
+	leakcheck.Check(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tree, err := NewWorkersCtx(ctx, cancelDS(100, 1), 4)
+	if !errors.Is(err, context.Canceled) || tree != nil {
+		t.Fatalf("tree=%v err=%v, want nil tree and context.Canceled", tree, err)
+	}
+}
+
+func TestBuildCancelledMidBuild(t *testing.T) {
+	leakcheck.Check(t)
+	ctx := &countingCtx{Context: context.Background(), after: 1}
+	tree, err := NewWorkersCtx(ctx, cancelDS(10000, 2), 4)
+	if !errors.Is(err, context.Canceled) || tree != nil {
+		t.Fatalf("tree=%v err=%v, want nil tree and context.Canceled", tree, err)
+	}
+}
+
+func TestCtxBuilderMatchesPlainBuild(t *testing.T) {
+	ds := cancelDS(5000, 3)
+	tree, err := BuildWorkersCtx(4)(context.Background(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != ds.Len() {
+		t.Fatalf("Len = %d, want %d", tree.Len(), ds.Len())
+	}
+}

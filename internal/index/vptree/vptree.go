@@ -16,6 +16,9 @@
 package vptree
 
 import (
+	"context"
+	"sync/atomic"
+
 	"dbsvec/internal/dist"
 	"dbsvec/internal/engine"
 	"dbsvec/internal/index"
@@ -56,19 +59,36 @@ func New(ds *vec.Dataset) *Tree { return NewWorkers(ds, 1) }
 // NewWorkers builds a VP-tree over ds using up to workers goroutines (<= 0
 // selects all CPUs). The tree is bit-identical for every worker count.
 func NewWorkers(ds *vec.Dataset, workers int) *Tree {
+	t, _ := NewWorkersCtx(context.Background(), ds, workers)
+	return t
+}
+
+// NewWorkersCtx builds like NewWorkers but honours ctx: cancellation is
+// checked at the entry of every subtree of spawnMin points or more, and a
+// cancelled build abandons its partial structure and returns ctx's error.
+// An uncancelled build is bit-identical to NewWorkers.
+func NewWorkersCtx(ctx context.Context, ds *vec.Dataset, workers int) (*Tree, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	n := ds.Len()
 	t := &Tree{ds: ds, ids: vec.Iota(n)}
 	if n == 0 {
-		return t
+		return t, nil
 	}
 	workers = engine.ResolveWorkers(workers)
 	memo := subtreeSizes(n)
 	t.nodes = make([]node, memo[sizeKey(n)])
-	b := &buildState{t: t, memo: memo, tasks: engine.NewTasks(workers)}
+	b := &buildState{t: t, memo: memo, tasks: engine.NewTasks(workers), ctx: ctx}
 	b.build(0, 0, n, make([]float64, n-1))
 	b.tasks.Wait()
+	if b.cancelled.Load() {
+		return nil, ctx.Err()
+	}
 	t.packLeaves(workers)
-	return t
+	return t, nil
 }
 
 // Build is an index.Builder (serial build).
@@ -78,6 +98,18 @@ func Build(ds *vec.Dataset) index.Index { return New(ds) }
 // given worker count (<= 0: all CPUs).
 func BuildWorkers(workers int) index.Builder {
 	return func(ds *vec.Dataset) index.Index { return NewWorkers(ds, workers) }
+}
+
+// BuildWorkersCtx returns an index.CtxBuilder with mid-build cancellation
+// (see NewWorkersCtx).
+func BuildWorkersCtx(workers int) index.CtxBuilder {
+	return func(ctx context.Context, ds *vec.Dataset) (index.Index, error) {
+		t, err := NewWorkersCtx(ctx, ds, workers)
+		if err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
 }
 
 // sizeKey normalizes a range length for the subtree-size memo.
@@ -130,6 +162,26 @@ type buildState struct {
 	t     *Tree
 	memo  map[int]int32
 	tasks *engine.Tasks
+	// ctx and the sticky cancelled flag implement mid-build cancellation
+	// (see the kd-tree's buildState; checks happen only at subtrees of
+	// spawnMin points or more).
+	ctx       context.Context
+	cancelled atomic.Bool
+}
+
+// stop reports whether the build has been cancelled.
+func (b *buildState) stop() bool {
+	if b.ctx == nil {
+		return false
+	}
+	if b.cancelled.Load() {
+		return true
+	}
+	if b.ctx.Err() != nil {
+		b.cancelled.Store(true)
+		return true
+	}
+	return false
 }
 
 // build constructs the subtree over ids[off:off+m) into node slot self.
@@ -137,6 +189,9 @@ type buildState struct {
 // calling goroutine.
 func (b *buildState) build(self int32, off, m int, dscratch []float64) {
 	t := b.t
+	if m >= spawnMin && b.stop() {
+		return
+	}
 	if m <= LeafSize {
 		t.nodes[self] = node{inside: -1, outside: -1, start: int32(off), end: int32(off + m)}
 		return

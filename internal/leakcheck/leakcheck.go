@@ -1,0 +1,38 @@
+// Package leakcheck asserts that a test leaves no goroutines behind — the
+// observable invariant of correct cancellation: every worker spawned by an
+// aborted batch, build or solve must exit, not linger blocked on a channel.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check snapshots the goroutine count and registers a cleanup that fails the
+// test if the count has not returned to the snapshot within two seconds.
+// Call it first in any test that cancels or aborts parallel work.
+//
+// The tolerance below absorbs runtime-internal goroutines that appear
+// lazily (e.g. the first timer); worker pools in this repository are sized
+// in the tens, so a real leak clears it by a wide margin.
+func Check(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			now := runtime.NumGoroutine()
+			if now <= before+2 {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				buf = buf[:runtime.Stack(buf, true)]
+				t.Errorf("goroutine leak: %d before, %d after; stacks:\n%s", before, now, buf)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}

@@ -26,12 +26,14 @@
 package svdd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"dbsvec/internal/engine"
+	"dbsvec/internal/fault"
 	"dbsvec/internal/vec"
 )
 
@@ -83,6 +85,10 @@ type Config struct {
 	// either way, because shrinking always ends with a full-pass KKT
 	// re-check.
 	NoShrink bool
+	// Context, when non-nil, allows cancelling a long training: the solver
+	// checks it every ~1k SMO iterations and Train returns ctx's error with
+	// the partial model discarded. nil trainings run to completion.
+	Context context.Context
 }
 
 // Model is a trained SVDD description of a target set.
@@ -100,8 +106,14 @@ type Model struct {
 	R2 float64
 	// Iterations is the number of SMO pair updates performed.
 	Iterations int
+	// Converged reports whether the solver reached the KKT tolerance;
+	// false means MaxIter was exhausted first and the model is the best
+	// iterate found (Train additionally returns ErrNotConverged so callers
+	// cannot mistake a truncated model for a converged one).
+	Converged bool
 	// Times is the per-stage wall-clock of this training (kernel fill /
-	// SMO solve / radius extraction), for the engine's run statistics.
+	// SMO solve / radius extraction), for the engine's run statistics; its
+	// Rounds/NotConverged counters record this training's outcome.
 	Times engine.SVDDTimes
 
 	ds       *vec.Dataset
@@ -109,10 +121,40 @@ type Model struct {
 	svScore  []float64 // feature-space distance² to the center, per target
 }
 
-// Errors returned by Train.
+// Errors returned by Train. ErrNotConverged and ErrAllSupportVectors are
+// *degradation* signals: they come WITH a usable model, and DBSVEC's core
+// responds by falling back to exact range-query expansion for the affected
+// sub-cluster rather than failing the run.
 var (
 	ErrEmptyTarget = errors.New("svdd: empty target set")
 	ErrBadNu       = errors.New("svdd: nu must be in (0,1]")
+	// ErrNotConverged reports that the SMO solver exhausted MaxIter before
+	// reaching the KKT tolerance. The returned model is the best iterate
+	// (feasible: box constraints and Σα = 1 hold at every iterate) — usable,
+	// but its support-vector set may be unreliable.
+	ErrNotConverged = errors.New("svdd: solver did not converge within the iteration cap")
+	// ErrDegenerateSigma reports that the σ = r/√2 rule (Section IV-B2)
+	// collapsed to its numeric floor because every target point coincides;
+	// the Gaussian kernel carries no geometry at that width, so no model is
+	// returned.
+	ErrDegenerateSigma = errors.New("svdd: degenerate kernel width (coincident target set)")
+	// ErrAllSupportVectors reports the blowup regime where every target
+	// point became a support vector despite a small ν (ν bounds the SV
+	// fraction from below, not above — Section IV-C): the sphere describes
+	// nothing, and querying "the boundary" would query everything. Only
+	// flagged for ν ≤ allSVNuCap on targets of allSVMinTarget points or
+	// more; high-ν configurations (e.g. the ν → 1 regime of Eq. 20) make
+	// every point a bounded SV by design and are not an error.
+	ErrAllSupportVectors = errors.New("svdd: every target point became a support vector")
+)
+
+const (
+	// degenerateSigmaCutoff flags σ values at the SigmaLowerBound floor
+	// (1e-9, reached only when all target points coincide).
+	degenerateSigmaCutoff = 1e-8
+	// allSVNuCap and allSVMinTarget gate ErrAllSupportVectors; see above.
+	allSVNuCap     = 0.25
+	allSVMinTarget = 32
 )
 
 const (
@@ -123,7 +165,17 @@ const (
 )
 
 // Train fits a (weighted) SVDD model to the target points ids of ds.
-func Train(ds *vec.Dataset, ids []int32, cfg Config) (*Model, error) {
+//
+// Failure contract: ErrNotConverged and ErrAllSupportVectors are returned
+// *with* a usable model; every other error returns a nil model. A panic
+// anywhere inside training (including worker goroutines of the parallel
+// kernel fill) is contained and returned as a *fault.WorkerPanicError.
+func Train(ds *vec.Dataset, ids []int32, cfg Config) (model *Model, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			model, err = nil, fault.AsWorkerPanic(v)
+		}
+	}()
 	n := len(ids)
 	if n == 0 {
 		return nil, ErrEmptyTarget
@@ -133,6 +185,11 @@ func Train(ds *vec.Dataset, ids []int32, cfg Config) (*Model, error) {
 	}
 	if cfg.WarmAlpha != nil && len(cfg.WarmAlpha) != n {
 		return nil, fmt.Errorf("svdd: warm alphas length %d does not match target size %d", len(cfg.WarmAlpha), n)
+	}
+	if ctx := cfg.Context; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	nu := cfg.Nu
 	if nu == 0 {
@@ -150,6 +207,12 @@ func Train(ds *vec.Dataset, ids []int32, cfg Config) (*Model, error) {
 	if maxIter == 0 {
 		maxIter = 200*n + 10000
 	}
+	if fault.Armed(fault.SolverNonConverge) {
+		// Deterministic injection: force MaxIter exhaustion after a single
+		// pair update so the ErrNotConverged path runs without a
+		// pathological input.
+		maxIter = 1
+	}
 
 	m := &Model{
 		IDs:   ids,
@@ -157,12 +220,17 @@ func Train(ds *vec.Dataset, ids []int32, cfg Config) (*Model, error) {
 		Sigma: sigma,
 		ds:    ds,
 	}
+	m.Times.Rounds = 1
 	if n == 1 {
 		m.Upper = []float64{1}
 		m.Alpha[0] = 1
 		m.R2 = 0
 		m.alphaDot = 1
+		m.Converged = true
 		return m, nil
+	}
+	if sigma < degenerateSigmaCutoff {
+		return nil, fmt.Errorf("%w: sigma %g", ErrDegenerateSigma, sigma)
 	}
 
 	fill := engine.StartPhase()
@@ -205,13 +273,34 @@ func Train(ds *vec.Dataset, ids []int32, cfg Config) (*Model, error) {
 	fill.Stop(&m.Times.Fill)
 
 	solve := engine.StartPhase()
-	m.solveSMO(km, tol, maxIter, cfg.SecondOrder, !cfg.NoShrink, cfg.WarmAlpha)
+	converged, solveErr := m.solveSMO(cfg.Context, km, tol, maxIter, cfg.SecondOrder, !cfg.NoShrink, cfg.WarmAlpha)
 	solve.Stop(&m.Times.Solve)
+	if solveErr != nil {
+		releaseMatrix(km)
+		return nil, solveErr
+	}
+	m.Converged = converged
 
 	fin := engine.StartPhase()
 	m.finish(km)
 	fin.Stop(&m.Times.Finish)
 	releaseMatrix(km)
+
+	if !m.Converged {
+		m.Times.NotConverged = 1
+		return m, fmt.Errorf("%w: %d iterations", ErrNotConverged, m.Iterations)
+	}
+	if nu <= allSVNuCap && n >= allSVMinTarget {
+		sv := 0
+		for _, a := range m.Alpha {
+			if a > svThreshold {
+				sv++
+			}
+		}
+		if sv == n {
+			return m, fmt.Errorf("%w: %d of %d targets (nu=%g)", ErrAllSupportVectors, sv, n, nu)
+		}
+	}
 	return m, nil
 }
 
@@ -395,7 +484,11 @@ const shrinkPeriod = 64
 // a full-pass KKT re-check runs over all ñ points; only if that passes is
 // the model declared converged, so shrinking never changes the KKT
 // conditions a converged model satisfies.
-func (m *Model) solveSMO(km *kernelMatrix, tol float64, maxIter int, secondOrder, shrink bool, warm []float64) {
+//
+// The returned bool reports convergence: false means maxIter was exhausted
+// and the current iterate is the best found. A non-nil ctx is polled every
+// 1024 iterations; on cancellation the solve aborts with ctx's error.
+func (m *Model) solveSMO(ctx context.Context, km *kernelMatrix, tol float64, maxIter int, secondOrder, shrink bool, warm []float64) (bool, error) {
 	n := len(m.IDs)
 	alpha := m.Alpha
 	upper := m.Upper
@@ -444,6 +537,12 @@ func (m *Model) solveSMO(km *kernelMatrix, tol float64, maxIter int, secondOrder
 	}
 
 	for iter := 0; iter < maxIter; iter++ {
+		if ctx != nil && iter&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				m.Iterations = iter
+				return false, err
+			}
+		}
 		// Select the up candidate (smallest gradient among points that can
 		// grow) and the maximal-violation down candidate.
 		up, down := -1, -1
@@ -460,7 +559,7 @@ func (m *Model) solveSMO(km *kernelMatrix, tol float64, maxIter int, secondOrder
 		if up < 0 || down < 0 || downVal-upVal < tol {
 			if !shrunk {
 				m.Iterations = iter
-				return
+				return true, nil
 			}
 			// Final full-pass KKT re-check: bring the gradients of the
 			// shrunk multipliers up to date, reactivate everything and
@@ -512,7 +611,7 @@ func (m *Model) solveSMO(km *kernelMatrix, tol float64, maxIter int, secondOrder
 		if delta <= 0 {
 			if !shrunk {
 				m.Iterations = iter
-				return
+				return true, nil
 			}
 			// Numerically stuck pair inside a shrunk working set: run the
 			// same full re-check as the converged path — the full set may
@@ -564,6 +663,7 @@ func (m *Model) solveSMO(km *kernelMatrix, tol float64, maxIter int, secondOrder
 		}
 		active = out
 	}
+	return false, nil
 }
 
 // reconstructGradient recomputes f_i = Σ_j α_j K_ij for every inactive

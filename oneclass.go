@@ -1,6 +1,7 @@
 package dbsvec
 
 import (
+	"errors"
 	"fmt"
 
 	"dbsvec/internal/engine"
@@ -32,6 +33,11 @@ type OneClassModel struct {
 }
 
 // TrainOneClass fits an SVDD boundary to every point of d.
+//
+// When the solver exhausts its iteration cap, the model is still returned —
+// it is the best feasible iterate — together with ErrNotConverged; check
+// Converged (or errors.Is against ErrNotConverged) to decide whether the
+// truncated boundary is acceptable.
 func TrainOneClass(d *Dataset, opts OneClassOptions) (*OneClassModel, error) {
 	if d == nil || d.Len() == 0 {
 		return nil, fmt.Errorf("dbsvec: one-class training needs a non-empty dataset")
@@ -45,10 +51,13 @@ func TrainOneClass(d *Dataset, opts OneClassOptions) (*OneClassModel, error) {
 		Sigma:   opts.Sigma,
 		Workers: engine.ResolveWorkers(opts.Workers),
 	})
-	if err != nil {
+	if err != nil && !errors.Is(err, svdd.ErrNotConverged) && !errors.Is(err, svdd.ErrAllSupportVectors) {
 		return nil, err
 	}
-	return &OneClassModel{m: m}, nil
+	if m == nil {
+		return nil, err
+	}
+	return &OneClassModel{m: m}, err
 }
 
 // Score returns the decision value for a point: negative or zero inside the
@@ -71,3 +80,11 @@ func (oc *OneClassModel) SupportVectors() []int32 {
 
 // Sigma returns the kernel width used.
 func (oc *OneClassModel) Sigma() float64 { return oc.m.Sigma }
+
+// Converged reports whether the solver reached the KKT tolerance; false
+// means the iteration cap truncated training and the boundary is the best
+// iterate found (TrainOneClass also returned ErrNotConverged).
+func (oc *OneClassModel) Converged() bool { return oc.m.Converged }
+
+// Iterations returns the number of SMO pair updates the solve performed.
+func (oc *OneClassModel) Iterations() int { return oc.m.Iterations }
