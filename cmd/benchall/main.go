@@ -5,7 +5,8 @@
 //
 //	benchall [-exp fig6a] [-full] [-seed 1] [-budget 30s] [-runtimeout 0]
 //	         [-workers 0] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
-//	         [-svddjson BENCH_svdd.json] [-indexjson BENCH_index.json] [-list]
+//	         [-svddjson BENCH_svdd.json] [-indexjson BENCH_index.json]
+//	         [-baseline dir] [-list]
 //
 // By default every experiment runs in quick mode (reduced cardinalities so
 // the suite finishes in minutes). -full approaches the paper's scales and
@@ -16,12 +17,16 @@
 // a run that trips it contributes its best-effort partial clustering.
 // -cpuprofile and -memprofile write pprof profiles covering the whole
 // harness run, for feeding into `go tool pprof`.
+// -baseline points at a directory holding committed BENCH_*.json snapshots;
+// every report written by the run is shape-diffed against its committed
+// counterpart (schema drift fails the run; values and lengths are free).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -41,6 +46,7 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile at harness exit to this file")
 		svddjson   = flag.String("svddjson", "BENCH_svdd.json", "path for the svdd experiment's machine-readable report (empty = skip)")
 		indexjson  = flag.String("indexjson", "BENCH_index.json", "path for the index experiment's machine-readable report (empty = skip)")
+		baseline   = flag.String("baseline", "", "directory holding committed BENCH_*.json baselines; written reports are shape-diffed against them")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -84,17 +90,74 @@ func main() {
 	}
 	fmt.Printf("\ntotal harness time: %s\n", time.Since(start).Round(time.Millisecond))
 
-	if *memprofile != "" {
-		f, err := os.Create(*memprofile)
-		if err != nil {
+	if *baseline != "" {
+		if err := checkBaselines(*baseline, *svddjson, *indexjson); err != nil {
 			fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		runtime.GC() // materialize up-to-date allocation stats
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "benchall: write heap profile: %v\n", err)
-			os.Exit(1)
+	}
+
+	if *memprofile != "" {
+		writeMemProfile(*memprofile)
+	}
+}
+
+// checkBaselines shape-diffs each report the run actually wrote against its
+// committed counterpart in dir. A report path that was skipped (empty flag)
+// or not produced by the selected experiment is ignored, so `-exp index
+// -baseline .` checks only the index report.
+func checkBaselines(dir, svddjson, indexjson string) error {
+	checked := 0
+	for _, pair := range []struct{ report, name string }{
+		{svddjson, "BENCH_svdd.json"},
+		{indexjson, "BENCH_index.json"},
+	} {
+		if pair.report == "" {
+			continue
 		}
+		if _, err := os.Stat(pair.report); err != nil {
+			continue // experiment not selected this run
+		}
+		basePath := filepath.Join(dir, pair.name)
+		if same, err := sameFile(pair.report, basePath); err == nil && same {
+			return fmt.Errorf("-baseline %s: report %s IS the baseline; write the report elsewhere (e.g. -indexjson /tmp/%s)", dir, pair.report, pair.name)
+		}
+		if err := experiments.CheckBaseline(pair.report, basePath); err != nil {
+			return err
+		}
+		checked++
+	}
+	if checked == 0 {
+		return fmt.Errorf("-baseline %s: no reports were written to check", dir)
+	}
+	fmt.Printf("baseline check: %d report(s) match %s schemas\n", checked, dir)
+	return nil
+}
+
+// sameFile reports whether two paths name the same underlying file, so the
+// baseline check can refuse the degenerate self-comparison.
+func sameFile(a, b string) (bool, error) {
+	fa, err := os.Stat(a)
+	if err != nil {
+		return false, err
+	}
+	fb, err := os.Stat(b)
+	if err != nil {
+		return false, err
+	}
+	return os.SameFile(fa, fb), nil
+}
+
+func writeMemProfile(memprofile string) {
+	f, err := os.Create(memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation stats
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "benchall: write heap profile: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -6,6 +6,7 @@
 //	dbsvec -eps 5000 -minpts 100 [-algo dbsvec] [-in points.csv] [-out labeled.csv]
 //	       [-nu 0] [-normalize 0] [-index linear] [-seed 1] [-workers 0] [-stats]
 //	       [-timeout 0] [-maxrounds 0] [-maxqueries 0]
+//	       [-savemodel model.bin] [-loadmodel model.bin] [-assign]
 //
 // Algorithms: dbsvec (default), dbscan, pdbscan, rho, lsh, nq, kmeans
 // (with -k).
@@ -15,6 +16,12 @@
 // (wall clock, SVDD trainings, range queries). When a limit fires, the
 // best-effort partial clustering is still written to -out; the exceeded
 // budget is reported on stderr and the exit code stays 0.
+//
+// Model artifacts (-algo dbsvec only): -savemodel writes the run's retained
+// per-sub-cluster SVDD snapshots to a binary model file. -loadmodel reads
+// one back; combined with -assign the input points are classified against
+// the loaded model's boundaries (no clustering run), otherwise the loaded
+// model warm-restarts the SVDD training rounds of a fresh run.
 package main
 
 import (
@@ -34,6 +41,14 @@ type budgetFlags struct {
 	maxQueries int64
 }
 
+// modelFlags groups the model-artifact options: save the trained model,
+// load a prior one (as warm-restart source), or assign against it.
+type modelFlags struct {
+	save   string
+	load   string
+	assign bool
+}
+
 func main() {
 	var (
 		algo      = flag.String("algo", "dbsvec", "algorithm: dbsvec|dbscan|pdbscan|rho|lsh|nq|kmeans")
@@ -51,17 +66,27 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "dbsvec: wall-clock budget; on expiry the partial clustering is written (0 = unlimited)")
 		maxRound  = flag.Int("maxrounds", 0, "dbsvec: SVDD training budget (0 = unlimited)")
 		maxQuery  = flag.Int64("maxqueries", 0, "dbsvec: range-query budget (0 = unlimited)")
+		saveModel = flag.String("savemodel", "", "dbsvec: write the trained model artifact to this file")
+		loadModel = flag.String("loadmodel", "", "dbsvec: read a model artifact; warm-restarts the run, or scores with -assign")
+		assign    = flag.Bool("assign", false, "classify the input points against -loadmodel instead of clustering")
 	)
 	flag.Parse()
 
 	b := budgetFlags{timeout: *timeout, maxRounds: *maxRound, maxQueries: *maxQuery}
-	if err := run(*algo, *eps, *minPts, *k, *nu, *inPath, *outPath, *normalize, *indexKind, *seed, *workers, *stats, b); err != nil {
+	m := modelFlags{save: *saveModel, load: *loadModel, assign: *assign}
+	if err := run(*algo, *eps, *minPts, *k, *nu, *inPath, *outPath, *normalize, *indexKind, *seed, *workers, *stats, b, m); err != nil {
 		fmt.Fprintf(os.Stderr, "dbsvec: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(algo string, eps float64, minPts, k int, nu float64, inPath, outPath string, normalize float64, indexKind string, seed int64, workers int, stats bool, budget budgetFlags) error {
+func run(algo string, eps float64, minPts, k int, nu float64, inPath, outPath string, normalize float64, indexKind string, seed int64, workers int, stats bool, budget budgetFlags, model modelFlags) error {
+	if model.assign && model.load == "" {
+		return fmt.Errorf("-assign requires -loadmodel")
+	}
+	if (model.save != "" || model.load != "") && algo != "dbsvec" {
+		return fmt.Errorf("model artifacts are dbsvec-only (algo %q)", algo)
+	}
 	var in io.Reader = os.Stdin
 	if inPath != "" {
 		f, err := os.Open(inPath)
@@ -77,6 +102,22 @@ func run(algo string, eps float64, minPts, k int, nu float64, inPath, outPath st
 	}
 	if normalize > 0 {
 		ds.Normalize(normalize)
+	}
+
+	var loaded *dbsvec.Model
+	if model.load != "" {
+		f, err := os.Open(model.load)
+		if err != nil {
+			return err
+		}
+		loaded, err = dbsvec.LoadModel(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	if model.assign {
+		return runAssign(ds, loaded, outPath, workers, stats)
 	}
 
 	var idx dbsvec.IndexKind
@@ -106,6 +147,7 @@ func run(algo string, eps float64, minPts, k int, nu float64, inPath, outPath st
 	case "dbsvec":
 		res, err = dbsvec.Cluster(ds, dbsvec.Options{
 			Eps: eps, MinPts: minPts, Nu: nu, Index: idx, Seed: seed, Workers: workers,
+			WarmFrom: loaded,
 			Budget: dbsvec.Budget{
 				MaxDuration:     budget.timeout,
 				MaxSVDDRounds:   budget.maxRounds,
@@ -142,6 +184,24 @@ func run(algo string, eps float64, minPts, k int, nu float64, inPath, outPath st
 	}
 	elapsed := time.Since(start)
 
+	if model.save != "" {
+		m := res.Model()
+		if m == nil {
+			return fmt.Errorf("algorithm %q retained no model to save", algo)
+		}
+		f, err := os.Create(model.save)
+		if err != nil {
+			return err
+		}
+		if err := m.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
 	var out io.Writer = os.Stdout
 	if outPath != "" {
 		f, err := os.Create(outPath)
@@ -159,8 +219,8 @@ func run(algo string, eps float64, minPts, k int, nu float64, inPath, outPath st
 			algo, ds.Len(), ds.Dim(), res.Clusters, res.NoiseCount(), elapsed.Round(time.Millisecond))
 		if algo == "dbsvec" {
 			s := res.Stats
-			fmt.Fprintf(os.Stderr, "seeds=%d supportVectors=%d merges=%d noiseList=%d rangeQueries=%d rangeCounts=%d svddTrainings=%d degraded=%d\n",
-				s.Seeds, s.SupportVectors, s.Merges, s.NoiseList, s.RangeQueries, s.RangeCounts, s.SVDDTrainings, s.Degraded)
+			fmt.Fprintf(os.Stderr, "seeds=%d supportVectors=%d merges=%d noiseList=%d rangeQueries=%d rangeCounts=%d svddTrainings=%d degraded=%d retainedModels=%d warmRestarts=%d\n",
+				s.Seeds, s.SupportVectors, s.Merges, s.NoiseList, s.RangeQueries, s.RangeCounts, s.SVDDTrainings, s.Degraded, s.RetainedModels, s.WarmRestarts)
 			if budgetErr != nil {
 				fmt.Fprintf(os.Stderr, "budgetExceeded=%s budgetElapsed=%s budgetRounds=%d budgetQueries=%d\n",
 					budgetErr.Limit, budgetErr.Elapsed.Round(time.Millisecond), budgetErr.SVDDRounds, budgetErr.RangeQueries)
@@ -177,6 +237,38 @@ func run(algo string, eps float64, minPts, k int, nu float64, inPath, outPath st
 			fmt.Fprintf(os.Stderr, "svddFill=%s svddSolve=%s svddFinish=%s\n",
 				s.Fill.Round(time.Microsecond), s.Solve.Round(time.Microsecond), s.Finish.Round(time.Microsecond))
 		}
+	}
+	return nil
+}
+
+// runAssign scores the input points against a loaded model instead of
+// clustering: each point gets the cluster of the SVDD boundary containing
+// it (nearest-cluster fallback within ε, Noise otherwise) and the labeled
+// CSV is written exactly like a clustering run's.
+func runAssign(ds *dbsvec.Dataset, m *dbsvec.Model, outPath string, workers int, stats bool) error {
+	start := time.Now()
+	labels, err := m.Assign(ds, workers)
+	if err != nil {
+		return err
+	}
+	res := dbsvec.NewResult(labels, m.Clusters())
+	elapsed := time.Since(start)
+
+	var out io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := ds.WriteCSV(out, res); err != nil {
+		return err
+	}
+	if stats {
+		fmt.Fprintf(os.Stderr, "assign n=%d d=%d modelClusters=%d modelSnapshots=%d modelSVs=%d noise=%d time=%s\n",
+			ds.Len(), ds.Dim(), m.Clusters(), m.Snapshots(), m.SupportVectors(), res.NoiseCount(), elapsed.Round(time.Millisecond))
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,7 +29,7 @@ func TestRunAllAlgorithms(t *testing.T) {
 	in := writeInput(t)
 	for _, algo := range []string{"dbsvec", "dbscan", "pdbscan", "rho", "lsh", "nq"} {
 		out := filepath.Join(t.TempDir(), "out.csv")
-		if err := run(algo, 5, 5, 0, 0, in, out, 0, "linear", 1, 0, false, budgetFlags{}); err != nil {
+		if err := run(algo, 5, 5, 0, 0, in, out, 0, "linear", 1, 0, false, budgetFlags{}, modelFlags{}); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 		data, err := os.ReadFile(out)
@@ -49,7 +50,7 @@ func TestRunAllAlgorithms(t *testing.T) {
 func TestRunKMeans(t *testing.T) {
 	in := writeInput(t)
 	out := filepath.Join(t.TempDir(), "out.csv")
-	if err := run("kmeans", 0, 0, 2, 0, in, out, 0, "linear", 1, 0, false, budgetFlags{}); err != nil {
+	if err := run("kmeans", 0, 0, 2, 0, in, out, 0, "linear", 1, 0, false, budgetFlags{}, modelFlags{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -58,7 +59,7 @@ func TestRunIndexKinds(t *testing.T) {
 	in := writeInput(t)
 	for _, idx := range []string{"linear", "kdtree", "rtree", "grid", "parallel", "pyramid", "vptree"} {
 		out := filepath.Join(t.TempDir(), "out.csv")
-		if err := run("dbscan", 5, 5, 0, 0, in, out, 0, idx, 1, 0, false, budgetFlags{}); err != nil {
+		if err := run("dbscan", 5, 5, 0, 0, in, out, 0, idx, 1, 0, false, budgetFlags{}, modelFlags{}); err != nil {
 			t.Fatalf("index %s: %v", idx, err)
 		}
 	}
@@ -69,7 +70,7 @@ func TestRunNormalize(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "out.csv")
 	// After normalization to [0,1000], eps must be rescaled accordingly;
 	// eps=20 separates clumps at 0 and ~100 (of 1000).
-	if err := run("dbsvec", 20, 5, 0, 0, in, out, 1000, "linear", 1, 0, true, budgetFlags{}); err != nil {
+	if err := run("dbsvec", 20, 5, 0, 0, in, out, 1000, "linear", 1, 0, true, budgetFlags{}, modelFlags{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -79,7 +80,7 @@ func TestRunBudgetPartialOutput(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "out.csv")
 	// A tiny range-query budget trips mid-run; the CLI must still succeed
 	// and write a full-length labeled file (best-effort partial clustering).
-	if err := run("dbsvec", 5, 5, 0, 0, in, out, 0, "linear", 1, 0, true, budgetFlags{maxQueries: 1}); err != nil {
+	if err := run("dbsvec", 5, 5, 0, 0, in, out, 0, "linear", 1, 0, true, budgetFlags{maxQueries: 1}, modelFlags{}); err != nil {
 		t.Fatalf("budget trip must not fail the command: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -93,16 +94,116 @@ func TestRunBudgetPartialOutput(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	in := writeInput(t)
-	if err := run("bogus", 5, 5, 0, 0, in, "", 0, "linear", 1, 0, false, budgetFlags{}); err == nil {
+	if err := run("bogus", 5, 5, 0, 0, in, "", 0, "linear", 1, 0, false, budgetFlags{}, modelFlags{}); err == nil {
 		t.Error("unknown algorithm should error")
 	}
-	if err := run("dbscan", 5, 5, 0, 0, in, "", 0, "bogus", 1, 0, false, budgetFlags{}); err == nil {
+	if err := run("dbscan", 5, 5, 0, 0, in, "", 0, "bogus", 1, 0, false, budgetFlags{}, modelFlags{}); err == nil {
 		t.Error("unknown index should error")
 	}
-	if err := run("dbscan", 5, 5, 0, 0, "/nonexistent/file.csv", "", 0, "linear", 1, 0, false, budgetFlags{}); err == nil {
+	if err := run("dbscan", 5, 5, 0, 0, "/nonexistent/file.csv", "", 0, "linear", 1, 0, false, budgetFlags{}, modelFlags{}); err == nil {
 		t.Error("missing input file should error")
 	}
-	if err := run("dbscan", -5, 5, 0, 0, in, "", 0, "linear", 1, 0, false, budgetFlags{}); err == nil {
+	if err := run("dbscan", -5, 5, 0, 0, in, "", 0, "linear", 1, 0, false, budgetFlags{}, modelFlags{}); err == nil {
 		t.Error("invalid eps should error")
+	}
+}
+
+// writeJitterInput writes two well-separated jittered clumps plus an
+// outlier — unlike writeInput's coincident points, these give SVDD a
+// non-degenerate kernel width, so the run retains usable snapshots.
+func writeJitterInput(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "in.csv")
+	var sb strings.Builder
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&sb, "%.3f,%.3f\n", 0.1*float64(i), 0.13*float64(i%5))
+		fmt.Fprintf(&sb, "%.3f,%.3f\n", 50+0.1*float64(i), 50+0.13*float64(i%5))
+	}
+	sb.WriteString("500,500\n")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunSaveLoadAssign drives the model-artifact lifecycle through the CLI:
+// cluster + -savemodel, then -loadmodel -assign on the same input must
+// reproduce the clustering's labels, and -loadmodel without -assign must
+// warm-restart a fresh run to the same labeling.
+func TestRunSaveLoadAssign(t *testing.T) {
+	in := writeJitterInput(t)
+	dir := t.TempDir()
+	clusterOut := filepath.Join(dir, "cluster.csv")
+	modelPath := filepath.Join(dir, "model.bin")
+	if err := run("dbsvec", 5, 5, 0, 0, in, clusterOut, 0, "linear", 1, 0, false,
+		budgetFlags{}, modelFlags{save: modelPath}); err != nil {
+		t.Fatalf("cluster+save: %v", err)
+	}
+	if fi, err := os.Stat(modelPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("model file not written: %v", err)
+	}
+
+	assignOut := filepath.Join(dir, "assign.csv")
+	if err := run("dbsvec", 0, 0, 0, 0, in, assignOut, 0, "linear", 1, 0, false,
+		budgetFlags{}, modelFlags{load: modelPath, assign: true}); err != nil {
+		t.Fatalf("load+assign: %v", err)
+	}
+	want, err := os.ReadFile(clusterOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(assignOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLines := strings.Split(strings.TrimSpace(string(want)), "\n")
+	gotLines := strings.Split(strings.TrimSpace(string(got)), "\n")
+	if len(wantLines) != len(gotLines) {
+		t.Fatalf("assign wrote %d lines, clustering %d", len(gotLines), len(wantLines))
+	}
+	for i := range wantLines {
+		// The tight clumps and the far outlier are unambiguous, so assign
+		// must reproduce the clustering's labels exactly here.
+		if wantLines[i] != gotLines[i] {
+			t.Errorf("line %d: assign %q != cluster %q", i, gotLines[i], wantLines[i])
+		}
+	}
+
+	warmOut := filepath.Join(dir, "warm.csv")
+	if err := run("dbsvec", 5, 5, 0, 0, in, warmOut, 0, "linear", 1, 0, false,
+		budgetFlags{}, modelFlags{load: modelPath}); err != nil {
+		t.Fatalf("warm restart: %v", err)
+	}
+	warm, err := os.ReadFile(warmOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(warm) != string(want) {
+		t.Error("warm-restarted run labeled the input differently from the cold run")
+	}
+}
+
+// TestRunModelFlagErrors covers the flag-validation and decode failures.
+func TestRunModelFlagErrors(t *testing.T) {
+	in := writeInput(t)
+	if err := run("dbsvec", 5, 5, 0, 0, in, "", 0, "linear", 1, 0, false,
+		budgetFlags{}, modelFlags{assign: true}); err == nil {
+		t.Error("-assign without -loadmodel should error")
+	}
+	if err := run("dbscan", 5, 5, 0, 0, in, "", 0, "linear", 1, 0, false,
+		budgetFlags{}, modelFlags{save: filepath.Join(t.TempDir(), "m.bin")}); err == nil {
+		t.Error("-savemodel with a non-dbsvec algorithm should error")
+	}
+	if err := run("dbsvec", 5, 5, 0, 0, in, "", 0, "linear", 1, 0, false,
+		budgetFlags{}, modelFlags{load: "/nonexistent/model.bin", assign: true}); err == nil {
+		t.Error("missing model file should error")
+	}
+	bogus := filepath.Join(t.TempDir(), "bogus.bin")
+	if err := os.WriteFile(bogus, []byte("not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("dbsvec", 5, 5, 0, 0, in, "", 0, "linear", 1, 0, false,
+		budgetFlags{}, modelFlags{load: bogus, assign: true}); err == nil {
+		t.Error("corrupt model file should error")
 	}
 }

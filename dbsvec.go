@@ -179,8 +179,17 @@ type Options struct {
 	// surviving target points. Warm starting (the default) converges to the
 	// same dual at the same tolerance but along a different iterate path,
 	// so results can differ within solver tolerance from cold-start runs;
-	// disable it for A/B benchmarking or exact cold-start equivalence.
+	// disable it for A/B benchmarking or exact cold-start equivalence. It
+	// also neutralizes WarmFrom.
 	DisableWarmStart bool
+
+	// WarmFrom supplies a previously trained (or loaded) Model as the
+	// warm-restart source: the first SVDD round of every sub-cluster seeds
+	// the solver from the saved multipliers of overlapping points. On
+	// unchanged or mostly-overlapping data this reproduces the cold
+	// clustering within solver tolerance at strictly fewer SMO iterations
+	// (Stats.WarmRestarts counts the seeded rounds). nil cold-starts.
+	WarmFrom *Model
 
 	// Budget bounds the run's work (wall clock, SVDD rounds, range
 	// queries). When a limit fires, Cluster returns the best-effort partial
@@ -221,6 +230,11 @@ type Stats struct {
 	// expansion fallback after their SVDD training failed recoverably
 	// (non-convergence, degenerate kernel width, all-SV blowup).
 	Degraded int
+	// WarmRestarts counts the SVDD rounds seeded from Options.WarmFrom.
+	WarmRestarts int
+	// RetainedModels is the number of per-sub-cluster SVDD snapshots
+	// retained on the run's Model artifact.
+	RetainedModels int
 	// IndexBuild is the wall-clock spent constructing the range-query index
 	// before clustering; like Phases it varies run to run.
 	IndexBuild time.Duration
@@ -244,6 +258,7 @@ type Result struct {
 	Stats Stats
 
 	inner *cluster.Result
+	model *Model
 }
 
 // NoiseCount returns the number of noise points.
@@ -254,6 +269,14 @@ func (r *Result) ClusterSizes() []int { return r.inner.Sizes() }
 
 func wrapResult(res *cluster.Result) *Result {
 	return &Result{Labels: res.Labels, Clusters: res.Clusters, inner: res}
+}
+
+// NewResult wraps externally produced labels — e.g. Model.Assign output —
+// into a Result so WriteCSV, the metrics functions and the rendering helpers
+// accept them. labels must hold cluster ids in [0, clusters) or Noise; the
+// slice is used directly, not copied.
+func NewResult(labels []int32, clusters int) *Result {
+	return wrapResult(&cluster.Result{Labels: labels, Clusters: clusters})
 }
 
 // Cluster runs DBSVEC over the dataset.
@@ -275,7 +298,11 @@ func ClusterContext(ctx context.Context, d *Dataset, opts Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	res, st, err := core.Run(d.ds, core.Options{
+	var warm []*svdd.Snapshot
+	if opts.WarmFrom != nil {
+		warm = opts.WarmFrom.snapshots()
+	}
+	res, retained, st, err := core.RunRetained(d.ds, core.Options{
 		Context:          ctx,
 		Eps:              opts.Eps,
 		MinPts:           opts.MinPts,
@@ -290,12 +317,14 @@ func ClusterContext(ctx context.Context, d *Dataset, opts Options) (*Result, err
 		Workers:          opts.Workers,
 		MaxSVDDTarget:    opts.MaxSVDDTarget,
 		DisableWarmStart: opts.DisableWarmStart,
+		WarmModels:       warm,
 		Budget:           opts.Budget,
 	})
 	if err != nil && res == nil {
 		return nil, err
 	}
 	out := wrapResult(res)
+	out.model = newModel(d.Dim(), opts, res, retained)
 	out.Stats = Stats{
 		Seeds:          st.Seeds,
 		SupportVectors: st.SupportVectors,
@@ -305,6 +334,8 @@ func ClusterContext(ctx context.Context, d *Dataset, opts Options) (*Result, err
 		RangeCounts:    st.RangeCounts,
 		SVDDTrainings:  st.SVDDTrainings,
 		Degraded:       st.Degraded,
+		WarmRestarts:   st.WarmRestarts,
+		RetainedModels: st.RetainedModels,
 		IndexBuild:     st.IndexBuild,
 		Phases:         st.Phases,
 		SVDD:           st.SVDD,

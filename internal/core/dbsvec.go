@@ -98,8 +98,19 @@ type Options struct {
 	// the same KKT tolerance, but along a different iterate path, so
 	// multipliers — and in rare near-tie cases cluster boundaries — can
 	// differ within solver tolerance. Set this for A/B benchmarking or when
-	// exact equivalence with cold-start runs is required.
+	// exact equivalence with cold-start runs is required. It also disables
+	// warm restarts from WarmModels.
 	DisableWarmStart bool
+
+	// WarmModels supplies a previous run's retained SVDD snapshots as the
+	// warm-restart source: the FIRST training round of every sub-cluster
+	// seeds the solver from the saved multipliers of overlapping points
+	// (subsequent rounds warm-start from the in-run previous model as
+	// usual). On unchanged or mostly-overlapping data the saved alphas sit
+	// near each round-one optimum, so a warm restart reproduces the cold
+	// clustering within solver tolerance at strictly fewer SMO iterations.
+	// nil (or DisableWarmStart) cold-starts round one.
+	WarmModels []*svdd.Snapshot
 
 	// Workers is the query-execution worker count: each expansion round's
 	// support-vector query set and the noise list's pending core tests are
@@ -179,6 +190,13 @@ type Stats struct {
 	// expansion fallback instead of support-vector expansion. A degraded
 	// sub-cluster loses the θ speedup but keeps DBSCAN-exact semantics.
 	Degraded int
+	// WarmRestarts counts the training rounds seeded from a prior run's
+	// snapshots (Options.WarmModels) rather than cold or from the in-run
+	// previous round.
+	WarmRestarts int
+	// RetainedModels is the number of per-sub-cluster SVDD snapshots the run
+	// retained (RunRetained only; 0 for Run).
+	RetainedModels int
 	// IndexBuild is the wall-clock spent constructing the range-query index
 	// before clustering starts. Not part of the θ model; determinism
 	// comparisons must ignore it.
@@ -252,6 +270,15 @@ type runner struct {
 	buf []int32
 	// cand is the per-round batch of support vectors awaiting queries.
 	cand []int32
+
+	// retain enables model retention (RunRetained): every training round
+	// appends a snapshot to retained under its raw seed cluster id, and
+	// finalizeRetained rewrites the ids into the final dense label space.
+	retain   bool
+	retained []RetainedModel
+	// warmPrior is Options.WarmModels flattened to point id → multiplier;
+	// the first training round of each sub-cluster seeds the solver from it.
+	warmPrior map[int32]float64
 }
 
 // Run executes DBSVEC over ds and returns the clustering, run statistics,
@@ -265,21 +292,36 @@ type runner struct {
 //     *BudgetExceededError — every label is a cluster id or Noise;
 //   - a panic anywhere in the run (worker goroutines included) is contained
 //     and returned as a *fault.WorkerPanicError, never a crash.
-func Run(ds *vec.Dataset, opts Options) (res *cluster.Result, st Stats, err error) {
+func Run(ds *vec.Dataset, opts Options) (*cluster.Result, Stats, error) {
+	res, _, st, err := run(ds, opts, false)
+	return res, st, err
+}
+
+// RunRetained is Run plus model retention: every successfully trained
+// per-sub-cluster SVDD model (and every degradation event) is snapshotted
+// and returned as a RetainedModel list whose Cluster fields reference the
+// final compacted cluster ids of the result. The retained set is what the
+// top-level Model artifact serializes and what a later run's
+// Options.WarmModels consumes.
+func RunRetained(ds *vec.Dataset, opts Options) (*cluster.Result, []RetainedModel, Stats, error) {
+	return run(ds, opts, true)
+}
+
+func run(ds *vec.Dataset, opts Options, retain bool) (res *cluster.Result, retained []RetainedModel, st Stats, err error) {
 	var r *runner
 	defer func() {
 		if v := recover(); v != nil {
-			res, err = nil, fault.AsWorkerPanic(v)
+			res, retained, err = nil, nil, fault.AsWorkerPanic(v)
 			if r != nil {
 				st = r.stats
 			}
 		}
 	}()
 	if ds == nil {
-		return nil, Stats{}, ErrNilDataset
+		return nil, nil, Stats{}, ErrNilDataset
 	}
 	if err := opts.validate(); err != nil {
-		return nil, Stats{}, err
+		return nil, nil, Stats{}, err
 	}
 	if opts.MemoryFactor == 0 {
 		opts.MemoryFactor = defaultMemoryFactor
@@ -322,6 +364,10 @@ func Run(ds *vec.Dataset, opts Options) (res *cluster.Result, st Stats, err erro
 		clusterSet: unionfind.New(0),
 		core:       make([]coreState, n),
 		rng:        rand.New(rand.NewSource(opts.Seed)),
+		retain:     retain,
+	}
+	if !opts.DisableWarmStart && len(opts.WarmModels) > 0 {
+		r.warmPrior = priorAlphas(opts.WarmModels)
 	}
 	for i := range r.labels {
 		r.labels[i] = cluster.Unclassified
@@ -332,7 +378,7 @@ func Run(ds *vec.Dataset, opts Options) (res *cluster.Result, st Stats, err erro
 	r.stats.IndexBuild = time.Since(buildStart)
 	if buildErr != nil {
 		if perr := parent.Err(); perr != nil {
-			return nil, r.stats, perr
+			return nil, nil, r.stats, perr
 		}
 		if opts.Budget.MaxDuration > 0 && ctx.Err() != nil {
 			// The duration budget expired during index construction:
@@ -342,15 +388,15 @@ func Run(ds *vec.Dataset, opts Options) (res *cluster.Result, st Stats, err erro
 			for i := range r.labels {
 				r.labels[i] = cluster.Noise
 			}
-			return (&cluster.Result{Labels: r.labels}).Compact(), r.stats, r.budgetErr
+			return (&cluster.Result{Labels: r.labels}).Compact(), nil, r.stats, r.budgetErr
 		}
-		return nil, r.stats, buildErr
+		return nil, nil, r.stats, buildErr
 	}
 	r.idx = idx
 	r.eng = engine.New(ds, idx, opts.Eps, opts.Workers)
 
 	if n == 0 {
-		return &cluster.Result{Labels: r.labels}, r.stats, nil
+		return &cluster.Result{Labels: r.labels}, nil, r.stats, nil
 	}
 
 	// Initialization sweep (Algorithm 2). Seed queries are inherently
@@ -405,7 +451,7 @@ func Run(ds *vec.Dataset, opts Options) (res *cluster.Result, st Stats, err erro
 	sweep.Stop(&r.stats.Phases.Init)
 	r.stats.Phases.Init -= r.stats.Phases.Expand // sweep time minus nested expansions
 	if runErr != nil && !errors.Is(runErr, errBudget) {
-		return nil, r.stats, runErr
+		return nil, nil, r.stats, runErr
 	}
 
 	r.stats.NoiseList = len(r.noiseIDs)
@@ -415,7 +461,7 @@ func Run(ds *vec.Dataset, opts Options) (res *cluster.Result, st Stats, err erro
 		verify.Stop(&r.stats.Phases.Verify)
 		if verifyErr != nil {
 			if !errors.Is(verifyErr, errBudget) {
-				return nil, r.stats, verifyErr
+				return nil, nil, r.stats, verifyErr
 			}
 			runErr = verifyErr
 		}
@@ -424,17 +470,20 @@ func Run(ds *vec.Dataset, opts Options) (res *cluster.Result, st Stats, err erro
 	// Canonicalize merged cluster ids into dense labels. Compact maps every
 	// negative label — including points a tripped budget left Unclassified —
 	// to Noise, so a partial result satisfies the same labeling invariants
-	// as a complete one.
+	// as a complete one. The retained entries are remapped against the
+	// canonicalized labels BEFORE Compact rewrites them in place.
 	for i, l := range r.labels {
 		if l >= 0 {
 			r.labels[i] = r.clusterSet.Find(l)
 		}
 	}
+	retained = r.finalizeRetained(r.labels)
+	r.stats.RetainedModels = len(retained)
 	res = (&cluster.Result{Labels: r.labels}).Compact()
 	if runErr != nil {
-		return res, r.stats, r.budgetErr
+		return res, retained, r.stats, r.budgetErr
 	}
-	return res, r.stats, nil
+	return res, retained, r.stats, nil
 }
 
 // checkpoint is the per-round budget and cancellation gate. External
@@ -575,8 +624,12 @@ func (r *runner) svExpandCluster(initial []int32, cid int32) error {
 				// Graceful degradation: the SVDD model for THIS sub-cluster
 				// is unusable (or unreliable), so finish the sub-cluster with
 				// exact range-query expansion from its current target set.
-				// Other sub-clusters keep the support-vector fast path.
+				// Other sub-clusters keep the support-vector fast path. The
+				// event is retained (with the best-effort model when one
+				// exists) so saved artifacts record which boundaries are
+				// trustworthy.
 				r.stats.Degraded++
+				r.retainModel(cid, model, true)
 				frontier := make([]int32, len(targets))
 				for i, tg := range targets {
 					frontier[i] = tg.id
@@ -589,6 +642,7 @@ func (r *runner) svExpandCluster(initial []int32, cid int32) error {
 			}
 		}
 		prev = model
+		r.retainModel(cid, model, false)
 		budget := r.svBudget(len(ids))
 		svs := model.TopSupportVectors(budget)
 		r.stats.SupportVectors += int64(len(svs))
@@ -810,8 +864,17 @@ func (r *runner) trainSVDD(ids []int32, prev *svdd.Model) (*svdd.Model, error) {
 		Workers: r.eng.Workers(),
 		Context: r.ctx,
 	}
-	if prev != nil && !r.opts.DisableWarmStart {
-		cfg.WarmAlpha = warmAlphas(ids, prev)
+	if !r.opts.DisableWarmStart {
+		if prev != nil {
+			cfg.WarmAlpha = warmAlphas(ids, prev)
+		} else if r.warmPrior != nil {
+			// Round one of a sub-cluster: restart from the saved multipliers
+			// of a previous run's snapshots (Options.WarmModels).
+			if w := warmFromPrior(ids, r.warmPrior); w != nil {
+				cfg.WarmAlpha = w
+				r.stats.WarmRestarts++
+			}
+		}
 	}
 	switch {
 	case r.opts.NuMin:

@@ -1,0 +1,76 @@
+package data
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"dbsvec/internal/svdd"
+)
+
+// fuzzSeedArtifact builds a tiny valid artifact by hand (no SVDD training in
+// the fuzz path, which must stay fast).
+func fuzzSeedArtifact() *ModelArtifact {
+	snap := fuzzSeedSnapshot()
+	return &ModelArtifact{
+		Kind:     ModelKindClustering,
+		Eps:      2,
+		MinPts:   3,
+		Dim:      2,
+		Clusters: 2,
+		Entries: []ModelEntry{
+			{Cluster: 0, Snap: snap},
+			{Cluster: 1, Degraded: true},
+		},
+	}
+}
+
+func fuzzSeedSnapshot() *svdd.Snapshot {
+	return &svdd.Snapshot{
+		Dim:      2,
+		Nu:       0.1,
+		Sigma:    1.5,
+		R2:       0.25,
+		AlphaDot: 0.5,
+		IDs:      []int32{4, 9, 17},
+		Alpha:    []float64{0.5, 0.25, 0.25},
+		Score:    []float64{0.3, 0.2, 0.1},
+		Coords:   []float64{0, 1, 2, 3, 4, 5},
+	}
+}
+
+// FuzzReadModel drives the codec with arbitrary bytes: it must never panic,
+// classify every rejection as ErrMalformed (or a plain read error on an
+// empty/short magic), and — when it does accept an input — re-encode it to a
+// byte-identical stream (canonical-form invariant).
+func FuzzReadModel(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, fuzzSeedArtifact()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("DBSM"))
+	f.Add([]byte{})
+	corrupted := append([]byte(nil), buf.Bytes()...)
+	corrupted[len(corrupted)/2] ^= 0xff
+	f.Add(corrupted)
+	f.Add(buf.Bytes()[:buf.Len()-3])
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		a, err := ReadModel(bytes.NewReader(in))
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+				t.Fatalf("unclassified error: %v", err)
+			}
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteModel(&out, a); err != nil {
+			t.Fatalf("accepted artifact cannot be re-written: %v", err)
+		}
+		if !bytes.Equal(in, out.Bytes()) {
+			t.Fatalf("accepted input is not in canonical form: %d bytes in, %d bytes out", len(in), out.Len())
+		}
+	})
+}

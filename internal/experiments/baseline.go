@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// CheckBaseline compares a freshly written machine-readable report against a
+// committed baseline snapshot, by schema/shape rather than by value: the CI
+// smoke must catch accidental report-format drift (renamed fields, dropped
+// sections) without failing on timings, machine-dependent array lengths
+// (e.g. worker-count sweeps sized by GOMAXPROCS), or run-to-run noise.
+func CheckBaseline(reportPath, baselinePath string) error {
+	cur, err := os.ReadFile(reportPath)
+	if err != nil {
+		return fmt.Errorf("experiments: reading report: %w", err)
+	}
+	base, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("experiments: reading baseline: %w", err)
+	}
+	if err := CompareShape(cur, base); err != nil {
+		return fmt.Errorf("experiments: report %s drifted from baseline %s: %w", reportPath, baselinePath, err)
+	}
+	return nil
+}
+
+// CompareShape recursively checks that two JSON documents share one schema:
+// objects must carry identical key sets, arrays must agree on emptiness and
+// on the shape of their first element (lengths are machine-dependent and
+// deliberately not compared), and scalars must have the same JSON type.
+// Values are never compared.
+func CompareShape(current, baseline []byte) error {
+	var cur, base any
+	if err := json.Unmarshal(current, &cur); err != nil {
+		return fmt.Errorf("current report is not valid JSON: %w", err)
+	}
+	if err := json.Unmarshal(baseline, &base); err != nil {
+		return fmt.Errorf("baseline is not valid JSON: %w", err)
+	}
+	return compareShape("$", cur, base)
+}
+
+func compareShape(path string, cur, base any) error {
+	switch b := base.(type) {
+	case map[string]any:
+		c, ok := cur.(map[string]any)
+		if !ok {
+			return fmt.Errorf("%s: expected object, got %T", path, cur)
+		}
+		keys := make([]string, 0, len(b))
+		for k := range b {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			cv, ok := c[k]
+			if !ok {
+				return fmt.Errorf("%s: missing key %q", path, k)
+			}
+			if err := compareShape(path+"."+k, cv, b[k]); err != nil {
+				return err
+			}
+		}
+		for k := range c {
+			if _, ok := b[k]; !ok {
+				return fmt.Errorf("%s: unexpected key %q", path, k)
+			}
+		}
+		return nil
+	case []any:
+		c, ok := cur.([]any)
+		if !ok {
+			return fmt.Errorf("%s: expected array, got %T", path, cur)
+		}
+		if len(b) == 0 || len(c) == 0 {
+			if len(b) != len(c) {
+				return fmt.Errorf("%s: array emptiness differs (%d vs baseline %d elements)", path, len(c), len(b))
+			}
+			return nil
+		}
+		// Element shapes are homogeneous in every report; comparing the
+		// first element catches schema drift without pinning lengths.
+		return compareShape(path+"[0]", c[0], b[0])
+	case float64:
+		if _, ok := cur.(float64); !ok {
+			return fmt.Errorf("%s: expected number, got %T", path, cur)
+		}
+	case string:
+		if _, ok := cur.(string); !ok {
+			return fmt.Errorf("%s: expected string, got %T", path, cur)
+		}
+	case bool:
+		if _, ok := cur.(bool); !ok {
+			return fmt.Errorf("%s: expected bool, got %T", path, cur)
+		}
+	case nil:
+		// Baseline null pins nothing.
+	}
+	return nil
+}

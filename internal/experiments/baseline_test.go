@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareShapeAccepts(t *testing.T) {
+	cases := []struct{ name, cur, base string }{
+		{"identical", `{"a":1,"b":[{"x":2}]}`, `{"a":1,"b":[{"x":3}]}`},
+		{"different values", `{"a":99,"s":"other"}`, `{"a":1,"s":"text"}`},
+		{"different array lengths", `{"v":[1,2,3,4,5]}`, `{"v":[9]}`},
+		{"both empty arrays", `{"v":[]}`, `{"v":[]}`},
+		{"null baseline", `{"v":{"anything":1}}`, `{"v":null}`},
+	}
+	for _, tc := range cases {
+		if err := CompareShape([]byte(tc.cur), []byte(tc.base)); err != nil {
+			t.Errorf("%s: unexpected mismatch: %v", tc.name, err)
+		}
+	}
+}
+
+func TestCompareShapeRejects(t *testing.T) {
+	cases := []struct{ name, cur, base, wantIn string }{
+		{"missing key", `{"a":1}`, `{"a":1,"b":2}`, `missing key "b"`},
+		{"extra key", `{"a":1,"b":2}`, `{"a":1}`, `unexpected key "b"`},
+		{"type change", `{"a":"1"}`, `{"a":1}`, "expected number"},
+		{"object became array", `{"a":[1]}`, `{"a":{"x":1}}`, "expected object"},
+		{"emptied array", `{"v":[]}`, `{"v":[1]}`, "emptiness differs"},
+		{"nested element drift", `{"v":[{"x":1}]}`, `{"v":[{"y":1}]}`, `missing key "y"`},
+		{"invalid current", `{`, `{}`, "not valid JSON"},
+		{"invalid baseline", `{}`, `{`, "not valid JSON"},
+	}
+	for _, tc := range cases {
+		err := CompareShape([]byte(tc.cur), []byte(tc.base))
+		if err == nil {
+			t.Errorf("%s: mismatch not detected", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantIn) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantIn)
+		}
+	}
+}

@@ -102,6 +102,9 @@ type Model struct {
 	Upper []float64
 	// Sigma is the kernel width used.
 	Sigma float64
+	// Nu is the penalty factor the training actually used (Config.Nu, or
+	// the adaptive ν* of Eq. 20 when that was 0).
+	Nu float64
 	// R2 is the squared sphere radius in feature space.
 	R2 float64
 	// Iterations is the number of SMO pair updates performed.
@@ -119,6 +122,10 @@ type Model struct {
 	ds       *vec.Dataset
 	alphaDot float64   // αᵀKα, cached for Eval
 	svScore  []float64 // feature-space distance² to the center, per target
+	// detached marks models rebuilt from a Snapshot: ds then holds only the
+	// support-vector coordinates in IDs order (row i = IDs[i]), not the full
+	// training dataset addressed by global id.
+	detached bool
 }
 
 // Errors returned by Train. ErrNotConverged and ErrAllSupportVectors are
@@ -218,6 +225,7 @@ func Train(ds *vec.Dataset, ids []int32, cfg Config) (model *Model, err error) {
 		IDs:   ids,
 		Alpha: make([]float64, n),
 		Sigma: sigma,
+		Nu:    nu,
 		ds:    ds,
 	}
 	m.Times.Rounds = 1
@@ -797,8 +805,12 @@ func (m *Model) TopSupportVectors(k int) []int32 {
 }
 
 // BoundedSupportVectors returns the global ids of boundary support vectors
-// (α_i at its cap, i.e. points on or outside the sphere).
+// (α_i at its cap, i.e. points on or outside the sphere). Detached models do
+// not carry the per-point caps and return nil.
 func (m *Model) BoundedSupportVectors() []int32 {
+	if m.Upper == nil {
+		return nil
+	}
 	var out []int32
 	for i, a := range m.Alpha {
 		if a >= m.Upper[i]-svThreshold {
@@ -806,6 +818,15 @@ func (m *Model) BoundedSupportVectors() []int32 {
 		}
 	}
 	return out
+}
+
+// point returns the coordinates of target i: addressed by global id on a
+// training-attached model, by target position on a detached one.
+func (m *Model) point(i int) []float64 {
+	if m.detached {
+		return m.ds.Point(i)
+	}
+	return m.ds.Point(int(m.IDs[i]))
 }
 
 // Eval computes the discrimination value F(x) − R² of Eq. 12 for an
@@ -817,7 +838,7 @@ func (m *Model) Eval(x []float64) float64 {
 		if a <= svThreshold {
 			continue
 		}
-		s += a * math.Exp(-vec.SqDist(m.ds.Point(int(m.IDs[i])), x)*gamma)
+		s += a * math.Exp(-vec.SqDist(m.point(i), x)*gamma)
 	}
 	return 1 - 2*s + m.alphaDot - m.R2
 }

@@ -1,0 +1,266 @@
+package dbsvec
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+
+	"dbsvec/internal/cluster"
+	"dbsvec/internal/core"
+	"dbsvec/internal/data"
+	"dbsvec/internal/dist"
+	"dbsvec/internal/engine"
+	"dbsvec/internal/svdd"
+)
+
+// ErrMalformed is wrapped by every rejection of a malformed model stream in
+// LoadModel / LoadOneClass, so errors.Is(err, ErrMalformed) classifies any
+// decode failure regardless of the specific corruption.
+var ErrMalformed = data.ErrMalformed
+
+// Model is the durable artifact of a clustering run: the run parameters
+// that define assignment semantics (ε, MinPts, dimensionality, cluster
+// count) plus every per-sub-cluster SVDD boundary the run trained, one
+// snapshot per training round. A Model is self-contained — the snapshots
+// carry their own support-vector coordinates — so it can be saved, loaded
+// in a fresh process, and used to Assign new points without the training
+// dataset.
+type Model struct {
+	art *data.ModelArtifact
+
+	planOnce sync.Once
+	plan     *assignPlan
+}
+
+// Model returns the run's retained model artifact: the input to Save,
+// Assign, and Options.WarmFrom. It is nil only when the Result was not
+// produced by Cluster/ClusterContext (e.g. the zero Result).
+func (r *Result) Model() *Model { return r.model }
+
+func newModel(dim int, opts Options, res *cluster.Result, retained []core.RetainedModel) *Model {
+	entries := make([]data.ModelEntry, len(retained))
+	for i, e := range retained {
+		entries[i] = data.ModelEntry{Cluster: e.Cluster, Degraded: e.Degraded, Snap: e.Snap}
+	}
+	return &Model{art: &data.ModelArtifact{
+		Kind:     data.ModelKindClustering,
+		Eps:      opts.Eps,
+		MinPts:   opts.MinPts,
+		Dim:      dim,
+		Clusters: res.Clusters,
+		Entries:  entries,
+	}}
+}
+
+// Dim returns the dimensionality the model was trained in.
+func (m *Model) Dim() int { return m.art.Dim }
+
+// Eps returns the ε radius of the training run.
+func (m *Model) Eps() float64 { return m.art.Eps }
+
+// MinPts returns the density threshold of the training run.
+func (m *Model) MinPts() int { return m.art.MinPts }
+
+// Clusters returns the number of clusters of the training run.
+func (m *Model) Clusters() int { return m.art.Clusters }
+
+// Snapshots returns the number of retained SVDD snapshots.
+func (m *Model) Snapshots() int {
+	n := 0
+	for i := range m.art.Entries {
+		if m.art.Entries[i].Snap != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// SupportVectors returns the total number of support vectors across every
+// retained snapshot — the size of the boundary description Assign evaluates.
+func (m *Model) SupportVectors() int {
+	n := 0
+	for i := range m.art.Entries {
+		if s := m.art.Entries[i].Snap; s != nil {
+			n += s.SVCount()
+		}
+	}
+	return n
+}
+
+// DegradedClusters returns the sorted ids of clusters that hit the exact
+// range-query expansion fallback during training (see Stats.Degraded): their
+// boundaries are either best-effort or absent, so Assign decisions near them
+// lean on the nearest-cluster fallback.
+func (m *Model) DegradedClusters() []int32 {
+	seen := make(map[int32]bool)
+	var ids []int32
+	for i := range m.art.Entries {
+		e := &m.art.Entries[i]
+		if e.Degraded && !seen[e.Cluster] {
+			seen[e.Cluster] = true
+			ids = append(ids, e.Cluster)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// snapshots gathers the non-nil snapshots, the warm-restart source format
+// core.Options.WarmModels consumes.
+func (m *Model) snapshots() []*svdd.Snapshot {
+	var snaps []*svdd.Snapshot
+	for i := range m.art.Entries {
+		if s := m.art.Entries[i].Snap; s != nil {
+			snaps = append(snaps, s)
+		}
+	}
+	return snaps
+}
+
+// Save streams the model to w in the versioned binary model format. The
+// encoding is canonical: saving a loaded model reproduces the original
+// bytes exactly.
+func (m *Model) Save(w io.Writer) error {
+	if m == nil || m.art == nil {
+		return fmt.Errorf("dbsvec: nil model")
+	}
+	return data.WriteModel(w, m.art)
+}
+
+// LoadModel reads a clustering model saved with Model.Save. Malformed input
+// is rejected with an error wrapping ErrMalformed; a one-class artifact is
+// rejected too (use LoadOneClass).
+func LoadModel(r io.Reader) (*Model, error) {
+	art, err := data.ReadModel(r)
+	if err != nil {
+		return nil, err
+	}
+	if art.Kind != data.ModelKindClustering {
+		return nil, fmt.Errorf("%w: artifact is not a clustering model (kind %d)", ErrMalformed, art.Kind)
+	}
+	return &Model{art: art}, nil
+}
+
+// assignPlan is the flattened evaluation state Assign builds once per Model:
+// all support vectors concatenated into one matrix so a single batched
+// distance pass per query point serves every boundary evaluation and the
+// nearest-vector fallback.
+type assignPlan struct {
+	svs     dist.Matrix // every SV of every snapshot, row-major
+	alpha   []float64   // multiplier per SV row
+	cluster []int32     // owning final cluster id per SV row
+	entries []planEntry
+	eps2    float64
+}
+
+// planEntry is one snapshot's slice of the plan.
+type planEntry struct {
+	lo, hi  int     // SV row range [lo, hi)
+	gamma   float64 // 1 / (2σ²)
+	bias    float64 // 1 + αᵀKα − R²: Eval(x) = bias − 2Σᵢ αᵢ·exp(−‖x−xᵢ‖²·γ)
+	cluster int32
+}
+
+func (m *Model) assignPlan() *assignPlan {
+	m.planOnce.Do(func() {
+		p := &assignPlan{
+			svs:  dist.Matrix{Dim: m.art.Dim},
+			eps2: m.art.Eps * m.art.Eps,
+		}
+		for i := range m.art.Entries {
+			e := &m.art.Entries[i]
+			s := e.Snap
+			if s == nil {
+				continue
+			}
+			lo := len(p.alpha)
+			p.svs.Coords = append(p.svs.Coords, s.Coords...)
+			p.alpha = append(p.alpha, s.Alpha...)
+			for range s.IDs {
+				p.cluster = append(p.cluster, e.Cluster)
+			}
+			p.entries = append(p.entries, planEntry{
+				lo:      lo,
+				hi:      len(p.alpha),
+				gamma:   1 / (2 * s.Sigma * s.Sigma),
+				bias:    1 + s.AlphaDot - s.R2,
+				cluster: e.Cluster,
+			})
+		}
+		m.plan = p
+	})
+	return m.plan
+}
+
+// Assign classifies each point of d against the retained boundaries and
+// returns one label per point: the cluster whose SVDD boundary contains the
+// point (the most-interior boundary wins when several do; ties break to the
+// lower cluster id), else — nearest-cluster fallback — the cluster of the
+// nearest retained support vector when that vector lies within ε, else
+// Noise.
+//
+// The batch fans across workers goroutines (0 selects all CPUs, 1 runs
+// sequentially) with deterministic range partitioning and per-point
+// independent work, so the labels are bit-identical for every worker count.
+func (m *Model) Assign(d *Dataset, workers int) ([]int32, error) {
+	if m == nil || m.art == nil {
+		return nil, fmt.Errorf("dbsvec: nil model")
+	}
+	if d == nil {
+		return nil, core.ErrNilDataset
+	}
+	if d.Dim() != m.art.Dim && d.Len() > 0 {
+		return nil, fmt.Errorf("dbsvec: cannot assign %d-dimensional points with a %d-dimensional model", d.Dim(), m.art.Dim)
+	}
+	plan := m.assignPlan()
+	labels := make([]int32, d.Len())
+	mat := d.ds.Matrix()
+	engine.ForRanges(engine.ResolveWorkers(workers), d.Len(), nil, func(lo, hi int) {
+		d2 := make([]float64, plan.svs.Len())
+		for i := lo; i < hi; i++ {
+			labels[i] = plan.assign(mat.Row(i), d2)
+		}
+	})
+	return labels, nil
+}
+
+// assign scores one point. d2 is the caller's scratch buffer for the squared
+// distances to every support vector (one batched pass serves all boundary
+// evaluations and the fallback).
+func (p *assignPlan) assign(q []float64, d2 []float64) int32 {
+	if len(d2) == 0 {
+		return Noise
+	}
+	dist.SqDistsToAll(p.svs, q, d2)
+	best := math.Inf(1)
+	bestCluster := cluster.Noise
+	for _, e := range p.entries {
+		var s float64
+		for i := e.lo; i < e.hi; i++ {
+			s += p.alpha[i] * math.Exp(-d2[i]*e.gamma)
+		}
+		score := e.bias - 2*s
+		if score < best || (score == best && e.cluster < bestCluster) {
+			best = score
+			bestCluster = e.cluster
+		}
+	}
+	if best <= 0 {
+		return bestCluster
+	}
+	// Outside every boundary: attach to the cluster of the nearest support
+	// vector if it is ε-close, mirroring how border points attach to core
+	// neighborhoods during clustering.
+	ni, nd := 0, d2[0]
+	for i := 1; i < len(d2); i++ {
+		if d2[i] < nd {
+			ni, nd = i, d2[i]
+		}
+	}
+	if nd <= p.eps2 {
+		return p.cluster[ni]
+	}
+	return cluster.Noise
+}

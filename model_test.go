@@ -1,0 +1,201 @@
+package dbsvec
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dbsvec/internal/data"
+)
+
+func blobDataset(t *testing.T, n, d, k int, seed int64) *Dataset {
+	t.Helper()
+	raw := data.Blobs(n, d, k, 2, 100, 0.05, seed)
+	ds, err := FromFlat(append([]float64(nil), raw.Coords()...), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestModelSaveLoadAssign is the headline acceptance path: a model trained
+// by Cluster is saved, loaded as if in a fresh process, and Assign labels
+// the original training points consistently with Result.Labels (non-noise
+// agreement >= 0.99); save → load → save is byte-identical.
+func TestModelSaveLoadAssign(t *testing.T) {
+	for _, spec := range []struct {
+		n, d, k int
+		seed    int64
+	}{
+		{1500, 2, 4, 3},
+		{1000, 3, 3, 4},
+		{800, 5, 2, 5},
+	} {
+		ds := blobDataset(t, spec.n, spec.d, spec.k, spec.seed)
+		res, err := Cluster(ds, Options{Eps: 3, MinPts: 8, Seed: 3})
+		if err != nil {
+			t.Fatalf("d=%d: %v", spec.d, err)
+		}
+		m := res.Model()
+		if m == nil {
+			t.Fatalf("d=%d: Cluster retained no model", spec.d)
+		}
+		if m.Clusters() != res.Clusters || m.Dim() != spec.d || m.Eps() != 3 || m.MinPts() != 8 {
+			t.Fatalf("d=%d: model parameters drifted: %d clusters dim %d eps %g minPts %d",
+				spec.d, m.Clusters(), m.Dim(), m.Eps(), m.MinPts())
+		}
+		if res.Stats.RetainedModels == 0 || m.Snapshots() == 0 {
+			t.Fatalf("d=%d: no snapshots retained", spec.d)
+		}
+
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatalf("d=%d save: %v", spec.d, err)
+		}
+		first := append([]byte(nil), buf.Bytes()...)
+		loaded, err := LoadModel(bytes.NewReader(first))
+		if err != nil {
+			t.Fatalf("d=%d load: %v", spec.d, err)
+		}
+		var buf2 bytes.Buffer
+		if err := loaded.Save(&buf2); err != nil {
+			t.Fatalf("d=%d re-save: %v", spec.d, err)
+		}
+		if !bytes.Equal(first, buf2.Bytes()) {
+			t.Fatalf("d=%d: save → load → save is not byte-identical", spec.d)
+		}
+
+		labels, err := loaded.Assign(ds, 1)
+		if err != nil {
+			t.Fatalf("d=%d assign: %v", spec.d, err)
+		}
+		agree, total := 0, 0
+		for i, want := range res.Labels {
+			if want == Noise {
+				continue
+			}
+			total++
+			if labels[i] == want {
+				agree++
+			}
+		}
+		if total == 0 {
+			t.Fatalf("d=%d: clustering labeled nothing", spec.d)
+		}
+		if frac := float64(agree) / float64(total); frac < 0.99 {
+			t.Errorf("d=%d: Assign agrees with Result.Labels on %.4f of non-noise points, want >= 0.99",
+				spec.d, frac)
+		}
+	}
+}
+
+// TestAssignWorkerConformance pins the determinism discipline on the scoring
+// path: a 100k-point batch assigned with any worker count produces
+// bit-identical labels, because the range partition is deterministic and
+// every point's work is independent.
+func TestAssignWorkerConformance(t *testing.T) {
+	train := blobDataset(t, 4000, 2, 4, 7)
+	res, err := Cluster(train, Options{Eps: 3, MinPts: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Model()
+
+	batch := blobDataset(t, 100_000, 2, 4, 8)
+	want, err := m.Assign(batch, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 5, 8, 16, 0} {
+		got, err := m.Assign(batch, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: label %d differs (%d != %d)", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestClusterWarmFrom drives the warm-restart path through the public API
+// and a full save/load cycle: re-clustering unchanged data from the loaded
+// model must reproduce the original clustering (ARI >= 0.99) and actually
+// seed SVDD rounds from the snapshots.
+func TestClusterWarmFrom(t *testing.T) {
+	ds := blobDataset(t, 1500, 2, 4, 3)
+	opts := Options{Eps: 3, MinPts: 8, Seed: 3}
+	cold, err := Cluster(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cold.Model().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wopts := opts
+	wopts.WarmFrom = loaded
+	warm, err := Cluster(ds, wopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.WarmRestarts == 0 {
+		t.Fatal("no SVDD round was warm-restarted from the loaded model")
+	}
+	ari, err := ARI(cold, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.99 {
+		t.Errorf("warm-from-loaded-model ARI = %v, want >= 0.99", ari)
+	}
+}
+
+// TestModelAssignRejectsMismatchedDim: dimension mismatches fail up front
+// instead of producing garbage labels.
+func TestModelAssignRejectsMismatchedDim(t *testing.T) {
+	ds := blobDataset(t, 600, 2, 2, 9)
+	res, err := Cluster(ds, Options{Eps: 3, MinPts: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := blobDataset(t, 10, 3, 1, 9)
+	if _, err := res.Model().Assign(wrong, 1); err == nil {
+		t.Fatal("Assign accepted points of the wrong dimensionality")
+	}
+}
+
+// TestLoadModelRejectsKindMismatch: the two loaders reject each other's
+// artifacts with ErrMalformed.
+func TestLoadModelRejectsKindMismatch(t *testing.T) {
+	ds := blobDataset(t, 300, 2, 1, 11)
+	oc, err := TrainOneClass(ds, OneClassOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ocBuf bytes.Buffer
+	if err := oc.Save(&ocBuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(bytes.NewReader(ocBuf.Bytes())); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("LoadModel on a one-class artifact: err = %v, want ErrMalformed", err)
+	}
+
+	res, err := Cluster(ds, Options{Eps: 3, MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cBuf bytes.Buffer
+	if err := res.Model().Save(&cBuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadOneClass(bytes.NewReader(cBuf.Bytes())); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("LoadOneClass on a clustering artifact: err = %v, want ErrMalformed", err)
+	}
+}

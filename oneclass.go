@@ -3,7 +3,9 @@ package dbsvec
 import (
 	"errors"
 	"fmt"
+	"io"
 
+	"dbsvec/internal/data"
 	"dbsvec/internal/engine"
 	"dbsvec/internal/svdd"
 	"dbsvec/internal/vec"
@@ -22,6 +24,12 @@ type OneClassOptions struct {
 	// output bit-identical to the serial fill. 0 selects all CPUs, 1 runs
 	// sequentially.
 	Workers int
+	// MaxIter caps the SMO iterations; 0 selects the solver default
+	// (200·n + 10000). A truncated solve returns the best iterate together
+	// with ErrNotConverged.
+	MaxIter int
+	// Tol is the KKT violation tolerance; 0 selects 1e-4.
+	Tol float64
 }
 
 // OneClassModel is a trained Support Vector Domain Description: a minimal
@@ -50,6 +58,8 @@ func TrainOneClass(d *Dataset, opts OneClassOptions) (*OneClassModel, error) {
 		Nu:      nu,
 		Sigma:   opts.Sigma,
 		Workers: engine.ResolveWorkers(opts.Workers),
+		MaxIter: opts.MaxIter,
+		Tol:     opts.Tol,
 	})
 	if err != nil && !errors.Is(err, svdd.ErrNotConverged) && !errors.Is(err, svdd.ErrAllSupportVectors) {
 		return nil, err
@@ -81,6 +91,9 @@ func (oc *OneClassModel) SupportVectors() []int32 {
 // Sigma returns the kernel width used.
 func (oc *OneClassModel) Sigma() float64 { return oc.m.Sigma }
 
+// Nu returns the penalty factor the training actually used.
+func (oc *OneClassModel) Nu() float64 { return oc.m.Nu }
+
 // Converged reports whether the solver reached the KKT tolerance; false
 // means the iteration cap truncated training and the boundary is the best
 // iterate found (TrainOneClass also returned ErrNotConverged).
@@ -88,3 +101,38 @@ func (oc *OneClassModel) Converged() bool { return oc.m.Converged }
 
 // Iterations returns the number of SMO pair updates the solve performed.
 func (oc *OneClassModel) Iterations() int { return oc.m.Iterations }
+
+// Save streams the model to w in the same versioned binary format as
+// clustering model artifacts (one snapshot, kind "one-class"). The encoding
+// is canonical: save → load → save is byte-identical.
+func (oc *OneClassModel) Save(w io.Writer) error {
+	if oc == nil || oc.m == nil {
+		return fmt.Errorf("dbsvec: nil one-class model")
+	}
+	snap := oc.m.Snapshot()
+	return data.WriteModel(w, &data.ModelArtifact{
+		Kind:    data.ModelKindOneClass,
+		Dim:     snap.Dim,
+		Entries: []data.ModelEntry{{Snap: snap}},
+	})
+}
+
+// LoadOneClass reads a one-class model saved with OneClassModel.Save. The
+// loaded model is detached — it carries its own support-vector coordinates —
+// so Score, Contains, SupportVectors and the solve metadata all work without
+// the training dataset. Malformed input is rejected with an error wrapping
+// ErrMalformed; a clustering artifact is rejected too (use LoadModel).
+func LoadOneClass(r io.Reader) (*OneClassModel, error) {
+	art, err := data.ReadModel(r)
+	if err != nil {
+		return nil, err
+	}
+	if art.Kind != data.ModelKindOneClass {
+		return nil, fmt.Errorf("%w: artifact is not a one-class model (kind %d)", ErrMalformed, art.Kind)
+	}
+	m, err := svdd.FromSnapshot(art.Entries[0].Snap)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrMalformed, err)
+	}
+	return &OneClassModel{m: m}, nil
+}

@@ -1,6 +1,8 @@
 package dbsvec
 
 import (
+	"bytes"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -98,5 +100,93 @@ func TestDBSCANParallelPublic(t *testing.T) {
 	}
 	if _, err := DBSCANParallel(nil, 4, 8, IndexLinear, 0); err == nil {
 		t.Error("nil dataset should error")
+	}
+}
+
+// TestOneClassSolveMetadata covers the surfaced solve introspection: a
+// normal solve converges with a positive iteration count and records the ν
+// actually used; a truncated solve reports Converged() == false alongside
+// ErrNotConverged and a usable boundary.
+func TestOneClassSolveMetadata(t *testing.T) {
+	ds, err := NewDataset(ringRows(300, 8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := TrainOneClass(ds, OneClassOptions{Nu: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Converged() {
+		t.Error("full solve did not converge")
+	}
+	if m.Iterations() <= 0 {
+		t.Errorf("Iterations = %d, want positive", m.Iterations())
+	}
+	if m.Nu() != 0.2 {
+		t.Errorf("Nu = %v, want the configured 0.2", m.Nu())
+	}
+
+	trunc, err := TrainOneClass(ds, OneClassOptions{Nu: 0.2, MaxIter: 3})
+	if !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("MaxIter=3: err = %v, want ErrNotConverged", err)
+	}
+	if trunc == nil {
+		t.Fatal("truncated solve returned no model")
+	}
+	if trunc.Converged() {
+		t.Error("truncated solve claims convergence")
+	}
+	if trunc.Iterations() > 3 {
+		t.Errorf("truncated solve ran %d iterations past the cap", trunc.Iterations())
+	}
+}
+
+// TestOneClassSaveLoad: the standalone model round-trips through the shared
+// model codec — scores are bit-identical after reload, the solve metadata
+// survives, and save → load → save is byte-identical.
+func TestOneClassSaveLoad(t *testing.T) {
+	ds, err := NewDataset(ringRows(400, 8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := TrainOneClass(ds, OneClassOptions{Nu: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]byte(nil), buf.Bytes()...)
+	loaded, err := LoadOneClass(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for q := 0; q < 200; q++ {
+		x := []float64{rng.Float64()*30 - 15, rng.Float64()*30 - 15}
+		if a, b := m.Score(x), loaded.Score(x); a != b {
+			t.Fatalf("query %d: score drifted across save/load: %v != %v", q, a, b)
+		}
+	}
+	a, b := m.SupportVectors(), loaded.SupportVectors()
+	if len(a) != len(b) {
+		t.Fatalf("SV count drifted: %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("SV %d drifted", i)
+		}
+	}
+	if loaded.Sigma() != m.Sigma() || loaded.Nu() != m.Nu() ||
+		loaded.Converged() != m.Converged() || loaded.Iterations() != m.Iterations() {
+		t.Fatal("solve metadata drifted across save/load")
+	}
+	var buf2 bytes.Buffer
+	if err := loaded.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, buf2.Bytes()) {
+		t.Fatal("save → load → save is not byte-identical")
 	}
 }
