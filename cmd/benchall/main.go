@@ -4,7 +4,8 @@
 // Usage:
 //
 //	benchall [-exp fig6a] [-full] [-seed 1] [-budget 30s] [-runtimeout 0]
-//	         [-workers 0] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	         [-workers 0] [-precision f64|f32]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	         [-svddjson BENCH_svdd.json] [-indexjson BENCH_index.json]
 //	         [-baseline dir] [-list]
 //
@@ -12,6 +13,9 @@
 // the suite finishes in minutes). -full approaches the paper's scales and
 // can run for hours. -exp selects a single experiment by id. -workers sets
 // the query-engine worker count used by DBSVEC runs (0 = all CPUs).
+// -precision switches dataset generation to float32 point storage (f32);
+// the svdd and index experiments additionally measure both storage modes
+// regardless of the flag.
 // -budget skips runs predicted (from prior samples) to be too slow, while
 // -runtimeout arms a hard in-flight wall-clock budget on each DBSVEC run:
 // a run that trips it contributes its best-effort partial clustering.
@@ -32,6 +36,7 @@ import (
 	"time"
 
 	"dbsvec/internal/experiments"
+	"dbsvec/internal/vec"
 )
 
 func main() {
@@ -42,6 +47,7 @@ func main() {
 		budget     = flag.Duration("budget", 0, "per-run time budget before an algorithm is dropped from a sweep (0 = default)")
 		runTimeout = flag.Duration("runtimeout", 0, "hard wall-clock budget per DBSVEC run; tripped runs report their partial clustering (0 = off)")
 		workers    = flag.Int("workers", 0, "query-engine worker goroutines for DBSVEC runs (0 = all CPUs)")
+		precision  = flag.String("precision", "f64", "point-storage precision for experiment datasets: f64 | f32")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the harness run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at harness exit to this file")
 		svddjson   = flag.String("svddjson", "BENCH_svdd.json", "path for the svdd experiment's machine-readable report (empty = skip)")
@@ -72,9 +78,14 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	cfg := experiments.Config{Quick: !*full, Seed: *seed, Budget: *budget, RunTimeout: *runTimeout, Workers: *workers, SVDDJSONPath: *svddjson, IndexJSONPath: *indexjson}
+	prec, err := vec.ParsePrecision(*precision)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+		os.Exit(1)
+	}
+
+	cfg := experiments.Config{Quick: !*full, Seed: *seed, Budget: *budget, RunTimeout: *runTimeout, Workers: *workers, Precision: prec, SVDDJSONPath: *svddjson, IndexJSONPath: *indexjson}
 	start := time.Now()
-	var err error
 	if *exp == "" {
 		err = experiments.RunAll(os.Stdout, cfg)
 	} else {

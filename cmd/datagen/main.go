@@ -7,6 +7,7 @@
 //	datagen -kind blobs -n 10000 -d 3 -k 5
 //	datagen -kind t4.8k | t7.10k | d31 | dim32 | dim64 | roadmap | uniform | ring
 //	datagen -kind suite -name t4.8k          # any Table III stand-in
+//	datagen -kind uniform -n 1000000 -d 32 -precision f32 -format bin  # half-size cache
 package main
 
 import (
@@ -20,18 +21,28 @@ import (
 
 func main() {
 	var (
-		kind   = flag.String("kind", "spreader", "generator: spreader|blobs|t4.8k|t7.10k|d31|dim32|dim64|roadmap|uniform|ring|suite")
-		n      = flag.Int("n", 10000, "number of points")
-		d      = flag.Int("d", 2, "dimensionality")
-		k      = flag.Int("k", 5, "cluster count (blobs) / hub count (roadmap)")
-		name   = flag.String("name", "", "suite dataset name when -kind suite")
-		seed   = flag.Int64("seed", 1, "random seed")
-		format = flag.String("format", "csv", "output format: csv | bin (binary, for large caches)")
+		kind      = flag.String("kind", "spreader", "generator: spreader|blobs|t4.8k|t7.10k|d31|dim32|dim64|roadmap|uniform|ring|suite")
+		n         = flag.Int("n", 10000, "number of points")
+		d         = flag.Int("d", 2, "dimensionality")
+		k         = flag.Int("k", 5, "cluster count (blobs) / hub count (roadmap)")
+		name      = flag.String("name", "", "suite dataset name when -kind suite")
+		seed      = flag.Int64("seed", 1, "random seed")
+		format    = flag.String("format", "csv", "output format: csv | bin (binary, for large caches)")
+		precision = flag.String("precision", "f64", "point-storage precision: f64 | f32 (f32 halves binary output and quantizes once)")
 	)
 	flag.Parse()
 
+	prec, err := vec.ParsePrecision(*precision)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
 	ds, err := generate(*kind, *n, *d, *k, *name, *seed)
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+	if ds, err = ds.ToPrecision(prec); err != nil {
 		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
 		os.Exit(1)
 	}

@@ -4,8 +4,8 @@
 // Usage:
 //
 //	dbsvec -eps 5000 -minpts 100 [-algo dbsvec] [-in points.csv] [-out labeled.csv]
-//	       [-nu 0] [-normalize 0] [-index linear] [-seed 1] [-workers 0] [-stats]
-//	       [-timeout 0] [-maxrounds 0] [-maxqueries 0]
+//	       [-nu 0] [-normalize 0] [-index linear] [-precision f64] [-seed 1]
+//	       [-workers 0] [-stats] [-timeout 0] [-maxrounds 0] [-maxqueries 0]
 //	       [-savemodel model.bin] [-loadmodel model.bin] [-assign]
 //
 // Algorithms: dbsvec (default), dbscan, pdbscan, rho, lsh, nq, kmeans
@@ -60,6 +60,7 @@ func main() {
 		outPath   = flag.String("out", "", "output CSV with labels (default stdout)")
 		normalize = flag.Float64("normalize", 0, "rescale every dimension to [0,S] before clustering (0 = off)")
 		indexKind = flag.String("index", "linear", "range-query index: linear|kdtree|rtree|grid|parallel|pyramid|vptree")
+		precision = flag.String("precision", "f64", "point-storage precision: f64 (exact) or f32 (half the scan bandwidth, one quantization at load)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "query-engine worker goroutines (0 = all CPUs)")
 		stats     = flag.Bool("stats", false, "print run statistics to stderr")
@@ -74,15 +75,19 @@ func main() {
 
 	b := budgetFlags{timeout: *timeout, maxRounds: *maxRound, maxQueries: *maxQuery}
 	m := modelFlags{save: *saveModel, load: *loadModel, assign: *assign}
-	if err := run(*algo, *eps, *minPts, *k, *nu, *inPath, *outPath, *normalize, *indexKind, *seed, *workers, *stats, b, m); err != nil {
+	if err := run(*algo, *eps, *minPts, *k, *nu, *inPath, *outPath, *normalize, *indexKind, *precision, *seed, *workers, *stats, b, m); err != nil {
 		fmt.Fprintf(os.Stderr, "dbsvec: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(algo string, eps float64, minPts, k int, nu float64, inPath, outPath string, normalize float64, indexKind string, seed int64, workers int, stats bool, budget budgetFlags, model modelFlags) error {
+func run(algo string, eps float64, minPts, k int, nu float64, inPath, outPath string, normalize float64, indexKind, precision string, seed int64, workers int, stats bool, budget budgetFlags, model modelFlags) error {
 	if model.assign && model.load == "" {
 		return fmt.Errorf("-assign requires -loadmodel")
+	}
+	prec, err := dbsvec.ParsePrecision(precision)
+	if err != nil {
+		return err
 	}
 	if (model.save != "" || model.load != "") && algo != "dbsvec" {
 		return fmt.Errorf("model artifacts are dbsvec-only (algo %q)", algo)
@@ -98,6 +103,9 @@ func run(algo string, eps float64, minPts, k int, nu float64, inPath, outPath st
 	}
 	ds, err := dbsvec.ReadCSV(in)
 	if err != nil {
+		return err
+	}
+	if ds, err = ds.ToPrecision(prec); err != nil {
 		return err
 	}
 	if normalize > 0 {

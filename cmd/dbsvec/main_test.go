@@ -29,7 +29,7 @@ func TestRunAllAlgorithms(t *testing.T) {
 	in := writeInput(t)
 	for _, algo := range []string{"dbsvec", "dbscan", "pdbscan", "rho", "lsh", "nq"} {
 		out := filepath.Join(t.TempDir(), "out.csv")
-		if err := run(algo, 5, 5, 0, 0, in, out, 0, "linear", 1, 0, false, budgetFlags{}, modelFlags{}); err != nil {
+		if err := run(algo, 5, 5, 0, 0, in, out, 0, "linear", "f64", 1, 0, false, budgetFlags{}, modelFlags{}); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 		data, err := os.ReadFile(out)
@@ -47,10 +47,51 @@ func TestRunAllAlgorithms(t *testing.T) {
 	}
 }
 
+// TestRunPrecisionF32 drives the -precision flag end to end: an f32-mode
+// run must label this unambiguous input identically to the f64 run, and an
+// unknown precision must error.
+func TestRunPrecisionF32(t *testing.T) {
+	in := writeInput(t)
+	dir := t.TempDir()
+	out64 := filepath.Join(dir, "out64.csv")
+	out32 := filepath.Join(dir, "out32.csv")
+	if err := run("dbsvec", 5, 5, 0, 0, in, out64, 0, "linear", "f64", 1, 0, false, budgetFlags{}, modelFlags{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("dbsvec", 5, 5, 0, 0, in, out32, 0, "linear", "f32", 1, 0, false, budgetFlags{}, modelFlags{}); err != nil {
+		t.Fatal(err)
+	}
+	// The f32 run echoes quantized coordinates into the CSV, so only the
+	// label column is expected to match.
+	a, err := os.ReadFile(out64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aLines := strings.Split(strings.TrimSpace(string(a)), "\n")
+	bLines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(aLines) != len(bLines) {
+		t.Fatalf("line counts differ: %d vs %d", len(aLines), len(bLines))
+	}
+	for i := range aLines {
+		al := aLines[i][strings.LastIndexByte(aLines[i], ',')+1:]
+		bl := bLines[i][strings.LastIndexByte(bLines[i], ',')+1:]
+		if al != bl {
+			t.Errorf("line %d: f32 label %q != f64 label %q", i, bl, al)
+		}
+	}
+	if err := run("dbsvec", 5, 5, 0, 0, in, "", 0, "linear", "f16", 1, 0, false, budgetFlags{}, modelFlags{}); err == nil {
+		t.Error("unknown precision should error")
+	}
+}
+
 func TestRunKMeans(t *testing.T) {
 	in := writeInput(t)
 	out := filepath.Join(t.TempDir(), "out.csv")
-	if err := run("kmeans", 0, 0, 2, 0, in, out, 0, "linear", 1, 0, false, budgetFlags{}, modelFlags{}); err != nil {
+	if err := run("kmeans", 0, 0, 2, 0, in, out, 0, "linear", "f64", 1, 0, false, budgetFlags{}, modelFlags{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -59,7 +100,7 @@ func TestRunIndexKinds(t *testing.T) {
 	in := writeInput(t)
 	for _, idx := range []string{"linear", "kdtree", "rtree", "grid", "parallel", "pyramid", "vptree"} {
 		out := filepath.Join(t.TempDir(), "out.csv")
-		if err := run("dbscan", 5, 5, 0, 0, in, out, 0, idx, 1, 0, false, budgetFlags{}, modelFlags{}); err != nil {
+		if err := run("dbscan", 5, 5, 0, 0, in, out, 0, idx, "f64", 1, 0, false, budgetFlags{}, modelFlags{}); err != nil {
 			t.Fatalf("index %s: %v", idx, err)
 		}
 	}
@@ -70,7 +111,7 @@ func TestRunNormalize(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "out.csv")
 	// After normalization to [0,1000], eps must be rescaled accordingly;
 	// eps=20 separates clumps at 0 and ~100 (of 1000).
-	if err := run("dbsvec", 20, 5, 0, 0, in, out, 1000, "linear", 1, 0, true, budgetFlags{}, modelFlags{}); err != nil {
+	if err := run("dbsvec", 20, 5, 0, 0, in, out, 1000, "linear", "f64", 1, 0, true, budgetFlags{}, modelFlags{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -80,7 +121,7 @@ func TestRunBudgetPartialOutput(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "out.csv")
 	// A tiny range-query budget trips mid-run; the CLI must still succeed
 	// and write a full-length labeled file (best-effort partial clustering).
-	if err := run("dbsvec", 5, 5, 0, 0, in, out, 0, "linear", 1, 0, true, budgetFlags{maxQueries: 1}, modelFlags{}); err != nil {
+	if err := run("dbsvec", 5, 5, 0, 0, in, out, 0, "linear", "f64", 1, 0, true, budgetFlags{maxQueries: 1}, modelFlags{}); err != nil {
 		t.Fatalf("budget trip must not fail the command: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -94,16 +135,16 @@ func TestRunBudgetPartialOutput(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	in := writeInput(t)
-	if err := run("bogus", 5, 5, 0, 0, in, "", 0, "linear", 1, 0, false, budgetFlags{}, modelFlags{}); err == nil {
+	if err := run("bogus", 5, 5, 0, 0, in, "", 0, "linear", "f64", 1, 0, false, budgetFlags{}, modelFlags{}); err == nil {
 		t.Error("unknown algorithm should error")
 	}
-	if err := run("dbscan", 5, 5, 0, 0, in, "", 0, "bogus", 1, 0, false, budgetFlags{}, modelFlags{}); err == nil {
+	if err := run("dbscan", 5, 5, 0, 0, in, "", 0, "bogus", "f64", 1, 0, false, budgetFlags{}, modelFlags{}); err == nil {
 		t.Error("unknown index should error")
 	}
-	if err := run("dbscan", 5, 5, 0, 0, "/nonexistent/file.csv", "", 0, "linear", 1, 0, false, budgetFlags{}, modelFlags{}); err == nil {
+	if err := run("dbscan", 5, 5, 0, 0, "/nonexistent/file.csv", "", 0, "linear", "f64", 1, 0, false, budgetFlags{}, modelFlags{}); err == nil {
 		t.Error("missing input file should error")
 	}
-	if err := run("dbscan", -5, 5, 0, 0, in, "", 0, "linear", 1, 0, false, budgetFlags{}, modelFlags{}); err == nil {
+	if err := run("dbscan", -5, 5, 0, 0, in, "", 0, "linear", "f64", 1, 0, false, budgetFlags{}, modelFlags{}); err == nil {
 		t.Error("invalid eps should error")
 	}
 }
@@ -135,7 +176,7 @@ func TestRunSaveLoadAssign(t *testing.T) {
 	dir := t.TempDir()
 	clusterOut := filepath.Join(dir, "cluster.csv")
 	modelPath := filepath.Join(dir, "model.bin")
-	if err := run("dbsvec", 5, 5, 0, 0, in, clusterOut, 0, "linear", 1, 0, false,
+	if err := run("dbsvec", 5, 5, 0, 0, in, clusterOut, 0, "linear", "f64", 1, 0, false,
 		budgetFlags{}, modelFlags{save: modelPath}); err != nil {
 		t.Fatalf("cluster+save: %v", err)
 	}
@@ -144,7 +185,7 @@ func TestRunSaveLoadAssign(t *testing.T) {
 	}
 
 	assignOut := filepath.Join(dir, "assign.csv")
-	if err := run("dbsvec", 0, 0, 0, 0, in, assignOut, 0, "linear", 1, 0, false,
+	if err := run("dbsvec", 0, 0, 0, 0, in, assignOut, 0, "linear", "f64", 1, 0, false,
 		budgetFlags{}, modelFlags{load: modelPath, assign: true}); err != nil {
 		t.Fatalf("load+assign: %v", err)
 	}
@@ -170,7 +211,7 @@ func TestRunSaveLoadAssign(t *testing.T) {
 	}
 
 	warmOut := filepath.Join(dir, "warm.csv")
-	if err := run("dbsvec", 5, 5, 0, 0, in, warmOut, 0, "linear", 1, 0, false,
+	if err := run("dbsvec", 5, 5, 0, 0, in, warmOut, 0, "linear", "f64", 1, 0, false,
 		budgetFlags{}, modelFlags{load: modelPath}); err != nil {
 		t.Fatalf("warm restart: %v", err)
 	}
@@ -186,15 +227,15 @@ func TestRunSaveLoadAssign(t *testing.T) {
 // TestRunModelFlagErrors covers the flag-validation and decode failures.
 func TestRunModelFlagErrors(t *testing.T) {
 	in := writeInput(t)
-	if err := run("dbsvec", 5, 5, 0, 0, in, "", 0, "linear", 1, 0, false,
+	if err := run("dbsvec", 5, 5, 0, 0, in, "", 0, "linear", "f64", 1, 0, false,
 		budgetFlags{}, modelFlags{assign: true}); err == nil {
 		t.Error("-assign without -loadmodel should error")
 	}
-	if err := run("dbscan", 5, 5, 0, 0, in, "", 0, "linear", 1, 0, false,
+	if err := run("dbscan", 5, 5, 0, 0, in, "", 0, "linear", "f64", 1, 0, false,
 		budgetFlags{}, modelFlags{save: filepath.Join(t.TempDir(), "m.bin")}); err == nil {
 		t.Error("-savemodel with a non-dbsvec algorithm should error")
 	}
-	if err := run("dbsvec", 5, 5, 0, 0, in, "", 0, "linear", 1, 0, false,
+	if err := run("dbsvec", 5, 5, 0, 0, in, "", 0, "linear", "f64", 1, 0, false,
 		budgetFlags{}, modelFlags{load: "/nonexistent/model.bin", assign: true}); err == nil {
 		t.Error("missing model file should error")
 	}
@@ -202,7 +243,7 @@ func TestRunModelFlagErrors(t *testing.T) {
 	if err := os.WriteFile(bogus, []byte("not a model"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("dbsvec", 5, 5, 0, 0, in, "", 0, "linear", 1, 0, false,
+	if err := run("dbsvec", 5, 5, 0, 0, in, "", 0, "linear", "f64", 1, 0, false,
 		budgetFlags{}, modelFlags{load: bogus, assign: true}); err == nil {
 		t.Error("corrupt model file should error")
 	}

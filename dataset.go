@@ -29,6 +29,45 @@ type Dataset struct {
 	ds *vec.Dataset
 }
 
+// Precision selects a Dataset's point-storage layout; see ToPrecision.
+type Precision = vec.Precision
+
+// Storage precisions.
+const (
+	// PrecisionF64 stores coordinates as float64 (the default).
+	PrecisionF64 = vec.F64
+	// PrecisionF32 stores a float32 mirror alongside a float64 master that is
+	// the mirror's exact widening. Coordinates are quantized to float32 once
+	// at conversion; every distance afterwards is computed in float64, so
+	// clustering a converted dataset is deterministic — and halving the bytes
+	// roughly doubles memory-bound scan throughput on large datasets.
+	PrecisionF32 = vec.F32
+)
+
+// ParsePrecision parses the CLI spelling of a precision: "f64"/"float64"/""
+// and "f32"/"float32".
+func ParsePrecision(s string) (Precision, error) { return vec.ParsePrecision(s) }
+
+// Precision returns the dataset's storage precision.
+func (d *Dataset) Precision() Precision { return d.ds.Precision() }
+
+// ToPrecision returns a dataset with the requested storage precision. A
+// matching precision returns the receiver; conversions never mutate it.
+// Converting to PrecisionF32 is the single rounding step of float32 mode and
+// fails when a coordinate overflows the float32 range; converting back to
+// PrecisionF64 keeps the quantized values (the original float64 input is not
+// recovered).
+func (d *Dataset) ToPrecision(p Precision) (*Dataset, error) {
+	ds, err := d.ds.ToPrecision(p)
+	if err != nil {
+		return nil, err
+	}
+	if ds == d.ds {
+		return d, nil
+	}
+	return &Dataset{ds: ds}, nil
+}
+
 // NewDataset copies a row-per-point matrix into a Dataset. All rows must
 // share one length and contain only finite values.
 func NewDataset(rows [][]float64) (*Dataset, error) {

@@ -324,7 +324,7 @@ func ClusterContext(ctx context.Context, d *Dataset, opts Options) (*Result, err
 		return nil, err
 	}
 	out := wrapResult(res)
-	out.model = newModel(d.Dim(), opts, res, retained)
+	out.model = newModel(d, opts, res, retained)
 	out.Stats = Stats{
 		Seeds:          st.Seeds,
 		SupportVectors: st.SupportVectors,

@@ -17,27 +17,50 @@ import (
 //
 //	offset  size  field
 //	0       4     magic "DBSV"
-//	4       4     format version (uint32, currently 1)
+//	4       4     format version (uint32: 1 = float64, 2 = float32)
 //	8       8     n (uint64)
 //	16      8     d (uint64)
-//	24      8*n*d coordinates, row-major float64 bits
+//	24      …     coordinates, row-major: float64 bits (v1) / float32 bits (v2)
+//
+// The version doubles as the storage precision: float64 datasets write
+// version 1 — byte-identical to files produced before float32 storage
+// existed — while float32 datasets write version 2 with the mirror's float32
+// bits (half the file, no information lost: the master is the mirror's exact
+// widening). Readers accept both and return a dataset of the file's
+// precision.
 const (
-	binMagic   = "DBSV"
-	binVersion = 1
+	binMagic      = "DBSV"
+	binVersion    = 1
+	binVersionF32 = 2
 )
 
-// WriteBinary streams the dataset to w in the binary format.
+// WriteBinary streams the dataset to w in the binary format. The precision of
+// ds selects the format version (see the format comment above).
 func WriteBinary(w io.Writer, ds *vec.Dataset) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.WriteString(binMagic); err != nil {
 		return err
 	}
+	version := uint32(binVersion)
+	if ds.Precision() == vec.F32 {
+		version = binVersionF32
+	}
 	var hdr [20]byte
-	binary.LittleEndian.PutUint32(hdr[0:], binVersion)
+	binary.LittleEndian.PutUint32(hdr[0:], version)
 	binary.LittleEndian.PutUint64(hdr[4:], uint64(ds.Len()))
 	binary.LittleEndian.PutUint64(hdr[12:], uint64(ds.Dim()))
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
+	}
+	if version == binVersionF32 {
+		var buf [4]byte
+		for _, v := range ds.Matrix32().Coords {
+			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+		return bw.Flush()
 	}
 	var buf [8]byte
 	for _, v := range ds.Coords() {
@@ -49,7 +72,10 @@ func WriteBinary(w io.Writer, ds *vec.Dataset) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses a dataset written by WriteBinary.
+// ReadBinary parses a dataset written by WriteBinary. Version 2 files come
+// back in float32 storage; version 1 files take the process default precision
+// (quantizing once when DBSVEC_PRECISION=f32), matching what the same data
+// would get when loaded from CSV.
 func ReadBinary(r io.Reader) (*vec.Dataset, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	head := make([]byte, 4+20)
@@ -59,8 +85,9 @@ func ReadBinary(r io.Reader) (*vec.Dataset, error) {
 	if string(head[:4]) != binMagic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrMalformed, head[:4])
 	}
-	if v := binary.LittleEndian.Uint32(head[4:]); v != binVersion {
-		return nil, fmt.Errorf("%w: unsupported binary version %d", ErrMalformed, v)
+	version := binary.LittleEndian.Uint32(head[4:])
+	if version != binVersion && version != binVersionF32 {
+		return nil, fmt.Errorf("%w: unsupported binary version %d", ErrMalformed, version)
 	}
 	n := binary.LittleEndian.Uint64(head[8:])
 	d := binary.LittleEndian.Uint64(head[16:])
@@ -76,19 +103,30 @@ func ReadBinary(r io.Reader) (*vec.Dataset, error) {
 	}
 	total := n * d
 	coords := make([]float64, total)
-	raw := make([]byte, 8*4096)
+	width := 8
+	if version == binVersionF32 {
+		width = 4
+	}
+	raw := make([]byte, width*4096)
 	idx := 0
 	for idx < len(coords) {
-		want := (len(coords) - idx) * 8
+		want := (len(coords) - idx) * width
 		if want > len(raw) {
 			want = len(raw)
 		}
 		if _, err := io.ReadFull(br, raw[:want]); err != nil {
 			return nil, fmt.Errorf("%w: truncated coordinates: %w", ErrMalformed, err)
 		}
-		for off := 0; off < want; off += 8 {
-			coords[idx] = math.Float64frombits(binary.LittleEndian.Uint64(raw[off:]))
-			idx++
+		if version == binVersionF32 {
+			for off := 0; off < want; off += 4 {
+				coords[idx] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[off:])))
+				idx++
+			}
+		} else {
+			for off := 0; off < want; off += 8 {
+				coords[idx] = math.Float64frombits(binary.LittleEndian.Uint64(raw[off:]))
+				idx++
+			}
 		}
 	}
 	ds, err := vec.NewDataset(coords, int(d))
@@ -97,6 +135,14 @@ func ReadBinary(r io.Reader) (*vec.Dataset, error) {
 	}
 	if err := ds.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrMalformed, err)
+	}
+	if version == binVersionF32 {
+		// Widened float32 values re-quantize exactly; this only rebuilds the
+		// mirror (no-op when the process default already quantized above).
+		ds, err = ds.ToPrecision(vec.F32)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrMalformed, err)
+		}
 	}
 	return ds, nil
 }

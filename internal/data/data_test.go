@@ -67,9 +67,15 @@ func TestSeedSpreader(t *testing.T) {
 
 func TestRing(t *testing.T) {
 	ds := Ring(100, 5, 0, 1)
+	tol := 1e-9
+	if vec.DefaultPrecision() == vec.F32 {
+		// Under a global f32 storage default the generator's coordinates are
+		// quantized once; the radius moves by at most a few float32 ULPs.
+		tol = 1e-6
+	}
 	for i := 0; i < ds.Len(); i++ {
 		r := math.Hypot(ds.Point(i)[0], ds.Point(i)[1])
-		if math.Abs(r-5) > 1e-9 {
+		if math.Abs(r-5) > tol {
 			t.Fatalf("point %d radius %v, want 5", i, r)
 		}
 	}

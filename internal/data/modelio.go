@@ -20,14 +20,21 @@ import (
 //
 //	offset  size  field
 //	0       4     magic "DBSM"
-//	4       4     format version (uint32, currently 1)
+//	4       4     format version (uint32, currently 2)
 //	8       1     kind (1 = clustering, 2 = one-class)
-//	9       8     eps (float64 bits; 0 for one-class)
-//	17      4     minPts (uint32; 0 for one-class)
-//	21      4     dim (uint32)
-//	25      4     clusters (uint32; 0 for one-class)
-//	29      4     entry count (uint32)
-//	33      ...   entries
+//	9       1     precision (0 = float64, 1 = float32 storage; v2 only)
+//	10      8     eps (float64 bits; 0 for one-class)
+//	18      4     minPts (uint32; 0 for one-class)
+//	22      4     dim (uint32)
+//	26      4     clusters (uint32; 0 for one-class)
+//	30      4     entry count (uint32)
+//	34      ...   entries
+//
+// Version 1 files lack the precision byte (the layout above shifted up by
+// one); readers accept both and map v1 to precision 0. The precision byte
+// records the storage mode of the training dataset so a loaded model can
+// report how it was produced; snapshot coordinates are float64 bits in every
+// version (in float32 storage they are exact widenings, so nothing is lost).
 //
 // Each entry:
 //
@@ -46,14 +53,21 @@ import (
 //	...     8*k   boundary scores (float64 bits)
 //	...     8*k*dim coordinates, row-major (float64 bits)
 const (
-	modelMagic   = "DBSM"
-	modelVersion = 1
+	modelMagic     = "DBSM"
+	modelVersion   = 2
+	modelVersionV1 = 1
 )
 
 // Model artifact kinds.
 const (
 	ModelKindClustering byte = 1
 	ModelKindOneClass   byte = 2
+)
+
+// Model precision values (ModelArtifact.Precision).
+const (
+	ModelPrecisionF64 byte = 0
+	ModelPrecisionF32 byte = 1
 )
 
 const (
@@ -86,12 +100,16 @@ type ModelEntry struct {
 // snapshots. Kind distinguishes the clustering container from the
 // standalone one-class one (a single entry, no eps/minPts/clusters).
 type ModelArtifact struct {
-	Kind     byte
-	Eps      float64
-	MinPts   int
-	Dim      int
-	Clusters int
-	Entries  []ModelEntry
+	Kind byte
+	// Precision records the storage mode of the training dataset
+	// (ModelPrecisionF64 / ModelPrecisionF32). Files written before the field
+	// existed (format v1) load as ModelPrecisionF64.
+	Precision byte
+	Eps       float64
+	MinPts    int
+	Dim       int
+	Clusters  int
+	Entries   []ModelEntry
 }
 
 // validate rejects artifacts the reader would refuse, so WriteModel can
@@ -99,6 +117,9 @@ type ModelArtifact struct {
 func (a *ModelArtifact) validate() error {
 	if a.Kind != ModelKindClustering && a.Kind != ModelKindOneClass {
 		return fmt.Errorf("data: unknown model kind %d", a.Kind)
+	}
+	if a.Precision > ModelPrecisionF32 {
+		return fmt.Errorf("data: unknown model precision %d", a.Precision)
 	}
 	if a.Dim <= 0 || a.Dim > maxModelDim {
 		return fmt.Errorf("data: model dimensionality %d out of range", a.Dim)
@@ -226,6 +247,7 @@ func WriteModel(w io.Writer, a *ModelArtifact) error {
 	mw.bytes([]byte(modelMagic))
 	mw.u32(modelVersion)
 	mw.u8(a.Kind)
+	mw.u8(a.Precision)
 	mw.f64(a.Eps)
 	mw.u32(uint32(a.MinPts))
 	mw.u32(uint32(a.Dim))
@@ -364,11 +386,15 @@ func ReadModel(r io.Reader) (*ModelArtifact, error) {
 	if string(magic[:]) != modelMagic {
 		return nil, fmt.Errorf("%w: bad model magic %q", ErrMalformed, magic[:])
 	}
-	if v := mr.u32(); mr.err == nil && v != modelVersion {
-		return nil, fmt.Errorf("%w: unsupported model version %d (supported: %d)", ErrMalformed, v, modelVersion)
+	version := mr.u32()
+	if mr.err == nil && version != modelVersion && version != modelVersionV1 {
+		return nil, fmt.Errorf("%w: unsupported model version %d (supported: %d, %d)", ErrMalformed, version, modelVersionV1, modelVersion)
 	}
 	a := &ModelArtifact{}
 	a.Kind = mr.u8()
+	if version >= modelVersion {
+		a.Precision = mr.u8()
+	}
 	a.Eps = mr.finite("eps")
 	a.MinPts = int(mr.u32())
 	a.Dim = int(mr.u32())
@@ -379,6 +405,9 @@ func ReadModel(r io.Reader) (*ModelArtifact, error) {
 	}
 	if a.Kind != ModelKindClustering && a.Kind != ModelKindOneClass {
 		return nil, fmt.Errorf("%w: unknown model kind %d", ErrMalformed, a.Kind)
+	}
+	if a.Precision > ModelPrecisionF32 {
+		return nil, fmt.Errorf("%w: unknown model precision %d", ErrMalformed, a.Precision)
 	}
 	if a.Eps < 0 {
 		return nil, fmt.Errorf("%w: negative eps %g", ErrMalformed, a.Eps)

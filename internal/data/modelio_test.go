@@ -24,11 +24,12 @@ func testSnapshot(t *testing.T, n, d int, seed int64) *svdd.Snapshot {
 func testArtifact(t *testing.T) *ModelArtifact {
 	t.Helper()
 	return &ModelArtifact{
-		Kind:     ModelKindClustering,
-		Eps:      4.5,
-		MinPts:   8,
-		Dim:      3,
-		Clusters: 2,
+		Kind:      ModelKindClustering,
+		Precision: ModelPrecisionF32,
+		Eps:       4.5,
+		MinPts:    8,
+		Dim:       3,
+		Clusters:  2,
 		Entries: []ModelEntry{
 			{Cluster: 0, Snap: testSnapshot(t, 120, 3, 1)},
 			{Cluster: 1, Snap: testSnapshot(t, 90, 3, 2)},
@@ -53,8 +54,9 @@ func TestModelRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("read: %v", err)
 	}
-	if got.Kind != a.Kind || got.Eps != a.Eps || got.MinPts != a.MinPts ||
-		got.Dim != a.Dim || got.Clusters != a.Clusters || len(got.Entries) != len(a.Entries) {
+	if got.Kind != a.Kind || got.Precision != a.Precision || got.Eps != a.Eps ||
+		got.MinPts != a.MinPts || got.Dim != a.Dim || got.Clusters != a.Clusters ||
+		len(got.Entries) != len(a.Entries) {
 		t.Fatalf("header drifted: %+v", got)
 	}
 	for i := range a.Entries {
@@ -134,20 +136,21 @@ func TestReadModelMalformed(t *testing.T) {
 		{"bad magic", mutate(func(b []byte) []byte { b[0] = 'X'; return b })},
 		{"future version", mutate(func(b []byte) []byte { b[4] = 99; return b })},
 		{"bad kind", mutate(func(b []byte) []byte { b[8] = 7; return b })},
+		{"bad precision", mutate(func(b []byte) []byte { b[9] = 7; return b })},
 		{"nan eps", mutate(func(b []byte) []byte {
-			putF64(b[9:], math.NaN())
+			putF64(b[10:], math.NaN())
 			return b
 		})},
 		{"huge dim", mutate(func(b []byte) []byte {
-			putU32(b[21:], 1<<30)
+			putU32(b[22:], 1<<30)
 			return b
 		})},
 		{"zero dim", mutate(func(b []byte) []byte {
-			putU32(b[21:], 0)
+			putU32(b[22:], 0)
 			return b
 		})},
 		{"huge entry count", mutate(func(b []byte) []byte {
-			putU32(b[29:], 1<<30)
+			putU32(b[30:], 1<<30)
 			return b
 		})},
 		{"truncated mid-entry", valid[:40]},
@@ -164,6 +167,52 @@ func TestReadModelMalformed(t *testing.T) {
 			t.Errorf("%s: error %v does not wrap ErrMalformed", tc.name, err)
 		}
 	}
+}
+
+// TestReadModelV1Compat pins backward compatibility: a version-1 file — the
+// layout without the precision byte — still loads, with Precision mapped to
+// float64 storage. The fixture is hand-built because the current writer only
+// emits version 2.
+func TestReadModelV1Compat(t *testing.T) {
+	a := testArtifact(t)
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	v2 := buf.Bytes()
+	// Downgrade: version 1 and the precision byte (offset 9) removed.
+	v1 := append([]byte(nil), v2[:9]...)
+	v1 = append(v1, v2[10:]...)
+	putU32(v1[4:], modelVersionV1)
+
+	got, err := ReadModel(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("read v1: %v", err)
+	}
+	if got.Precision != ModelPrecisionF64 {
+		t.Fatalf("v1 precision = %d, want ModelPrecisionF64", got.Precision)
+	}
+	if got.Kind != a.Kind || got.Eps != a.Eps || got.MinPts != a.MinPts ||
+		got.Dim != a.Dim || got.Clusters != a.Clusters || len(got.Entries) != len(a.Entries) {
+		t.Fatalf("v1 header drifted: %+v", got)
+	}
+	for i := range a.Entries {
+		w, r := &a.Entries[i], &got.Entries[i]
+		if w.Cluster != r.Cluster || w.Degraded != r.Degraded || (w.Snap == nil) != (r.Snap == nil) {
+			t.Fatalf("v1 entry %d meta drifted", i)
+		}
+		if w.Snap != nil && (w.Snap.R2 != r.Snap.R2 || !bytes.Equal(int32Bytes(w.Snap.IDs), int32Bytes(r.Snap.IDs))) {
+			t.Fatalf("v1 entry %d snapshot drifted", i)
+		}
+	}
+}
+
+func int32Bytes(vs []int32) []byte {
+	out := make([]byte, 0, len(vs)*4)
+	for _, v := range vs {
+		out = append(out, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return out
 }
 
 // TestReadModelSizeOverflow mirrors the binio n×d wrap-around guard: a

@@ -130,6 +130,46 @@ func BenchmarkCountWithin(b *testing.B) {
 	}
 }
 
+// BenchmarkFilterWithinPrecision compares float64 and float32 storage on the
+// large-n batch range scan that motivates the mixed-precision layer: n is far
+// past any cache level, d is the embedding-style width. The f32 path streams
+// half the bytes and (on amd64) runs the AVX widening kernel; results are
+// bit-identical to the f64 scan over the widened master, so the entire delta
+// is bandwidth plus instruction count. BENCH_index.json records the same
+// shape via benchall.
+func BenchmarkFilterWithinPrecision(b *testing.B) {
+	const n, d = 100_000, 32
+	m, q := benchMatrix(n, d)
+	m32 := Matrix32{Coords: make([]float32, len(m.Coords)), Dim: d}
+	for i, v := range m.Coords {
+		m32.Coords[i] = float32(v)
+		m.Coords[i] = float64(m32.Coords[i]) // widened master: both scans see identical points
+	}
+	dists := make([]float64, n)
+	SqDistsToAll(m, q, dists)
+	var eps2 float64
+	for _, v := range dists {
+		eps2 += v
+	}
+	eps2 /= float64(n)
+	b.Run("f64", func(b *testing.B) {
+		b.SetBytes(int64(n * d * 8))
+		var buf []int32
+		for i := 0; i < b.N; i++ {
+			buf = FilterWithin(m, q, eps2, buf[:0])
+		}
+		sinkS = buf
+	})
+	b.Run("f32", func(b *testing.B) {
+		b.SetBytes(int64(n * d * 4))
+		var buf []int32
+		for i := 0; i < b.N; i++ {
+			buf = FilterWithin32(m32, q, eps2, buf[:0])
+		}
+		sinkS = buf
+	})
+}
+
 // BenchmarkSqDistsToCached compares the cached-norms identity against the
 // plain kernel on the id-subset path; the crossover motivating
 // NormCachedMinDim is visible in the d sweep.

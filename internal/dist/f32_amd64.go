@@ -1,0 +1,26 @@
+//go:build amd64
+
+package dist
+
+// hasAVX32 gates the assembly fast paths of the float32 widening kernels.
+// The AVX kernels perform the same float64 operations in the same
+// per-accumulator order as the pure-Go loops, so this is purely a dispatch
+// decision; correctness never depends on it.
+var hasAVX32 = cpuHasAVX()
+
+// cpuHasAVX reports CPUID AVX support with OS-enabled YMM state (XGETBV).
+// Implemented in f32_amd64.s.
+func cpuHasAVX() bool
+
+// sqDistGroups32AVX returns the partial squared distance (s0+s1)+(s2+s3)
+// over the first 4*groups coordinates of one float32 row, widening each
+// coordinate to float64 exactly like sqDistGeneric32's unrolled loop.
+// groups must be >= 1. Implemented in f32_amd64.s.
+func sqDistGroups32AVX(a *float32, q *float64, groups int) float64
+
+// sqDistsRows4x32AVX computes squared distances for quads blocks of four
+// consecutive rows of width dim = 4*groups, writing 4*quads results to out.
+// Four accumulator registers, one per row, keep each row's add order
+// identical to the scalar kernel while hiding the FP-add latency.
+// groups and quads must be >= 1. Implemented in f32_amd64.s.
+func sqDistsRows4x32AVX(a *float32, q *float64, groups, quads int, out *float64)

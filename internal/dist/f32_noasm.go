@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package dist
+
+// hasAVX32 is false off amd64: the float32 kernels always take the
+// pure-Go loops, which define the reference semantics.
+const hasAVX32 = false
+
+func sqDistGroups32AVX(a *float32, q *float64, groups int) float64 {
+	panic("dist: sqDistGroups32AVX called without amd64 support")
+}
+
+func sqDistsRows4x32AVX(a *float32, q *float64, groups, quads int, out *float64) {
+	panic("dist: sqDistsRows4x32AVX called without amd64 support")
+}

@@ -17,7 +17,7 @@ import (
 // and the speedup.
 func Fig1(w io.Writer, cfg Config) error {
 	header(w, "Figure 1: clustering quality on t4.8k (MinPts=20, eps=8.5)")
-	ds := data.Chameleon48K(cfg.Seed)
+	ds := cfg.dataset(data.Chameleon48K(cfg.Seed))
 	exact, err := timed(runRDBSCAN(ds, 8.5, 20))
 	if err != nil {
 		return err
@@ -47,7 +47,7 @@ func Table3(w io.Writer, cfg Config) error {
 	fmt.Fprintf(w, "%-10s %8s %8s | %10s %10s %10s %10s\n",
 		"dataset", "n", "d", "DBSVECmin", "DBSVEC", "rho-Appr", "LSH")
 	for _, e := range suite {
-		ds := e.Gen(cfg.Seed)
+		ds := cfg.dataset(e.Gen(cfg.Seed))
 		truth, err := timed(runRDBSCAN(ds, e.Eps, e.MinPts))
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.Name, err)
@@ -91,7 +91,7 @@ func Table4(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		ds := e.Gen(cfg.Seed)
+		ds := cfg.dataset(e.Gen(cfg.Seed))
 		sv, err := timed(runDBSVEC(ds, e.Eps, e.MinPts, cfg))
 		if err != nil {
 			return err
@@ -140,7 +140,7 @@ func Fig9a(w io.Writer, cfg Config) error {
 	}
 	fmt.Fprintf(w, "%-10s | %12s %12s %12s\n", "dataset", "DBSVEC\\WF", "DBSVEC\\IL", "DBSVEC")
 	for _, e := range suite {
-		ds := e.Gen(cfg.Seed)
+		ds := cfg.dataset(e.Gen(cfg.Seed))
 		truth, err := timed(runRDBSCAN(ds, e.Eps, e.MinPts))
 		if err != nil {
 			return err
@@ -175,7 +175,7 @@ func CoreMaskCheck(name string, cfg Config) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	ds := e.Gen(cfg.Seed)
+	ds := cfg.dataset(e.Gen(cfg.Seed))
 	truth, _, err := dbscan.Run(ds, dbscan.Params{Eps: e.Eps, MinPts: e.MinPts}, rtree.Build)
 	if err != nil {
 		return 0, err

@@ -26,7 +26,7 @@ func Table2(w io.Writer, cfg Config) error {
 	var prevTime float64
 	var prevN int
 	for _, n := range sizes {
-		ds := data.SeedSpreader{N: n, D: 8, Seed: cfg.Seed}.Generate()
+		ds := cfg.dataset(data.SeedSpreader{N: n, D: 8, Seed: cfg.Seed}.Generate())
 		run, err := timed(func() (*clusterResult, error) {
 			res, st, err := core.Run(ds, core.Options{Eps: effEps, MinPts: effMinPts, Seed: cfg.Seed, Workers: cfg.Workers})
 			if err != nil {

@@ -94,7 +94,7 @@ func Fig6a(w io.Writer, cfg Config) error {
 		labels[i] = fmt.Sprintf("n=%d", n)
 	}
 	return runSweep(w, effAlgos(cfg), labels, func(i int) *vec.Dataset {
-		return data.SeedSpreader{N: sizes[i], D: 8, Seed: cfg.Seed}.Generate()
+		return cfg.dataset(data.SeedSpreader{N: sizes[i], D: 8, Seed: cfg.Seed}.Generate())
 	}, cfg.budget())
 }
 
@@ -112,7 +112,7 @@ func Fig6b(w io.Writer, cfg Config) error {
 		labels[i] = fmt.Sprintf("d=%d", d)
 	}
 	return runSweep(w, effAlgos(cfg), labels, func(i int) *vec.Dataset {
-		return data.SeedSpreader{N: n, D: dims[i], Seed: cfg.Seed}.Generate()
+		return cfg.dataset(data.SeedSpreader{N: n, D: dims[i], Seed: cfg.Seed}.Generate())
 	}, cfg.budget())
 }
 
@@ -176,7 +176,7 @@ func Fig7(w io.Writer, cfg Config) error {
 		return nil
 	}
 
-	synth := data.SeedSpreader{N: nSynth, D: 8, Seed: cfg.Seed}.Generate()
+	synth := cfg.dataset(data.SeedSpreader{N: nSynth, D: 8, Seed: cfg.Seed}.Generate())
 	if err := sweepEps("Figure 7a: effect of eps (synthetic, d=8)", synth); err != nil {
 		return err
 	}
@@ -185,7 +185,7 @@ func Fig7(w io.Writer, cfg Config) error {
 		if nReal > 0 && n > nReal {
 			n = nReal
 		}
-		ds := e.Gen(n, cfg.Seed).NormalizeTo(1e5)
+		ds := cfg.dataset(e.Gen(n, cfg.Seed).NormalizeTo(1e5))
 		if err := sweepEps(fmt.Sprintf("Figure 7: effect of eps (%s stand-in, n=%d, d=%d)", e.Name, n, e.D), ds); err != nil {
 			return err
 		}
@@ -201,7 +201,7 @@ func Fig8(w io.Writer, cfg Config) error {
 	if cfg.Quick {
 		n = 20000
 	}
-	ds := data.SeedSpreader{N: n, D: 8, Seed: cfg.Seed}.Generate()
+	ds := cfg.dataset(data.SeedSpreader{N: n, D: 8, Seed: cfg.Seed}.Generate())
 	mults := []float64{1, 2, 4, 8, 16}
 	// Estimate the typical target size from MinPts-scale neighborhoods to
 	// report nu* context.
@@ -231,7 +231,7 @@ func Fig9b(w io.Writer, cfg Config) error {
 	if cfg.Quick {
 		n = 20000
 	}
-	ds := data.SeedSpreader{N: n, D: 8, Seed: cfg.Seed}.Generate()
+	ds := cfg.dataset(data.SeedSpreader{N: n, D: 8, Seed: cfg.Seed}.Generate())
 	variants := []struct {
 		name string
 		opts core.Options

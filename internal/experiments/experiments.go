@@ -55,6 +55,22 @@ type Config struct {
 	// IndexJSONPath, when non-empty, makes the "index" experiment write its
 	// machine-readable report (IndexBenchReport) to this file.
 	IndexJSONPath string
+	// Precision selects the point-storage mode datasets are generated in
+	// (vec.F64 default). The precision-dimension sections of the svdd and
+	// index benchmarks measure both modes regardless; this knob converts the
+	// main experiment datasets, mirroring the CLI -precision flag.
+	Precision vec.Precision
+}
+
+// dataset applies the configured storage precision to a generated dataset.
+// Conversion to F32 cannot fail for the bounded synthetic generators, so the
+// error path collapses to a panic guard.
+func (c Config) dataset(ds *vec.Dataset) *vec.Dataset {
+	out, err := ds.ToPrecision(c.Precision)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: precision conversion: %v", err))
+	}
+	return out
 }
 
 func (c Config) budget() time.Duration {

@@ -30,9 +30,12 @@ const (
 type SVDDBenchVariant struct {
 	// Name identifies the configuration: "serial" (workers=1, no
 	// shrinking — the pre-fast-path baseline), "parallel-fill",
-	// "parallel+shrink", and the incremental pair "incremental-cold" /
-	// "incremental-warm".
+	// "parallel+shrink", the float32-storage "parallel+shrink-f32", and the
+	// incremental pair "incremental-cold" / "incremental-warm".
 	Name string `json:"name"`
+	// Precision is the dataset storage mode the variant trained on
+	// ("f64"/"f32"); only the -f32 variant uses float32 storage.
+	Precision string `json:"precision"`
 	// Workers is the kernel-fill worker count used.
 	Workers int `json:"workers"`
 	// Shrink and WarmStart record which fast-path layers were active.
@@ -48,9 +51,9 @@ type SVDDBenchVariant struct {
 	FinishNs int64 `json:"finish_ns"`
 	TotalNs  int64 `json:"total_ns"`
 	// Speedup is TotalNs of this variant's baseline divided by its own:
-	// the serial variant for the fixed-target configurations, the cold
-	// incremental variant for the warm one. 1.0 for the baselines
-	// themselves.
+	// the serial variant for the fixed-target configurations, the f64
+	// parallel+shrink variant for the f32 one, and the cold incremental
+	// variant for the warm one. 1.0 for the baselines themselves.
 	Speedup float64 `json:"speedup_vs_baseline"`
 }
 
@@ -105,20 +108,34 @@ func RunSVDDBench(cfg Config) (*SVDDBenchReport, error) {
 		Repeats: repeats,
 	}
 
+	// Float32-storage twin of the dataset: one quantization, then bit-exact
+	// float64 arithmetic over the mirror (see internal/vec). The -f32 variant
+	// measures what the storage mode buys the kernel fill.
+	ds32, err := ds.ToPrecision(vec.F32)
+	if err != nil {
+		return nil, fmt.Errorf("svdd bench f32 conversion: %w", err)
+	}
+
 	// Fixed-target configurations: the same 512-point training repeated,
-	// layers switched on one at a time.
+	// layers switched on one at a time; the last swaps in float32 storage on
+	// top of the full fast path.
 	fixed := []SVDDBenchVariant{
-		{Name: "serial", Workers: 1},
-		{Name: "parallel-fill", Workers: workers},
-		{Name: "parallel+shrink", Workers: workers, Shrink: true},
+		{Name: "serial", Precision: "f64", Workers: 1},
+		{Name: "parallel-fill", Precision: "f64", Workers: workers},
+		{Name: "parallel+shrink", Precision: "f64", Workers: workers, Shrink: true},
+		{Name: "parallel+shrink-f32", Precision: "f32", Workers: workers, Shrink: true},
 	}
 	for vi := range fixed {
 		v := &fixed[vi]
+		vds := ds
+		if v.Precision == "f32" {
+			vds = ds32
+		}
 		for r := 0; r < repeats; r++ {
 			c := svddBenchConfig(len(ids))
 			c.Workers = v.Workers
 			c.NoShrink = !v.Shrink
-			m, err := svdd.Train(ds, ids, c)
+			m, err := svdd.Train(vds, ids, c)
 			if err != nil && m == nil {
 				return nil, fmt.Errorf("svdd bench %s: %w", v.Name, err)
 			}
@@ -129,6 +146,8 @@ func RunSVDDBench(cfg Config) (*SVDDBenchReport, error) {
 	for vi := range fixed {
 		fixed[vi].Speedup = speedup(serialTotal, fixed[vi].TotalNs)
 	}
+	// The f32 variant's headline number is vs the same configuration in f64.
+	fixed[3].Speedup = speedup(fixed[2].TotalNs, fixed[3].TotalNs)
 
 	// Incremental configurations: a growing target (256 → 512 in steps of
 	// 64, mirroring expansion rounds absorbing new points), cold-started vs
@@ -136,8 +155,8 @@ func RunSVDDBench(cfg Config) (*SVDDBenchReport, error) {
 	steps := []int{256, 320, 384, 448, svddBenchN}
 	rep.IncrementalRounds = len(steps)
 	inc := []SVDDBenchVariant{
-		{Name: "incremental-cold", Workers: workers, Shrink: true},
-		{Name: "incremental-warm", Workers: workers, Shrink: true, WarmStart: true},
+		{Name: "incremental-cold", Precision: "f64", Workers: workers, Shrink: true},
+		{Name: "incremental-warm", Precision: "f64", Workers: workers, Shrink: true, WarmStart: true},
 	}
 	for vi := range inc {
 		v := &inc[vi]
@@ -186,11 +205,11 @@ func SVDDPerf(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%-18s %8s %8s %10s %12s %12s %12s %9s\n",
-		"variant", "workers", "rounds", "smoIters", "fill", "solve", "total", "speedup")
+	fmt.Fprintf(w, "%-20s %5s %8s %8s %10s %12s %12s %12s %9s\n",
+		"variant", "prec", "workers", "rounds", "smoIters", "fill", "solve", "total", "speedup")
 	for _, v := range rep.Variants {
-		fmt.Fprintf(w, "%-18s %8d %8d %10d %11.3fms %11.3fms %11.3fms %8.2fx\n",
-			v.Name, v.Workers, v.Rounds, v.Iterations,
+		fmt.Fprintf(w, "%-20s %5s %8d %8d %10d %11.3fms %11.3fms %11.3fms %8.2fx\n",
+			v.Name, v.Precision, v.Workers, v.Rounds, v.Iterations,
 			float64(v.FillNs)/1e6, float64(v.SolveNs)/1e6, float64(v.TotalNs)/1e6, v.Speedup)
 	}
 	if cfg.SVDDJSONPath != "" {

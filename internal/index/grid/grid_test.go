@@ -21,6 +21,16 @@ func TestConformance(t *testing.T) {
 	})
 }
 
+func TestConformanceF32(t *testing.T) {
+	indextest.RunF32(t, "grid", func(ds *vec.Dataset) index.Index {
+		w := 10.0
+		if ds.Dim() > 0 {
+			w = 10 / math.Sqrt(float64(ds.Dim()))
+		}
+		return New(ds, w)
+	})
+}
+
 func TestConformanceParallelBuild(t *testing.T) {
 	indextest.Run(t, "grid-parallel", func(ds *vec.Dataset) index.Index {
 		w := 10.0

@@ -48,6 +48,69 @@ func Run(t *testing.T, name string, build index.Builder) {
 	})
 }
 
+// RunF32 is the float32-storage conformance suite: the same battery as Run
+// but with every dataset converted to F32 storage, plus the cross-precision
+// determinism property. The oracle comparison inside compare already runs on
+// the converted dataset (linear routes to the f32 kernels too); the extra
+// widened-master check pins that an index built over F32 storage answers
+// bit-identically to one built over the F64 view of the same quantized
+// coordinates — i.e. that the f32 leaf scans are a pure bandwidth swap.
+func RunF32(t *testing.T, name string, build index.Builder) {
+	t.Helper()
+	corpus := []struct {
+		label string
+		ds    *vec.Dataset
+		eps   float64
+		seed  int64
+	}{
+		{"uniform2d", uniform(400, 2, 31), 25, 2},
+		{"uniform5d", uniform(400, 5, 32), 35, 3},
+		{"clustered3d", clustered(500, 3, 33), 12, 4},
+		{"duplicates", duplicates(200, 2, 34), 10, 6},
+	}
+	for _, tc := range corpus {
+		tc := tc
+		ds32, err := tc.ds.ToPrecision(vec.F32)
+		if err != nil {
+			t.Fatalf("%s: F32 conversion: %v", tc.label, err)
+		}
+		t.Run(name+"/f32/"+tc.label, func(t *testing.T) {
+			compare(t, build, ds32, tc.eps, tc.seed)
+		})
+		t.Run(name+"/f32-vs-widened/"+tc.label, func(t *testing.T) {
+			master, err := ds32.ToPrecision(vec.F64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			idx32 := build(ds32)
+			idx64 := build(master)
+			rng := rand.New(rand.NewSource(tc.seed + 100))
+			lo, hi := ds32.Bounds()
+			for iter := 0; iter < 40; iter++ {
+				var q []float64
+				if iter%2 == 0 {
+					q = ds32.Point(rng.Intn(ds32.Len()))
+				} else {
+					q = make([]float64, ds32.Dim())
+					for j := range q {
+						span := hi[j] - lo[j]
+						q[j] = lo[j] - 0.2*span + rng.Float64()*1.4*span
+					}
+				}
+				e := tc.eps * (0.2 + rng.Float64()*1.6)
+				got := idx32.RangeQuery(q, e, nil)
+				want := idx64.RangeQuery(q, e, nil)
+				if !equal(got, want) {
+					t.Fatalf("RangeQuery(q=%v eps=%g): f32 index %v, widened-master index %v", q, e, got, want)
+				}
+				if g, w := idx32.RangeCount(q, e, 0), idx64.RangeCount(q, e, 0); g != w {
+					t.Fatalf("RangeCount: f32 %d, widened-master %d", g, w)
+				}
+			}
+		})
+	}
+}
+
 func compare(t *testing.T, build index.Builder, ds *vec.Dataset, eps float64, seed int64) {
 	t.Helper()
 	idx := build(ds)

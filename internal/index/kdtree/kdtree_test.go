@@ -16,6 +16,10 @@ func TestConformance(t *testing.T) {
 	indextest.Run(t, "kdtree", Build)
 }
 
+func TestConformanceF32(t *testing.T) {
+	indextest.RunF32(t, "kdtree", Build)
+}
+
 func TestConformanceParallelBuild(t *testing.T) {
 	indextest.Run(t, "kdtree-parallel", BuildWorkers(4))
 }

@@ -59,6 +59,7 @@ func (p *Parallel) RangeQuery(q []float64, eps float64, buf []int32) []int32 {
 		return p.scanShard(q, eps, 0, p.ds.Len(), buf)
 	}
 	eps2 := eps * eps
+	m32 := p.ds.Matrix32()
 	m := p.ds.Matrix()
 	parts := make([][]int32, len(p.shards))
 	var wg sync.WaitGroup
@@ -66,7 +67,11 @@ func (p *Parallel) RangeQuery(q []float64, eps float64, buf []int32) []int32 {
 		wg.Add(1)
 		go func(w, start, end int) {
 			defer wg.Done()
-			parts[w] = dist.FilterWithinRange(m, q, eps2, start, end, nil)
+			if m32.Coords != nil {
+				parts[w] = dist.FilterWithinRange32(m32, q, eps2, start, end, nil)
+			} else {
+				parts[w] = dist.FilterWithinRange(m, q, eps2, start, end, nil)
+			}
 		}(w, sh[0], sh[1])
 	}
 	wg.Wait()
@@ -77,6 +82,9 @@ func (p *Parallel) RangeQuery(q []float64, eps float64, buf []int32) []int32 {
 }
 
 func (p *Parallel) scanShard(q []float64, eps float64, start, end int, buf []int32) []int32 {
+	if m32 := p.ds.Matrix32(); m32.Coords != nil {
+		return dist.FilterWithinRange32(m32, q, eps*eps, start, end, buf)
+	}
 	return dist.FilterWithinRange(p.ds.Matrix(), q, eps*eps, start, end, buf)
 }
 
@@ -87,6 +95,7 @@ func (p *Parallel) RangeCount(q []float64, eps float64, limit int) int {
 		return NewLinear(p.ds).RangeCount(q, eps, limit)
 	}
 	eps2 := eps * eps
+	m32 := p.ds.Matrix32()
 	m := p.ds.Matrix()
 	counts := make([]int, len(p.shards))
 	var wg sync.WaitGroup
@@ -94,7 +103,11 @@ func (p *Parallel) RangeCount(q []float64, eps float64, limit int) int {
 		wg.Add(1)
 		go func(w, start, end int) {
 			defer wg.Done()
-			counts[w] = dist.CountWithinRange(m, q, eps2, start, end, limit)
+			if m32.Coords != nil {
+				counts[w] = dist.CountWithinRange32(m32, q, eps2, start, end, limit)
+			} else {
+				counts[w] = dist.CountWithinRange(m, q, eps2, start, end, limit)
+			}
 		}(w, sh[0], sh[1])
 	}
 	wg.Wait()

@@ -12,6 +12,10 @@ func TestParallelConformance(t *testing.T) {
 	indextest.Run(t, "parallel", index.BuildParallel)
 }
 
+func TestParallelConformanceF32(t *testing.T) {
+	indextest.RunF32(t, "parallel", index.BuildParallel)
+}
+
 func TestParallelWorkerCounts(t *testing.T) {
 	rows := make([][]float64, 100)
 	for i := range rows {

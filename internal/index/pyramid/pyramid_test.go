@@ -13,6 +13,10 @@ func TestConformance(t *testing.T) {
 	indextest.Run(t, "pyramid", Build)
 }
 
+func TestConformanceF32(t *testing.T) {
+	indextest.RunF32(t, "pyramid", Build)
+}
+
 func TestDynamicConformance(t *testing.T) {
 	indextest.Run(t, "pyramid-dynamic", BuildDynamic)
 }

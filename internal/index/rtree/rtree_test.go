@@ -14,6 +14,10 @@ func TestConformanceBulk(t *testing.T) {
 	indextest.Run(t, "rtree-bulk", Build)
 }
 
+func TestConformanceF32(t *testing.T) {
+	indextest.RunF32(t, "rtree-bulk", Build)
+}
+
 func TestConformanceDynamic(t *testing.T) {
 	indextest.Run(t, "rtree-dynamic", BuildDynamic)
 }

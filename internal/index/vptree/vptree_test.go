@@ -14,6 +14,10 @@ func TestConformance(t *testing.T) {
 	indextest.Run(t, "vptree", Build)
 }
 
+func TestConformanceF32(t *testing.T) {
+	indextest.RunF32(t, "vptree", Build)
+}
+
 func TestConformanceParallelBuild(t *testing.T) {
 	indextest.Run(t, "vptree-parallel", BuildWorkers(4))
 }

@@ -27,13 +27,16 @@ func GaussianKernel(a, b []float64, sigma float64) float64 {
 type kernelMatrix struct {
 	ds    *vec.Dataset
 	m     dist.Matrix
+	m32   dist.Matrix32 // float32 mirror; Coords non-nil only in f32 storage mode
 	ids   []int32
 	gamma float64 // 1/(2σ²)
 	n     int
 	full  []float64   // dense storage when n <= denseCap
 	rows  [][]float64 // lazy row cache otherwise
 	// norms caches ‖x_i‖² per target for the cached-norms distance identity;
-	// nil below dist.NormCachedMinDim, where the identity does not pay off.
+	// nil below dist.NormCachedMinDim, where the identity does not pay off,
+	// and nil in float32 storage mode, where the identity's catastrophic
+	// cancellation on large-magnitude coordinates is not worth the speedup.
 	// The identity reassociates arithmetic (ULP-level error), which the
 	// tolerance-based SMO solver absorbs — range-query backends never use it.
 	norms []float64
@@ -117,8 +120,8 @@ func releaseMatrix(km *kernelMatrix) {
 // newKernelMatrix builds the kernel matrix for the target set, fanning the
 // dense fill across workers goroutines (<= 1 fills serially).
 func newKernelMatrix(ds *vec.Dataset, ids []int32, sigma float64, workers int) *kernelMatrix {
-	km := &kernelMatrix{ds: ds, m: ds.Matrix(), ids: ids, gamma: 1 / (2 * sigma * sigma), n: len(ids)}
-	if ds.Dim() >= dist.NormCachedMinDim {
+	km := &kernelMatrix{ds: ds, m: ds.Matrix(), m32: ds.Matrix32(), ids: ids, gamma: 1 / (2 * sigma * sigma), n: len(ids)}
+	if ds.Precision() == vec.F64 && ds.Dim() >= dist.NormCachedMinDim {
 		km.norms = dist.NormsIDs(km.m, ids)
 	}
 	eager := km.n <= weightsExactCap ||
@@ -132,27 +135,43 @@ func newKernelMatrix(ds *vec.Dataset, ids []int32, sigma float64, workers int) *
 	return km
 }
 
-// fillDense computes the dense matrix: the upper triangle row by row via the
-// batched distance kernels, mirrored into the lower triangle. With
-// workers > 1 the rows are partitioned into contiguous ranges of equal
-// entry count (row i contributes n−i−1 upper-triangle entries) and filled
-// concurrently. Each unordered pair (i,j) is written exactly once — by the
-// range owning min(i,j) — so ranges touch disjoint matrix entries, and each
-// entry is computed with the exact arithmetic of the serial fill: the
-// parallel result is bit-identical for every worker count.
+// fillBlock is the column-tile width of the dense fill: the fill walks the
+// upper triangle in tiles of fillBlock columns so the tile's target rows stay
+// resident in L1/L2 across all the query rows that scan them, instead of
+// streaming the whole remainder of the matrix once per row.
+const fillBlock = 128
+
+// fillDense computes the dense matrix: the upper triangle via the batched
+// distance kernels in cache-blocked column tiles, mirrored into the lower
+// triangle. With workers > 1 the rows are partitioned into contiguous ranges
+// of equal entry count (row i contributes n−i−1 upper-triangle entries) and
+// filled concurrently. Each unordered pair (i,j) is written exactly once — by
+// the range owning min(i,j) — so ranges touch disjoint matrix entries, and
+// every entry is a per-pair-independent kernel evaluation, so neither the
+// tiling nor the partitioning changes a single bit: the result is identical
+// for every worker count and tile width.
 func (km *kernelMatrix) fillDense(workers int) {
 	n := km.n
 	fill := func(lo, hi int) {
-		scratch := make([]float64, n)
+		scratch := make([]float64, fillBlock)
 		for i := lo; i < hi; i++ {
 			km.full[i*n+i] = 1
-			row := scratch[:n-i-1]
-			km.sqRow(i, i+1, row)
-			for k, d2 := range row {
-				v := math.Exp(-d2 * km.gamma)
-				j := i + 1 + k
-				km.full[i*n+j] = v
-				km.full[j*n+i] = v
+		}
+		for j0 := lo + 1; j0 < n; j0 += fillBlock {
+			j1 := min(j0+fillBlock, n)
+			for i := lo; i < hi && i < j1; i++ {
+				s := max(i+1, j0)
+				if s >= j1 {
+					continue
+				}
+				seg := scratch[:j1-s]
+				km.sqRow(i, s, seg)
+				for k, d2 := range seg {
+					v := math.Exp(-d2 * km.gamma)
+					j := s + k
+					km.full[i*n+j] = v
+					km.full[j*n+i] = v
+				}
 			}
 		}
 	}
@@ -171,6 +190,10 @@ func (km *kernelMatrix) sqRow(i, off int, out []float64) {
 	sub := km.ids[off : off+len(out)]
 	if km.norms != nil {
 		dist.SqDistsToCached(km.m, q, km.norms[i], sub, km.norms[off:off+len(out)], out)
+		return
+	}
+	if km.m32.Coords != nil {
+		dist.SqDistsTo32(km.m32, q, sub, out)
 		return
 	}
 	dist.SqDistsTo(km.m, q, sub, out)
@@ -240,8 +263,9 @@ func KernelDistances(ds *vec.Dataset, ids []int32, sigma float64) []float64 {
 	}
 	gamma := 1 / (2 * sigma * sigma)
 	m := ds.Matrix()
+	m32 := ds.Matrix32()
 	var norms []float64
-	if ds.Dim() >= dist.NormCachedMinDim {
+	if ds.Precision() == vec.F64 && ds.Dim() >= dist.NormCachedMinDim {
 		norms = dist.NormsIDs(m, ids)
 	}
 	// s[i] = Σ_j K(x_i, x_j); the double sum is Σ_i s[i].
@@ -251,9 +275,12 @@ func KernelDistances(ds *vec.Dataset, ids []int32, sigma float64) []float64 {
 	for i := 0; i < n; i++ {
 		s[i] += 1 // K(x_i,x_i)
 		row := scratch[:n-i-1]
-		if norms != nil {
+		switch {
+		case norms != nil:
 			dist.SqDistsToCached(m, ds.Point(int(ids[i])), norms[i], ids[i+1:], norms[i+1:], row)
-		} else {
+		case m32.Coords != nil:
+			dist.SqDistsTo32(m32, ds.Point(int(ids[i])), ids[i+1:], row)
+		default:
 			dist.SqDistsTo(m, ds.Point(int(ids[i])), ids[i+1:], row)
 		}
 		for k, d2 := range row {

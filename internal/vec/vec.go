@@ -6,12 +6,26 @@
 // range scans are cache friendly and the garbage collector sees one object
 // per dataset instead of n. Algorithms address points by their integer id
 // (0..n-1) and borrow read-only views via Dataset.Point.
+//
+// Storage precision is a property of the dataset, not of the code: every
+// dataset carries a Precision. F64 (the default) is the historical layout
+// and stays bit-identical to it. F32 quantizes every coordinate to float32
+// exactly once — at construction or conversion — and keeps two consistent
+// views: a contiguous float32 mirror that the memory-bound batch kernels
+// stream (half the bytes per scan), and a float64 master holding the exact
+// widening of the mirror, which serves Point, geometry helpers and index
+// construction unchanged. Because the master equals the widened mirror and
+// the f32 kernels accumulate in float64 (see internal/dist), both views
+// yield bit-identical distances; the only rounding in F32 mode is the single
+// quantization at ingest.
 package vec
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
+	"sync"
 
 	"dbsvec/internal/dist"
 )
@@ -21,15 +35,72 @@ var (
 	ErrDimMismatch = errors.New("vec: point dimensionality does not match dataset")
 	ErrBadDim      = errors.New("vec: dimensionality must be positive")
 	ErrNonFinite   = errors.New("vec: coordinate is NaN or infinite")
+	// ErrNotF32 reports a finite float64 coordinate whose float32 rounding
+	// overflows to infinity, which F32 storage cannot represent.
+	ErrNotF32 = errors.New("vec: coordinate overflows float32")
 )
+
+// Precision selects the point-storage layout of a Dataset.
+type Precision uint8
+
+// Supported storage precisions.
+const (
+	// F64 stores coordinates as float64 only: the default, bit-identical to
+	// the historical single-precision-free layout.
+	F64 Precision = iota
+	// F32 stores a float32 mirror alongside the float64 master (the master
+	// holding the exact widening of the mirror); hot scans stream the mirror.
+	F32
+)
+
+// String returns the flag spelling of the precision ("f64" / "f32").
+func (p Precision) String() string {
+	if p == F32 {
+		return "f32"
+	}
+	return "f64"
+}
+
+// ParsePrecision parses the flag spelling accepted by the CLIs.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "f64", "float64", "":
+		return F64, nil
+	case "f32", "float32":
+		return F32, nil
+	}
+	return F64, fmt.Errorf("vec: unknown precision %q (want f64 or f32)", s)
+}
+
+// defaultPrecision is the construction-time default, read once from the
+// DBSVEC_PRECISION environment variable ("f32" flips every dataset built by
+// the constructors into float32 storage — the switch the CI float32-mode job
+// uses to run the whole suite on f32 datasets). Unset or unparsable selects
+// F64, so ordinary runs are unaffected.
+var defaultPrecision = sync.OnceValue(func() Precision {
+	p, err := ParsePrecision(os.Getenv("DBSVEC_PRECISION"))
+	if err != nil {
+		return F64
+	}
+	return p
+})
+
+// DefaultPrecision returns the process-wide construction default (F64 unless
+// DBSVEC_PRECISION=f32). Tests that pin exact float64 golden values gate on
+// it.
+func DefaultPrecision() Precision { return defaultPrecision() }
 
 // Dataset is an immutable-by-convention collection of n points in d
 // dimensions backed by one flat slice. The zero value is unusable; construct
 // with NewDataset or FromRows.
 type Dataset struct {
-	coords []float64 // len == n*d
-	n      int
-	d      int
+	coords []float64 // len == n*d; in F32 mode the exact widening of coords32
+	// coords32 is the float32 storage mirror, non-nil exactly when prec is
+	// F32. It is quantized once at construction; the batch kernels stream it.
+	coords32 []float32
+	prec     Precision
+	n        int
+	d        int
 }
 
 // NewDataset wraps an existing flat coordinate slice. The slice length must
@@ -61,7 +132,62 @@ func NewDatasetUnchecked(coords []float64, d int) (*Dataset, error) {
 	if len(coords)%d != 0 {
 		return nil, fmt.Errorf("vec: %d coordinates is not a multiple of dimension %d", len(coords), d)
 	}
-	return &Dataset{coords: coords, n: len(coords) / d, d: d}, nil
+	ds := &Dataset{coords: coords, n: len(coords) / d, d: d}
+	if DefaultPrecision() == F32 {
+		if err := ds.quantize(); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+// quantize flips the dataset into F32 storage in place: every master
+// coordinate is rounded to float32 once, the mirror stores the rounded bits
+// and the master is replaced by their exact widening. Finite coordinates
+// beyond the float32 range fail with ErrNotF32 (quantizing them to ±Inf
+// would poison every distance downstream).
+func (ds *Dataset) quantize() error {
+	mirror := make([]float32, len(ds.coords))
+	for i, v := range ds.coords {
+		f := float32(v)
+		if math.IsInf(float64(f), 0) && !math.IsInf(v, 0) {
+			return fmt.Errorf("%w: point %d dimension %d (%g)", ErrNotF32, i/ds.d, i%ds.d, v)
+		}
+		mirror[i] = f
+		ds.coords[i] = float64(f)
+	}
+	ds.coords32 = mirror
+	ds.prec = F32
+	return nil
+}
+
+// Precision returns the dataset's storage precision.
+func (ds *Dataset) Precision() Precision {
+	if ds == nil {
+		return F64
+	}
+	return ds.prec
+}
+
+// ToPrecision returns a dataset with the requested storage precision. A
+// matching precision returns the receiver unchanged. F64→F32 returns a
+// quantized copy (the receiver's coordinates are not mutated); the
+// conversion is the one rounding step of float32 mode and fails with
+// ErrNotF32 when a coordinate overflows the float32 range. F32→F64 drops the
+// mirror; the master keeps the already-quantized values, so converting back
+// does not recover the original float64 input.
+func (ds *Dataset) ToPrecision(p Precision) (*Dataset, error) {
+	if ds == nil || ds.prec == p {
+		return ds, nil
+	}
+	if p == F64 {
+		return &Dataset{coords: ds.coords, n: ds.n, d: ds.d}, nil
+	}
+	cp := &Dataset{coords: append([]float64(nil), ds.coords...), n: ds.n, d: ds.d}
+	if err := cp.quantize(); err != nil {
+		return nil, err
+	}
+	return cp, nil
 }
 
 // FromRows copies a row-per-point matrix into a new dataset. All rows must
@@ -114,20 +240,35 @@ func (ds *Dataset) Point(i int) []float64 {
 // Coords exposes the flat backing slice (length n*d). Read-only.
 func (ds *Dataset) Coords() []float64 { return ds.coords }
 
-// Clone returns a deep copy of the dataset.
+// Clone returns a deep copy of the dataset, preserving its precision.
 func (ds *Dataset) Clone() *Dataset {
 	cp := make([]float64, len(ds.coords))
 	copy(cp, ds.coords)
-	return &Dataset{coords: cp, n: ds.n, d: ds.d}
+	out := &Dataset{coords: cp, prec: ds.prec, n: ds.n, d: ds.d}
+	if ds.coords32 != nil {
+		out.coords32 = append([]float32(nil), ds.coords32...)
+	}
+	return out
 }
 
-// Subset copies the points with the given ids into a new dataset, in order.
+// Subset copies the points with the given ids into a new dataset, in order,
+// preserving the precision. In F32 mode the master rows are already widened
+// float32 values, so re-quantizing the subset is exact.
 func (ds *Dataset) Subset(ids []int32) *Dataset {
 	out := make([]float64, 0, len(ids)*ds.d)
 	for _, id := range ids {
 		out = append(out, ds.Point(int(id))...)
 	}
-	return &Dataset{coords: out, n: len(ids), d: ds.d}
+	sub := &Dataset{coords: out, n: len(ids), d: ds.d}
+	if ds.prec == F32 {
+		mirror := make([]float32, len(out))
+		for i, v := range out {
+			mirror[i] = float32(v)
+		}
+		sub.coords32 = mirror
+		sub.prec = F32
+	}
+	return sub
 }
 
 // Dist2 returns the squared Euclidean distance between points i and j.
@@ -146,46 +287,76 @@ func (ds *Dataset) Dist2To(i int, q []float64) float64 {
 	return SqDist(ds.Point(i), q)
 }
 
-// Matrix returns the dataset's flat coordinate view for use with the
+// Matrix returns the dataset's flat float64 coordinate view for use with the
 // batched kernels in internal/dist. No copying occurs; the matrix aliases
-// the dataset's backing array.
+// the dataset's backing array. In F32 mode this is the widened master —
+// valid for every kernel, but callers on hot paths should prefer the
+// precision-routing Dataset methods (or Matrix32) to stream half the bytes.
 func (ds *Dataset) Matrix() dist.Matrix {
 	return dist.Matrix{Coords: ds.coords, Dim: ds.d}
 }
 
+// Matrix32 returns the float32 storage mirror for the batched f32 kernels.
+// It is the zero Matrix32 (nil Coords) unless Precision() is F32.
+func (ds *Dataset) Matrix32() dist.Matrix32 {
+	return dist.Matrix32{Coords: ds.coords32, Dim: ds.d}
+}
+
 // SqDistsTo writes the squared distance from each of the points in ids to q
-// into out (out[k] = dist²(ids[k], q); len(out) >= len(ids)).
+// into out (out[k] = dist²(ids[k], q); len(out) >= len(ids)). Like every
+// convenience method below it routes to the f32 storage kernels in F32 mode;
+// results are bit-identical to the float64 master either way.
 func (ds *Dataset) SqDistsTo(q []float64, ids []int32, out []float64) {
+	if ds.prec == F32 {
+		dist.SqDistsTo32(ds.Matrix32(), q, ids, out)
+		return
+	}
 	dist.SqDistsTo(ds.Matrix(), q, ids, out)
 }
 
 // SqDistsToAll writes the squared distance from every point to q into out
 // (len(out) >= Len()).
 func (ds *Dataset) SqDistsToAll(q []float64, out []float64) {
+	if ds.prec == F32 {
+		dist.SqDistsToAll32(ds.Matrix32(), q, out)
+		return
+	}
 	dist.SqDistsToAll(ds.Matrix(), q, out)
 }
 
 // FilterWithin appends the ids of all points within squared distance eps2
 // of q to buf, ascending, and returns the extended slice.
 func (ds *Dataset) FilterWithin(q []float64, eps2 float64, buf []int32) []int32 {
+	if ds.prec == F32 {
+		return dist.FilterWithin32(ds.Matrix32(), q, eps2, buf)
+	}
 	return dist.FilterWithin(ds.Matrix(), q, eps2, buf)
 }
 
 // FilterWithinIDs appends the members of ids (in given order) within
 // squared distance eps2 of q to buf and returns the extended slice.
 func (ds *Dataset) FilterWithinIDs(q []float64, eps2 float64, ids, buf []int32) []int32 {
+	if ds.prec == F32 {
+		return dist.FilterWithinIDs32(ds.Matrix32(), q, eps2, ids, buf)
+	}
 	return dist.FilterWithinIDs(ds.Matrix(), q, eps2, ids, buf)
 }
 
 // CountWithin returns the number of points within squared distance eps2 of
 // q; limit > 0 stops the scan early once reached.
 func (ds *Dataset) CountWithin(q []float64, eps2 float64, limit int) int {
+	if ds.prec == F32 {
+		return dist.CountWithin32(ds.Matrix32(), q, eps2, limit)
+	}
 	return dist.CountWithin(ds.Matrix(), q, eps2, limit)
 }
 
 // CountWithinIDs counts the members of ids within squared distance eps2 of
 // q, with the same limit semantics as CountWithin.
 func (ds *Dataset) CountWithinIDs(q []float64, eps2 float64, ids []int32, limit int) int {
+	if ds.prec == F32 {
+		return dist.CountWithinIDs32(ds.Matrix32(), q, eps2, ids, limit)
+	}
 	return dist.CountWithinIDs(ds.Matrix(), q, eps2, ids, limit)
 }
 
@@ -280,6 +451,17 @@ func (ds *Dataset) NormalizeTo(scale float64) *Dataset {
 		f := scale / ext
 		for i := 0; i < ds.n; i++ {
 			ds.coords[i*ds.d+j] = (ds.coords[i*ds.d+j] - lo[j]) * f
+		}
+	}
+	if ds.prec == F32 {
+		// Rescaling happened on the float64 master; re-quantize so the mirror
+		// and master stay two consistent views of one storage. Normalized
+		// coordinates are bounded by |scale|, so this cannot overflow float32
+		// for any sane scale.
+		for i, v := range ds.coords {
+			f := float32(v)
+			ds.coords32[i] = f
+			ds.coords[i] = float64(f)
 		}
 	}
 	return ds

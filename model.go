@@ -39,23 +39,37 @@ type Model struct {
 // produced by Cluster/ClusterContext (e.g. the zero Result).
 func (r *Result) Model() *Model { return r.model }
 
-func newModel(dim int, opts Options, res *cluster.Result, retained []core.RetainedModel) *Model {
+func newModel(d *Dataset, opts Options, res *cluster.Result, retained []core.RetainedModel) *Model {
 	entries := make([]data.ModelEntry, len(retained))
 	for i, e := range retained {
 		entries[i] = data.ModelEntry{Cluster: e.Cluster, Degraded: e.Degraded, Snap: e.Snap}
 	}
+	prec := data.ModelPrecisionF64
+	if d.Precision() == PrecisionF32 {
+		prec = data.ModelPrecisionF32
+	}
 	return &Model{art: &data.ModelArtifact{
-		Kind:     data.ModelKindClustering,
-		Eps:      opts.Eps,
-		MinPts:   opts.MinPts,
-		Dim:      dim,
-		Clusters: res.Clusters,
-		Entries:  entries,
+		Kind:      data.ModelKindClustering,
+		Precision: prec,
+		Eps:       opts.Eps,
+		MinPts:    opts.MinPts,
+		Dim:       d.Dim(),
+		Clusters:  res.Clusters,
+		Entries:   entries,
 	}}
 }
 
 // Dim returns the dimensionality the model was trained in.
 func (m *Model) Dim() int { return m.art.Dim }
+
+// Precision returns the storage precision of the training dataset. Models
+// saved before precision existed in the format load as PrecisionF64.
+func (m *Model) Precision() Precision {
+	if m.art.Precision == data.ModelPrecisionF32 {
+		return PrecisionF32
+	}
+	return PrecisionF64
+}
 
 // Eps returns the ε radius of the training run.
 func (m *Model) Eps() float64 { return m.art.Eps }

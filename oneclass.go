@@ -38,6 +38,8 @@ type OneClassOptions struct {
 // here as a standalone one-class learner for novelty/outlier detection.
 type OneClassModel struct {
 	m *svdd.Model
+	// prec records the training dataset's storage precision for Save.
+	prec byte
 }
 
 // TrainOneClass fits an SVDD boundary to every point of d.
@@ -67,7 +69,11 @@ func TrainOneClass(d *Dataset, opts OneClassOptions) (*OneClassModel, error) {
 	if m == nil {
 		return nil, err
 	}
-	return &OneClassModel{m: m}, err
+	prec := data.ModelPrecisionF64
+	if d.Precision() == PrecisionF32 {
+		prec = data.ModelPrecisionF32
+	}
+	return &OneClassModel{m: m, prec: prec}, err
 }
 
 // Score returns the decision value for a point: negative or zero inside the
@@ -102,6 +108,15 @@ func (oc *OneClassModel) Converged() bool { return oc.m.Converged }
 // Iterations returns the number of SMO pair updates the solve performed.
 func (oc *OneClassModel) Iterations() int { return oc.m.Iterations }
 
+// Precision returns the storage precision of the training dataset (recorded
+// in saved models; files from before the field existed load as PrecisionF64).
+func (oc *OneClassModel) Precision() Precision {
+	if oc.prec == data.ModelPrecisionF32 {
+		return PrecisionF32
+	}
+	return PrecisionF64
+}
+
 // Save streams the model to w in the same versioned binary format as
 // clustering model artifacts (one snapshot, kind "one-class"). The encoding
 // is canonical: save → load → save is byte-identical.
@@ -111,9 +126,10 @@ func (oc *OneClassModel) Save(w io.Writer) error {
 	}
 	snap := oc.m.Snapshot()
 	return data.WriteModel(w, &data.ModelArtifact{
-		Kind:    data.ModelKindOneClass,
-		Dim:     snap.Dim,
-		Entries: []data.ModelEntry{{Snap: snap}},
+		Kind:      data.ModelKindOneClass,
+		Precision: oc.prec,
+		Dim:       snap.Dim,
+		Entries:   []data.ModelEntry{{Snap: snap}},
 	})
 }
 
@@ -134,5 +150,5 @@ func LoadOneClass(r io.Reader) (*OneClassModel, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrMalformed, err)
 	}
-	return &OneClassModel{m: m}, nil
+	return &OneClassModel{m: m, prec: art.Precision}, nil
 }
