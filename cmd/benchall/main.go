@@ -7,6 +7,7 @@
 //	         [-workers 0] [-precision f64|f32]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	         [-svddjson BENCH_svdd.json] [-indexjson BENCH_index.json]
+//	         [-highdimjson BENCH_highdim.json]
 //	         [-baseline dir] [-list]
 //
 // By default every experiment runs in quick mode (reduced cardinalities so
@@ -41,19 +42,20 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "", "run a single experiment id (default: all)")
-		full       = flag.Bool("full", false, "use paper-scale cardinalities (slow)")
-		seed       = flag.Int64("seed", 1, "random seed for data generation and algorithms")
-		budget     = flag.Duration("budget", 0, "per-run time budget before an algorithm is dropped from a sweep (0 = default)")
-		runTimeout = flag.Duration("runtimeout", 0, "hard wall-clock budget per DBSVEC run; tripped runs report their partial clustering (0 = off)")
-		workers    = flag.Int("workers", 0, "query-engine worker goroutines for DBSVEC runs (0 = all CPUs)")
-		precision  = flag.String("precision", "f64", "point-storage precision for experiment datasets: f64 | f32")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the harness run to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile at harness exit to this file")
-		svddjson   = flag.String("svddjson", "BENCH_svdd.json", "path for the svdd experiment's machine-readable report (empty = skip)")
-		indexjson  = flag.String("indexjson", "BENCH_index.json", "path for the index experiment's machine-readable report (empty = skip)")
-		baseline   = flag.String("baseline", "", "directory holding committed BENCH_*.json baselines; written reports are shape-diffed against them")
-		list       = flag.Bool("list", false, "list experiment ids and exit")
+		exp         = flag.String("exp", "", "run a single experiment id (default: all)")
+		full        = flag.Bool("full", false, "use paper-scale cardinalities (slow)")
+		seed        = flag.Int64("seed", 1, "random seed for data generation and algorithms")
+		budget      = flag.Duration("budget", 0, "per-run time budget before an algorithm is dropped from a sweep (0 = default)")
+		runTimeout  = flag.Duration("runtimeout", 0, "hard wall-clock budget per DBSVEC run; tripped runs report their partial clustering (0 = off)")
+		workers     = flag.Int("workers", 0, "query-engine worker goroutines for DBSVEC runs (0 = all CPUs)")
+		precision   = flag.String("precision", "f64", "point-storage precision for experiment datasets: f64 | f32")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the harness run to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile at harness exit to this file")
+		svddjson    = flag.String("svddjson", "BENCH_svdd.json", "path for the svdd experiment's machine-readable report (empty = skip)")
+		indexjson   = flag.String("indexjson", "BENCH_index.json", "path for the index experiment's machine-readable report (empty = skip)")
+		highdimjson = flag.String("highdimjson", "BENCH_highdim.json", "path for the highdim experiment's machine-readable report (empty = skip)")
+		baseline    = flag.String("baseline", "", "directory holding committed BENCH_*.json baselines; written reports are shape-diffed against them")
+		list        = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -84,7 +86,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	cfg := experiments.Config{Quick: !*full, Seed: *seed, Budget: *budget, RunTimeout: *runTimeout, Workers: *workers, Precision: prec, SVDDJSONPath: *svddjson, IndexJSONPath: *indexjson}
+	cfg := experiments.Config{Quick: !*full, Seed: *seed, Budget: *budget, RunTimeout: *runTimeout, Workers: *workers, Precision: prec, SVDDJSONPath: *svddjson, IndexJSONPath: *indexjson, HighdimJSONPath: *highdimjson}
 	start := time.Now()
 	if *exp == "" {
 		err = experiments.RunAll(os.Stdout, cfg)
@@ -102,7 +104,22 @@ func main() {
 	fmt.Printf("\ntotal harness time: %s\n", time.Since(start).Round(time.Millisecond))
 
 	if *baseline != "" {
-		if err := checkBaselines(*baseline, *svddjson, *indexjson); err != nil {
+		// A single-experiment run writes at most its own report; the other
+		// default report paths may still name files that exist (the committed
+		// baselines themselves when running from the repo root), so restrict
+		// the check to reports this run could actually have produced.
+		if *exp != "" {
+			if *exp != "svdd" {
+				*svddjson = ""
+			}
+			if *exp != "index" {
+				*indexjson = ""
+			}
+			if *exp != "highdim" {
+				*highdimjson = ""
+			}
+		}
+		if err := checkBaselines(*baseline, *svddjson, *indexjson, *highdimjson); err != nil {
 			fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
 			os.Exit(1)
 		}
@@ -117,11 +134,12 @@ func main() {
 // committed counterpart in dir. A report path that was skipped (empty flag)
 // or not produced by the selected experiment is ignored, so `-exp index
 // -baseline .` checks only the index report.
-func checkBaselines(dir, svddjson, indexjson string) error {
+func checkBaselines(dir, svddjson, indexjson, highdimjson string) error {
 	checked := 0
 	for _, pair := range []struct{ report, name string }{
 		{svddjson, "BENCH_svdd.json"},
 		{indexjson, "BENCH_index.json"},
+		{highdimjson, "BENCH_highdim.json"},
 	} {
 		if pair.report == "" {
 			continue

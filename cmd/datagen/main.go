@@ -8,6 +8,7 @@
 //	datagen -kind t4.8k | t7.10k | d31 | dim32 | dim64 | roadmap | uniform | ring
 //	datagen -kind suite -name t4.8k          # any Table III stand-in
 //	datagen -kind uniform -n 1000000 -d 32 -precision f32 -format bin  # half-size cache
+//	datagen -kind embeddings -n 100000 -d 256 -k 16 -noise 0.35 -precision f32
 package main
 
 import (
@@ -21,10 +22,11 @@ import (
 
 func main() {
 	var (
-		kind      = flag.String("kind", "spreader", "generator: spreader|blobs|t4.8k|t7.10k|d31|dim32|dim64|roadmap|uniform|ring|suite")
+		kind      = flag.String("kind", "spreader", "generator: spreader|blobs|embeddings|t4.8k|t7.10k|d31|dim32|dim64|roadmap|uniform|ring|suite")
 		n         = flag.Int("n", 10000, "number of points")
 		d         = flag.Int("d", 2, "dimensionality")
-		k         = flag.Int("k", 5, "cluster count (blobs) / hub count (roadmap)")
+		k         = flag.Int("k", 5, "cluster count (blobs, embeddings) / hub count (roadmap)")
+		noise     = flag.Float64("noise", 0.35, "perturbation scale for -kind embeddings (0: exact cluster directions, ~1: near-uniform)")
 		name      = flag.String("name", "", "suite dataset name when -kind suite")
 		seed      = flag.Int64("seed", 1, "random seed")
 		format    = flag.String("format", "csv", "output format: csv | bin (binary, for large caches)")
@@ -37,7 +39,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
 		os.Exit(1)
 	}
-	ds, err := generate(*kind, *n, *d, *k, *name, *seed)
+	ds, err := generate(*kind, *n, *d, *k, *noise, *name, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
 		os.Exit(1)
@@ -60,12 +62,14 @@ func main() {
 	}
 }
 
-func generate(kind string, n, d, k int, name string, seed int64) (*vec.Dataset, error) {
+func generate(kind string, n, d, k int, noise float64, name string, seed int64) (*vec.Dataset, error) {
 	switch kind {
 	case "spreader":
 		return data.SeedSpreader{N: n, D: d, Seed: seed}.Generate(), nil
 	case "blobs":
 		return data.Blobs(n, d, k, 2, 100, 0.02, seed), nil
+	case "embeddings":
+		return data.Embeddings(n, d, k, noise, seed), nil
 	case "t4.8k":
 		return data.Chameleon48K(seed), nil
 	case "t7.10k":

@@ -12,6 +12,7 @@ func TestGenerateKinds(t *testing.T) {
 	}{
 		{"spreader", 500, 4, 0, "", 500, 4},
 		{"blobs", 300, 3, 4, "", 300, 3},
+		{"embeddings", 250, 32, 4, "", 250, 32},
 		{"t4.8k", 0, 0, 0, "", 8000, 2},
 		{"t7.10k", 0, 0, 0, "", 10000, 2},
 		{"d31", 0, 0, 0, "", 3100, 2},
@@ -23,7 +24,7 @@ func TestGenerateKinds(t *testing.T) {
 		{"suite", 0, 0, 0, "Seeds", 210, 7},
 	}
 	for _, c := range cases {
-		ds, err := generate(c.kind, c.n, c.d, c.k, c.name, 1)
+		ds, err := generate(c.kind, c.n, c.d, c.k, 0.35, c.name, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", c.kind, err)
 		}
@@ -37,10 +38,10 @@ func TestGenerateKinds(t *testing.T) {
 }
 
 func TestGenerateErrors(t *testing.T) {
-	if _, err := generate("bogus", 10, 2, 2, "", 1); err == nil {
+	if _, err := generate("bogus", 10, 2, 2, 0, "", 1); err == nil {
 		t.Error("unknown kind should error")
 	}
-	if _, err := generate("suite", 0, 0, 0, "nope", 1); err == nil {
+	if _, err := generate("suite", 0, 0, 0, 0, "nope", 1); err == nil {
 		t.Error("unknown suite name should error")
 	}
 }

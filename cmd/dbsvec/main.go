@@ -59,7 +59,7 @@ func main() {
 		inPath    = flag.String("in", "", "input CSV (default stdin)")
 		outPath   = flag.String("out", "", "output CSV with labels (default stdout)")
 		normalize = flag.Float64("normalize", 0, "rescale every dimension to [0,S] before clustering (0 = off)")
-		indexKind = flag.String("index", "linear", "range-query index: linear|kdtree|rtree|grid|parallel|pyramid|vptree")
+		indexKind = flag.String("index", "linear", "range-query index: linear|kdtree|rtree|grid|parallel|pyramid|vptree|rproj")
 		precision = flag.String("precision", "f64", "point-storage precision: f64 (exact) or f32 (half the scan bandwidth, one quantization at load)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "query-engine worker goroutines (0 = all CPUs)")
@@ -144,6 +144,8 @@ func run(algo string, eps float64, minPts, k int, nu float64, inPath, outPath st
 		idx = dbsvec.IndexPyramid
 	case "vptree":
 		idx = dbsvec.IndexVPTree
+	case "rproj":
+		idx = dbsvec.IndexRProj
 	default:
 		return fmt.Errorf("unknown index %q", indexKind)
 	}

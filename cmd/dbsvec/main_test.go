@@ -98,7 +98,7 @@ func TestRunKMeans(t *testing.T) {
 
 func TestRunIndexKinds(t *testing.T) {
 	in := writeInput(t)
-	for _, idx := range []string{"linear", "kdtree", "rtree", "grid", "parallel", "pyramid", "vptree"} {
+	for _, idx := range []string{"linear", "kdtree", "rtree", "grid", "parallel", "pyramid", "vptree", "rproj"} {
 		out := filepath.Join(t.TempDir(), "out.csv")
 		if err := run("dbscan", 5, 5, 0, 0, in, out, 0, idx, "f64", 1, 0, false, budgetFlags{}, modelFlags{}); err != nil {
 			t.Fatalf("index %s: %v", idx, err)

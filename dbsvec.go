@@ -13,6 +13,7 @@ import (
 	"dbsvec/internal/index/grid"
 	"dbsvec/internal/index/kdtree"
 	"dbsvec/internal/index/pyramid"
+	"dbsvec/internal/index/rproj"
 	"dbsvec/internal/index/rtree"
 	"dbsvec/internal/index/vptree"
 	"dbsvec/internal/svdd"
@@ -72,6 +73,11 @@ const (
 	// IndexVPTree is a vantage-point tree: metric pruning via the triangle
 	// inequality, a strong exact backend in high dimensions.
 	IndexVPTree
+	// IndexRProj is the random-projection cell backend: points are binned
+	// by quantized random projections at build time and cells are pruned at
+	// query time with exact centroid/radius ball bounds — exact query
+	// semantics, built for high-dimensional embedding-like data.
+	IndexRProj
 )
 
 // builder resolves the backend's construction function. workers sizes the
@@ -101,6 +107,8 @@ func (k IndexKind) builder(eps float64, dim, workers int) (index.Builder, error)
 		return pyramid.Build, nil
 	case IndexVPTree:
 		return vptree.BuildWorkers(workers), nil
+	case IndexRProj:
+		return rproj.BuildWorkers(workers), nil
 	default:
 		return nil, fmt.Errorf("dbsvec: unknown index kind %d", k)
 	}
@@ -118,6 +126,8 @@ func (k IndexKind) ctxBuilder(eps float64, dim, workers int) (index.CtxBuilder, 
 		return rtree.BuildWorkersCtx(workers), nil
 	case IndexVPTree:
 		return vptree.BuildWorkersCtx(workers), nil
+	case IndexRProj:
+		return rproj.BuildWorkersCtx(workers), nil
 	}
 	b, err := k.builder(eps, dim, workers)
 	if err != nil {

@@ -47,6 +47,34 @@ func TestBlobsDeterministic(t *testing.T) {
 	}
 }
 
+func TestEmbeddings(t *testing.T) {
+	ds := Embeddings(400, 64, 8, 0.3, 3)
+	if ds.Len() != 400 || ds.Dim() != 64 {
+		t.Fatalf("shape %dx%d", ds.Len(), ds.Dim())
+	}
+	for i := 0; i < ds.Len(); i++ {
+		if n := vec.Norm(ds.Point(i)); math.Abs(n-1) > 1e-9 {
+			t.Fatalf("point %d norm %v, want 1", i, n)
+		}
+	}
+	// Same seed reproduces; points assigned round-robin to the same center
+	// should be angularly closer on average than cross-cluster pairs.
+	ds2 := Embeddings(400, 64, 8, 0.3, 3)
+	for i := 0; i < ds.Len(); i += 41 {
+		if vec.Dist(ds.Point(i), ds2.Point(i)) != 0 {
+			t.Fatalf("point %d not reproducible", i)
+		}
+	}
+	var same, cross float64
+	for i := 0; i+9 < ds.Len(); i += 8 {
+		same += vec.Dot(ds.Point(i), ds.Point(i+8))
+		cross += vec.Dot(ds.Point(i), ds.Point(i+9))
+	}
+	if same <= cross {
+		t.Fatalf("same-cluster mean dot %v not above cross-cluster %v", same, cross)
+	}
+}
+
 func TestSeedSpreader(t *testing.T) {
 	ds := SeedSpreader{N: 2000, D: 8, Seed: 3}.Generate()
 	if ds.Len() != 2000 || ds.Dim() != 8 {

@@ -77,6 +77,73 @@ func clamp(v, lo, hi float64) float64 {
 	return v
 }
 
+// Embeddings generates n unit-norm points in d dimensions around k
+// unit-norm cluster directions — the geometry of learned embedding vectors
+// (normalized neural representations), where density lives on the sphere
+// and coordinate-aligned structure is absent. Each point is
+// normalize(center + noise·g/√d) with g standard Gaussian, so noise is the
+// expected perturbation norm before renormalization: small values give
+// tight angular clusters, values near 1 approach uniform on the sphere.
+// Centers are Gaussian directions redrawn until pairwise angles stay wide
+// (best effort, like Blobs' center spreading).
+func Embeddings(n, d, k int, noise float64, seed int64) *vec.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, k)
+	for c := range centers {
+		v := make([]float64, d)
+		for tries := 0; ; tries++ {
+			gaussianDir(rng, v)
+			ok := true
+			for _, o := range centers[:c] {
+				if vec.Dot(v, o) > 0.5 { // within 60°: too close
+					ok = false
+					break
+				}
+			}
+			if ok || tries >= 100 {
+				break
+			}
+		}
+		centers[c] = v
+	}
+	scale := noise / math.Sqrt(float64(d))
+	coords := make([]float64, 0, n*d)
+	g := make([]float64, d)
+	for i := 0; i < n; i++ {
+		c := centers[i%k]
+		for j := range g {
+			g[j] = c[j] + rng.NormFloat64()*scale
+		}
+		normalize(g)
+		coords = append(coords, g...)
+	}
+	ds, _ := vec.NewDatasetUnchecked(coords, d)
+	return ds
+}
+
+// gaussianDir fills v with a uniformly random unit direction.
+func gaussianDir(rng *rand.Rand, v []float64) {
+	for j := range v {
+		v[j] = rng.NormFloat64()
+	}
+	normalize(v)
+}
+
+// normalize scales v to unit norm (no-op on the zero vector).
+func normalize(v []float64) {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	if s == 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(s)
+	for j := range v {
+		v[j] *= inv
+	}
+}
+
 // SeedSpreader reproduces the flavor of the synthetic generator of Gan &
 // Tao (SIGMOD 2015) used for the paper's efficiency experiments
 // (Section V-C): a spreader performs a random walk confined to a compact

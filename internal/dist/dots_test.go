@@ -1,0 +1,359 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDotKernelsMatchDot pins the determinism contract for the batched dot
+// kernels: DotsToAll / DotsTo / DotsToRange must be bit-identical to per-row
+// Dot calls for every row, range and id list.
+func TestDotKernelsMatchDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, d := range []int{1, 2, 3, 4, 5, 7, 8, 13, 32, 64} {
+		n := 50 + rng.Intn(200)
+		m := Matrix{Coords: make([]float64, n*d), Dim: d}
+		for i := range m.Coords {
+			m.Coords[i] = (rng.Float64() - 0.5) * 200
+		}
+		q := randVec(rng, d)
+
+		all := make([]float64, n)
+		DotsToAll(m, q, all)
+		for i := 0; i < n; i++ {
+			if want := Dot(m.Row(i), q); all[i] != want {
+				t.Fatalf("d=%d: DotsToAll[%d] = %v, Dot = %v", d, i, all[i], want)
+			}
+		}
+
+		lo := rng.Intn(n)
+		hi := lo + rng.Intn(n-lo)
+		rng64 := make([]float64, hi-lo)
+		DotsToRange(m, q, lo, hi, rng64)
+		for k := range rng64 {
+			if rng64[k] != all[lo+k] {
+				t.Fatalf("d=%d: DotsToRange[%d] = %v, want %v", d, k, rng64[k], all[lo+k])
+			}
+		}
+
+		ids := make([]int32, rng.Intn(n)+1)
+		for k := range ids {
+			ids[k] = int32(rng.Intn(n))
+		}
+		to := make([]float64, len(ids))
+		DotsTo(m, q, ids, to)
+		for k, id := range ids {
+			if to[k] != all[id] {
+				t.Fatalf("d=%d: DotsTo[%d] = %v, want %v", d, k, to[k], all[id])
+			}
+		}
+	}
+}
+
+// TestDot32BitIdenticalToWidened extends the f32 equivalence contract to the
+// dot kernels: on float32 storage whose float64 twin is the exact widening,
+// Dot32 and the batched variants must match the f64 kernels bit for bit —
+// including the AVX dispatch on amd64.
+func TestDot32BitIdenticalToWidened(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, d := range []int{1, 2, 3, 4, 5, 7, 8, 13, 32, 64} {
+		n := 50 + rng.Intn(200)
+		m32, m64 := randMatrix32(rng, n, d)
+		q := randVec(rng, d)
+
+		for i := 0; i < n; i++ {
+			if Dot32(m32.Row(i), q) != Dot(m64.Row(i), q) {
+				t.Fatalf("d=%d: Dot32 row %d not bit-identical", d, i)
+			}
+		}
+
+		all32 := make([]float64, n)
+		all64 := make([]float64, n)
+		DotsToAll32(m32, q, all32)
+		DotsToAll(m64, q, all64)
+		for i := range all32 {
+			if all32[i] != all64[i] {
+				t.Fatalf("d=%d: DotsToAll32[%d] = %v, widened = %v", d, i, all32[i], all64[i])
+			}
+		}
+
+		lo := rng.Intn(n)
+		hi := lo + rng.Intn(n-lo)
+		r32 := make([]float64, hi-lo)
+		r64 := make([]float64, hi-lo)
+		DotsToRange32(m32, q, lo, hi, r32)
+		DotsToRange(m64, q, lo, hi, r64)
+		for k := range r32 {
+			if r32[k] != r64[k] {
+				t.Fatalf("d=%d: DotsToRange32[%d] not bit-identical", d, k)
+			}
+		}
+
+		ids := make([]int32, rng.Intn(n)+1)
+		for k := range ids {
+			ids[k] = int32(rng.Intn(n))
+		}
+		to32 := make([]float64, len(ids))
+		to64 := make([]float64, len(ids))
+		DotsTo32(m32, q, ids, to32)
+		DotsTo(m64, q, ids, to64)
+		for k := range to32 {
+			if to32[k] != to64[k] {
+				t.Fatalf("d=%d: DotsTo32[%d] not bit-identical", d, k)
+			}
+		}
+	}
+}
+
+// TestNorms pins the all-rows norm cache against per-row Norm2.
+func TestNorms(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := Matrix{Coords: make([]float64, 37*5), Dim: 5}
+	for i := range m.Coords {
+		m.Coords[i] = (rng.Float64() - 0.5) * 20
+	}
+	norms := Norms(m)
+	if len(norms) != 37 {
+		t.Fatalf("Norms length = %d, want 37", len(norms))
+	}
+	for i := range norms {
+		if want := Norm2(m.Row(i)); norms[i] != want {
+			t.Fatalf("Norms[%d] = %v, want %v", i, norms[i], want)
+		}
+	}
+}
+
+// TestCachedFiltersMatchIdentity pins the fused Cached kernels against a
+// straight-line evaluation of the norms identity: same Dot per row, same
+// norms[i] + qNorm − 2·dot combination, so the fused block machinery must be
+// bit-identical to the reference loop (the approximation lives in the
+// identity itself, not in the fusion).
+func TestCachedFiltersMatchIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for _, d := range []int{4, 16, 33, 64} {
+		n := 80 + rng.Intn(150)
+		m := Matrix{Coords: make([]float64, n*d), Dim: d}
+		for i := range m.Coords {
+			m.Coords[i] = (rng.Float64() - 0.5) * 10
+		}
+		q := randVec(rng, d)
+		qNorm := Norm2(q)
+		norms := Norms(m)
+
+		ref := make([]float64, n)
+		for i := 0; i < n; i++ {
+			d2 := norms[i] + qNorm - 2*Dot(m.Row(i), q)
+			if d2 < 0 {
+				d2 = 0
+			}
+			ref[i] = d2
+		}
+
+		got := make([]float64, n)
+		SqDistsToAllCached(m, q, qNorm, norms, got)
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("d=%d: SqDistsToAllCached[%d] = %v, reference = %v", d, i, got[i], ref[i])
+			}
+		}
+
+		eps2 := ref[n/2]
+		var want []int32
+		for i := 0; i < n; i++ {
+			if ref[i] <= eps2 {
+				want = append(want, int32(i))
+			}
+		}
+		if got := FilterWithinCached(m, q, qNorm, norms, eps2, nil); !int32Equal(got, want) {
+			t.Fatalf("d=%d: FilterWithinCached = %v, want %v", d, got, want)
+		}
+		if got := CountWithinCached(m, q, qNorm, norms, eps2, 0); got != len(want) {
+			t.Fatalf("d=%d: CountWithinCached = %d, want %d", d, got, len(want))
+		}
+		if got := CountWithinCached(m, q, qNorm, norms, eps2, 2); len(want) >= 2 && got != 2 {
+			t.Fatalf("d=%d: CountWithinCached(limit=2) = %d, want 2", d, got)
+		}
+
+		ids := make([]int32, rng.Intn(n)+1)
+		for k := range ids {
+			ids[k] = int32(rng.Intn(n))
+		}
+		var wantIDs []int32
+		for _, id := range ids {
+			if ref[id] <= eps2 {
+				wantIDs = append(wantIDs, id)
+			}
+		}
+		if got := FilterWithinCachedIDs(m, q, qNorm, norms, eps2, ids, nil); !int32Equal(got, wantIDs) {
+			t.Fatalf("d=%d: FilterWithinCachedIDs = %v, want %v", d, got, wantIDs)
+		}
+	}
+}
+
+// cachedIdentityBound bounds |cached − exact| for the norms identity on one
+// row: norms, qNorm and the dot each accumulate O(d) roundings of relative
+// size u = 2⁻⁵³, and the final combination cancels absolutely, so the error
+// scales with the magnitudes going in, not with the distance coming out:
+// (d+4)·u·(‖a‖² + ‖q‖² + 2|a·q|), widened by 4x for slack.
+func cachedIdentityBound(na, nq, dot float64, d int) float64 {
+	const u = 1.0 / (1 << 26) / (1 << 27) // 2⁻⁵³
+	return 4*float64(d+4)*u*(na+nq+2*math.Abs(dot)) + 1e-300
+}
+
+// TestCachedIdentityErrorBound is the differential check of the cached path
+// against the exact kernels: the ULP-scale divergence the docs promise must
+// stay within the analytically derived cancellation bound.
+func TestCachedIdentityErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for trial := 0; trial < 200; trial++ {
+		d := 1 + rng.Intn(80)
+		n := 10 + rng.Intn(50)
+		scale := math.Pow(10, float64(rng.Intn(7))-3)
+		m := Matrix{Coords: make([]float64, n*d), Dim: d}
+		for i := range m.Coords {
+			m.Coords[i] = (rng.Float64() - 0.5) * scale
+		}
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = (rng.Float64() - 0.5) * scale
+		}
+		qNorm := Norm2(q)
+		norms := Norms(m)
+
+		exact := make([]float64, n)
+		cached := make([]float64, n)
+		SqDistsToAll(m, q, exact)
+		SqDistsToAllCached(m, q, qNorm, norms, cached)
+		for i := 0; i < n; i++ {
+			bound := cachedIdentityBound(norms[i], qNorm, Dot(m.Row(i), q), d)
+			if diff := math.Abs(cached[i] - exact[i]); diff > bound {
+				t.Fatalf("trial %d row %d: cached error %v exceeds bound %v", trial, i, diff, bound)
+			}
+		}
+	}
+}
+
+// dotQuantBound bounds |a32·q − a·q| where a32 quantizes a to float32: per
+// coordinate the storage error is δj ≤ 2⁻²⁴·|aj| and perturbs the product by
+// δj·|qj|; the factor covers the kernels' own accumulation roundings.
+func dotQuantBound(a, q []float64) float64 {
+	const eps32 = 1.0 / (1 << 24)
+	var bound float64
+	for j := range a {
+		bound += eps32 * math.Abs(a[j]) * math.Abs(q[j])
+	}
+	return 4*bound + 1e-12
+}
+
+// FuzzDotKernels drives the dot kernels with fuzzer-chosen bytes: for any
+// pair of finite vectors, Dot32 must be bit-identical to Dot on the widened
+// row, the batched kernels must agree with the scalar ones, and the
+// quantized result must stay within the derived bound of the exact dot.
+func FuzzDotKernels(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 16 {
+			return
+		}
+		d := len(raw) / 16 // 8 bytes per coordinate, two vectors
+		a := make([]float64, d)
+		q := make([]float64, d)
+		for j := 0; j < d; j++ {
+			a[j] = math.Float64frombits(binary.LittleEndian.Uint64(raw[j*8:]))
+			q[j] = math.Float64frombits(binary.LittleEndian.Uint64(raw[(d+j)*8:]))
+			// Clamp to the finite float32-safe range the vec layer enforces.
+			if math.IsNaN(a[j]) || math.Abs(a[j]) > math.MaxFloat32/2 {
+				a[j] = 0
+			}
+			if math.IsNaN(q[j]) || math.Abs(q[j]) > math.MaxFloat32/2 {
+				q[j] = 0
+			}
+		}
+		a32 := make([]float32, d)
+		widened := make([]float64, d)
+		for j := range a {
+			a32[j] = float32(a[j])
+			widened[j] = float64(a32[j])
+		}
+		got := Dot32(a32, q)
+		if want := Dot(widened, q); got != want {
+			t.Fatalf("Dot32 = %v, widened Dot = %v", got, want)
+		}
+		var one [1]float64
+		DotsToAll32(Matrix32{Coords: a32, Dim: d}, q, one[:])
+		if one[0] != got {
+			t.Fatalf("DotsToAll32 = %v, Dot32 = %v", one[0], got)
+		}
+		DotsToAll(Matrix{Coords: widened, Dim: d}, q, one[:])
+		if one[0] != got {
+			t.Fatalf("DotsToAll = %v, widened Dot = %v", one[0], got)
+		}
+		exact := Dot(a, q)
+		if bound := dotQuantBound(a, q); !math.IsInf(exact, 0) && math.Abs(got-exact) > bound {
+			t.Fatalf("quantization error %v exceeds bound %v", math.Abs(got-exact), bound)
+		}
+	})
+}
+
+// BenchmarkDotsToAll measures the dense projection pass at both storage
+// precisions — the numbers behind the dot-kernel table in README.md.
+func BenchmarkDotsToAll(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	const n = 1024
+	for _, d := range []int{8, 32, 128, 256} {
+		m32, m64 := randMatrix32(rng, n, d)
+		q := randVec(rng, d)
+		out := make([]float64, n)
+		b.Run(fmt.Sprintf("f64/d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				DotsToAll(m64, q, out)
+			}
+		})
+		b.Run(fmt.Sprintf("f32/d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				DotsToAll32(m32, q, out)
+			}
+		})
+		b.Run(fmt.Sprintf("naive/d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < n; r++ {
+					out[r] = Dot(m64.Row(r), q)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFilterWithinCached compares the fused cached-identity filter with
+// the exact fused filter at projection-friendly widths.
+func BenchmarkFilterWithinCached(b *testing.B) {
+	rng := rand.New(rand.NewSource(32))
+	const n = 1024
+	for _, d := range []int{16, 32, 128, 256} {
+		m := Matrix{Coords: make([]float64, n*d), Dim: d}
+		for i := range m.Coords {
+			m.Coords[i] = (rng.Float64() - 0.5) * 2
+		}
+		q := randVec(rng, d)
+		qNorm := Norm2(q)
+		norms := Norms(m)
+		all := make([]float64, n)
+		SqDistsToAll(m, q, all)
+		eps2 := all[n/2] // ~half the rows pass
+		buf := make([]int32, 0, n)
+		b.Run(fmt.Sprintf("cached/d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				buf = FilterWithinCached(m, q, qNorm, norms, eps2, buf[:0])
+			}
+		})
+		b.Run(fmt.Sprintf("exact/d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				buf = FilterWithin(m, q, eps2, buf[:0])
+			}
+		})
+	}
+}

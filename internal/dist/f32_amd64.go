@@ -24,3 +24,15 @@ func sqDistGroups32AVX(a *float32, q *float64, groups int) float64
 // identical to the scalar kernel while hiding the FP-add latency.
 // groups and quads must be >= 1. Implemented in f32_amd64.s.
 func sqDistsRows4x32AVX(a *float32, q *float64, groups, quads int, out *float64)
+
+// dotGroups32AVX returns the partial dot product (s0+s1)+(s2+s3) over the
+// first 4*groups coordinates of one float32 row, widening each coordinate to
+// float64 exactly like Dot32's unrolled loop. groups must be >= 1.
+// Implemented in f32_amd64.s.
+func dotGroups32AVX(a *float32, q *float64, groups int) float64
+
+// dotsRows4x32AVX computes dot products with q for quads blocks of four
+// consecutive rows of width dim = 4*groups, writing 4*quads results to out:
+// the dot-product sibling of sqDistsRows4x32AVX, identical layout and
+// combine order. groups and quads must be >= 1. Implemented in f32_amd64.s.
+func dotsRows4x32AVX(a *float32, q *float64, groups, quads int, out *float64)

@@ -13,3 +13,11 @@ func sqDistGroups32AVX(a *float32, q *float64, groups int) float64 {
 func sqDistsRows4x32AVX(a *float32, q *float64, groups, quads int, out *float64) {
 	panic("dist: sqDistsRows4x32AVX called without amd64 support")
 }
+
+func dotGroups32AVX(a *float32, q *float64, groups int) float64 {
+	panic("dist: dotGroups32AVX called without amd64 support")
+}
+
+func dotsRows4x32AVX(a *float32, q *float64, groups, quads int, out *float64) {
+	panic("dist: dotsRows4x32AVX called without amd64 support")
+}

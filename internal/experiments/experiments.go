@@ -55,6 +55,9 @@ type Config struct {
 	// IndexJSONPath, when non-empty, makes the "index" experiment write its
 	// machine-readable report (IndexBenchReport) to this file.
 	IndexJSONPath string
+	// HighdimJSONPath, when non-empty, makes the "highdim" experiment write
+	// its machine-readable report (HighdimReport) to this file.
+	HighdimJSONPath string
 	// Precision selects the point-storage mode datasets are generated in
 	// (vec.F64 default). The precision-dimension sections of the svdd and
 	// index benchmarks measure both modes regardless; this knob converts the

@@ -14,8 +14,8 @@ func tinyCfg() Config {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
-		t.Fatalf("expected 12 experiments, got %d", len(all))
+	if len(all) != 13 {
+		t.Fatalf("expected 13 experiments, got %d", len(all))
 	}
 	for _, e := range all {
 		if e.ID == "" || e.Title == "" || e.Run == nil {
@@ -81,6 +81,22 @@ func TestIndexPerfSmoke(t *testing.T) {
 	for _, want := range []string{"kdtree", "rtree", "vptree", "grid", "speedup", "queries/s"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("index bench output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHighdimSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("highdim bench builds several large structures")
+	}
+	var buf bytes.Buffer
+	if err := Highdim(&buf, tinyCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"rproj", "linear", "speedup", "ARI vs linear", "1.0000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("highdim output missing %q:\n%s", want, out)
 		}
 	}
 }

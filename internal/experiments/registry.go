@@ -31,6 +31,7 @@ func All() []Experiment {
 		{"fig9b", "Figure 9b: SVDD improvements, efficiency", Fig9b},
 		{"svdd", "SVDD training fast path micro-benchmark (BENCH_svdd.json)", SVDDPerf},
 		{"index", "Index construction micro-benchmark (BENCH_index.json)", IndexPerf},
+		{"highdim", "High-dimensional rproj vs linear benchmark (BENCH_highdim.json)", Highdim},
 	}
 }
 

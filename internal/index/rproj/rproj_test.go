@@ -1,0 +1,167 @@
+package rproj
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"dbsvec/internal/index"
+	"dbsvec/internal/index/indextest"
+	"dbsvec/internal/leakcheck"
+	"dbsvec/internal/vec"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, "rproj", Build)
+}
+
+func TestConformanceF32(t *testing.T) {
+	indextest.RunF32(t, "rproj", Build)
+}
+
+func TestConformanceParallelBuild(t *testing.T) {
+	indextest.Run(t, "rproj-parallel", BuildWorkers(4))
+}
+
+func TestConformanceMoreProjections(t *testing.T) {
+	indextest.Run(t, "rproj-k6", BuildParams(Params{Projections: 6, TargetCells: 512, Seed: 42}, 2))
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	indextest.RunBuildDeterminism(t, "rproj", func(ds *vec.Dataset, workers int) index.Index {
+		return NewWorkers(ds, workers)
+	})
+}
+
+func TestParamsValidation(t *testing.T) {
+	for i, p := range []Params{
+		{Projections: -1},
+		{Projections: 17},
+		{TargetCells: -5},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: want error for %+v", i, p)
+		}
+	}
+	if err := (Params{}).Validate(); err != nil {
+		t.Errorf("zero params must validate: %v", err)
+	}
+}
+
+func TestBuildParamsPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BuildParams accepted invalid params")
+		}
+	}()
+	BuildParams(Params{Projections: 99}, 1)
+}
+
+// TestSeedInvariantResults pins the exactness claim directly: the seed
+// changes the partition, never what a query returns.
+func TestSeedInvariantResults(t *testing.T) {
+	ds := randDS(800, 8, 1)
+	a, err := NewParams(context.Background(), ds, Params{Seed: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewParams(context.Background(), ds, Params{Seed: 99}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufA, bufB []int32
+	for i := 0; i < ds.Len(); i += 37 {
+		bufA = a.RangeQuery(ds.Point(i), 20, bufA[:0])
+		bufB = b.RangeQuery(ds.Point(i), 20, bufB[:0])
+		if len(bufA) != len(bufB) {
+			t.Fatalf("query %d: %d vs %d results across seeds", i, len(bufA), len(bufB))
+		}
+		for k := range bufA {
+			if bufA[k] != bufB[k] {
+				t.Fatalf("query %d: results diverge at %d", i, k)
+			}
+		}
+	}
+}
+
+func TestCellsStats(t *testing.T) {
+	ds := randDS(2000, 6, 2)
+	x := New(ds)
+	cells, maxSize := x.Cells()
+	if cells < 2 || cells > ds.Len() {
+		t.Fatalf("cells = %d out of range", cells)
+	}
+	if maxSize < 1 || maxSize > ds.Len() {
+		t.Fatalf("maxSize = %d out of range", maxSize)
+	}
+	total := 0
+	for c := 0; c < cells; c++ {
+		total += int(x.offsets[c+1] - x.offsets[c])
+	}
+	if total != ds.Len() {
+		t.Fatalf("cells hold %d points, want %d", total, ds.Len())
+	}
+}
+
+type countingCtx struct {
+	context.Context
+	after int64
+	calls atomic.Int64
+}
+
+func (c *countingCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *countingCtx) Done() <-chan struct{} { return nil }
+
+func randDS(n, d int, seed int64) *vec.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.Float64() * 100
+		}
+		rows[i] = row
+	}
+	ds, _ := vec.FromRows(rows)
+	return ds
+}
+
+func TestBuildCancelledUpFront(t *testing.T) {
+	leakcheck.Check(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	x, err := NewWorkersCtx(ctx, randDS(100, 3, 1), 4)
+	if !errors.Is(err, context.Canceled) || x != nil {
+		t.Fatalf("x=%v err=%v, want nil index and context.Canceled", x, err)
+	}
+}
+
+func TestBuildCancelledMidBuild(t *testing.T) {
+	leakcheck.Check(t)
+	// after=1 passes the entry check and cancels at the first between-phase
+	// poll: the build is abandoned strictly mid-construction.
+	ctx := &countingCtx{Context: context.Background(), after: 1}
+	x, err := NewWorkersCtx(ctx, randDS(5000, 4, 2), 4)
+	if !errors.Is(err, context.Canceled) || x != nil {
+		t.Fatalf("x=%v err=%v, want nil index and context.Canceled", x, err)
+	}
+}
+
+func TestCtxBuilderMatchesPlainBuild(t *testing.T) {
+	ds := randDS(3000, 5, 3)
+	x, err := BuildWorkersCtx(4)(context.Background(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() != ds.Len() {
+		t.Fatalf("Len = %d, want %d", x.Len(), ds.Len())
+	}
+}

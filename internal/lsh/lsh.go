@@ -1,14 +1,27 @@
 // Package lsh implements p-stable locality-sensitive hashing (Datar et al.,
 // SoCG 2004) for Euclidean space: h(x) = ⌊(a·x + b)/W⌋ with a drawn from a
 // standard Gaussian (2-stable) distribution and b uniform in [0, W). It
-// backs the DBSCAN-LSH baseline.
+// backs the DBSCAN-LSH baseline and, through the sDBSCAN-style candidate
+// mode in rp.go, the approximate high-dimensional pipelines.
+//
+// The hot structure is laid out for batch work: all Tables×Funcs projection
+// vectors live in one contiguous row-major matrix, so hashing the dataset is
+// a sequence of dense matrix-vector products through the dist dot kernels
+// (one DotsToAll per hash function — the float32 storage mode streams the
+// half-width mirror through the AVX path); buckets are flat counting-sort
+// arenas in first-encounter order, like the grid backend's cells, rather
+// than per-table map[string][]int32. Bucket keys are a fixed uint64 mix
+// (splitmix64 finalizer) folded over the k concatenated hash integers, so
+// probing a query allocates nothing; a key collision merges two buckets,
+// which can only ever add candidates — callers exact-filter candidates, so
+// correctness is unaffected (probability ~2⁻⁶⁴ per pair regardless).
 package lsh
 
 import (
-	"encoding/binary"
 	"errors"
 	"math/rand"
 
+	"dbsvec/internal/dist"
 	"dbsvec/internal/vec"
 )
 
@@ -40,14 +53,23 @@ func (p Params) Validate() error {
 type Hasher struct {
 	ds     *vec.Dataset
 	params Params
-	// projections: per table, per function, a d-vector a and offset b.
-	proj    [][]projection
-	buckets []map[string][]int32 // one bucket map per table
+	// proj is the contiguous (Tables*Funcs) × d projection matrix; row
+	// t*Funcs+f is the Gaussian vector of function f in table t. offs
+	// carries the matching uniform offsets b.
+	proj dist.Matrix
+	offs []float64
+	// tables[t] is the flat bucket directory of table t.
+	tables []table
 }
 
-type projection struct {
-	a []float64
-	b float64
+// table is one hash table's bucket arena: slotOf maps a mixed bucket key to
+// its slot in first-encounter order, and slot s owns ids
+// flat[offsets[s]:offsets[s+1]] in ascending order — the same two-pass
+// counting-sort layout as the grid backend's cells.
+type table struct {
+	slotOf  map[uint64]int32
+	offsets []int32
+	flat    []int32
 }
 
 // New builds the hash tables over every point of ds.
@@ -57,39 +79,100 @@ func New(ds *vec.Dataset, p Params) (*Hasher, error) {
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
 	d := ds.Dim()
-	h := &Hasher{ds: ds, params: p}
-	h.proj = make([][]projection, p.Tables)
-	h.buckets = make([]map[string][]int32, p.Tables)
-	for t := 0; t < p.Tables; t++ {
-		h.proj[t] = make([]projection, p.Funcs)
-		for f := 0; f < p.Funcs; f++ {
-			a := make([]float64, d)
-			for j := range a {
-				a[j] = rng.NormFloat64()
-			}
-			h.proj[t][f] = projection{a: a, b: rng.Float64() * p.Width}
-		}
-		h.buckets[t] = make(map[string][]int32)
+	nf := p.Tables * p.Funcs
+	h := &Hasher{
+		ds:     ds,
+		params: p,
+		proj:   dist.Matrix{Coords: make([]float64, nf*d), Dim: d},
+		offs:   make([]float64, nf),
+		tables: make([]table, p.Tables),
 	}
-	sig := make([]int64, p.Funcs)
-	for i := 0; i < ds.Len(); i++ {
-		pt := ds.Point(i)
-		for t := 0; t < p.Tables; t++ {
-			h.signature(t, pt, sig)
-			k := sigKey(sig)
-			h.buckets[t][k] = append(h.buckets[t][k], int32(i))
+	for f := 0; f < nf; f++ {
+		row := h.proj.Coords[f*d : (f+1)*d]
+		for j := range row {
+			row[j] = rng.NormFloat64()
 		}
+		h.offs[f] = rng.Float64() * p.Width
+	}
+
+	n := ds.Len()
+	m := ds.Matrix()
+	m32 := ds.Matrix32()
+	f32 := ds.Precision() == vec.F32
+	// Batch hashing: one dense matrix-vector product per hash function
+	// fills dots, the mixed keys fold in per function, then a counting
+	// sort bins each table. keys/slots scratch is reused across tables.
+	dots := make([]float64, n)
+	keys := make([]uint64, n)
+	slots := make([]int32, n)
+	for t := 0; t < p.Tables; t++ {
+		for i := range keys {
+			keys[i] = keySeed
+		}
+		for f := 0; f < p.Funcs; f++ {
+			g := t*p.Funcs + f
+			if f32 {
+				dist.DotsToAll32(m32, h.proj.Row(g), dots)
+			} else {
+				dist.DotsToAll(m, h.proj.Row(g), dots)
+			}
+			b, w := h.offs[g], p.Width
+			for i, dot := range dots {
+				keys[i] = mixKey(keys[i], floor64((dot+b)/w))
+			}
+		}
+		h.tables[t] = binKeys(keys, slots)
 	}
 	return h, nil
 }
 
-// signature writes the k-slot signature of pt under table t into sig.
-func (h *Hasher) signature(t int, pt []float64, sig []int64) {
-	for f := 0; f < h.params.Funcs; f++ {
-		pr := &h.proj[t][f]
-		v := (vec.Dot(pr.a, pt) + pr.b) / h.params.Width
-		sig[f] = floor64(v)
+// binKeys counting-sorts point ids by bucket key: first pass assigns slots
+// in first-encounter order and counts occupancy, second pass scatters ids
+// into the flat arena, ascending within each bucket. slots is reusable
+// scratch of length len(keys).
+func binKeys(keys []uint64, slots []int32) table {
+	tb := table{slotOf: make(map[uint64]int32)}
+	var counts []int32
+	for i, k := range keys {
+		s, ok := tb.slotOf[k]
+		if !ok {
+			s = int32(len(counts))
+			tb.slotOf[k] = s
+			counts = append(counts, 0)
+		}
+		slots[i] = s
+		counts[s]++
 	}
+	tb.offsets = make([]int32, len(counts)+1)
+	for s, c := range counts {
+		tb.offsets[s+1] = tb.offsets[s] + c
+	}
+	tb.flat = make([]int32, len(keys))
+	next := counts // reuse as per-slot write cursors
+	copy(next, tb.offsets[:len(counts)])
+	for i := range keys {
+		s := slots[i]
+		tb.flat[next[s]] = int32(i)
+		next[s]++
+	}
+	return tb
+}
+
+// keySeed is the initial accumulator of the bucket-key mix.
+const keySeed uint64 = 0x8e98_cbc2_1e6a_8f29
+
+// mixKey folds one hash integer into the running bucket key with the
+// splitmix64 finalizer: a fixed, allocation-free replacement for the
+// byte-serialized string keys the package used to build per probe.
+func mixKey(key uint64, h int64) uint64 {
+	z := key ^ uint64(h)
+	z += 0x9e37_79b9_7f4a_7c15
+	z ^= z >> 30
+	z *= 0xbf58_476d_1ce4_e5b9
+	z ^= z >> 27
+	z *= 0x94d0_49bb_1331_11eb
+	z ^= z >> 31
+	return z
 }
 
 func floor64(v float64) int64 {
@@ -100,24 +183,25 @@ func floor64(v float64) int64 {
 	return i
 }
 
-func sigKey(sig []int64) string {
-	b := make([]byte, 8*len(sig))
-	for i, s := range sig {
-		binary.LittleEndian.PutUint64(b[8*i:], uint64(s))
-	}
-	return string(b)
-}
-
 // Candidates appends the ids of every point sharing at least one bucket
 // with q across all tables to buf (deduplicated via the seen scratch slice,
 // which must have length >= Len() and be false-initialized; it is reset
-// before return).
+// before return). Probing allocates nothing beyond buf growth.
 func (h *Hasher) Candidates(q []float64, buf []int32, seen []bool) []int32 {
-	sig := make([]int64, h.params.Funcs)
 	start := len(buf)
-	for t := 0; t < h.params.Tables; t++ {
-		h.signature(t, q, sig)
-		for _, id := range h.buckets[t][sigKey(sig)] {
+	for t := range h.tables {
+		key := keySeed
+		for f := 0; f < h.params.Funcs; f++ {
+			g := t*h.params.Funcs + f
+			v := (dist.Dot(h.proj.Row(g), q) + h.offs[g]) / h.params.Width
+			key = mixKey(key, floor64(v))
+		}
+		tb := &h.tables[t]
+		s, ok := tb.slotOf[key]
+		if !ok {
+			continue
+		}
+		for _, id := range tb.flat[tb.offsets[s]:tb.offsets[s+1]] {
 			if !seen[id] {
 				seen[id] = true
 				buf = append(buf, id)
@@ -136,11 +220,12 @@ func (h *Hasher) Len() int { return h.ds.Len() }
 // BucketStats returns the number of buckets and the largest bucket size
 // across all tables; useful for diagnosing collision behaviour.
 func (h *Hasher) BucketStats() (buckets, maxSize int) {
-	for _, tb := range h.buckets {
-		buckets += len(tb)
-		for _, ids := range tb {
-			if len(ids) > maxSize {
-				maxSize = len(ids)
+	for t := range h.tables {
+		tb := &h.tables[t]
+		buckets += len(tb.offsets) - 1
+		for s := 0; s+1 < len(tb.offsets); s++ {
+			if size := int(tb.offsets[s+1] - tb.offsets[s]); size > maxSize {
+				maxSize = size
 			}
 		}
 	}

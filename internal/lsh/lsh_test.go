@@ -123,6 +123,62 @@ func TestBucketStats(t *testing.T) {
 	}
 }
 
+// TestCandidatesAllocFree pins the satellite contract of the uint64 bucket
+// keys: probing allocates nothing — no signature slice, no byte-serialized
+// map key — once the candidate buffer has capacity.
+func TestCandidatesAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	rows := make([][]float64, 500)
+	for i := range rows {
+		rows[i] = []float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+	}
+	ds, _ := vec.FromRows(rows)
+	h, err := New(ds, Params{Tables: 8, Funcs: 3, Width: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, ds.Len())
+	buf := make([]int32, 0, ds.Len())
+	q := ds.Point(42)
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = h.Candidates(q, buf[:0], seen)
+	}); allocs != 0 {
+		t.Fatalf("Candidates allocates %v objects per probe, want 0", allocs)
+	}
+}
+
+// TestBucketsAscendingWithin pins the counting-sort arena layout: ids within
+// a bucket come out in ascending order, so downstream exact filters see a
+// deterministic candidate order.
+func TestBucketsAscendingWithin(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	rows := make([][]float64, 300)
+	for i := range rows {
+		rows[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	ds, _ := vec.FromRows(rows)
+	h, err := New(ds, Params{Tables: 3, Funcs: 2, Width: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t0 := range h.tables {
+		tb := &h.tables[t0]
+		total := 0
+		for s := 0; s+1 < len(tb.offsets); s++ {
+			seg := tb.flat[tb.offsets[s]:tb.offsets[s+1]]
+			total += len(seg)
+			for k := 1; k < len(seg); k++ {
+				if seg[k-1] >= seg[k] {
+					t.Fatalf("table %d bucket %d not ascending: %v", t0, s, seg)
+				}
+			}
+		}
+		if total != ds.Len() {
+			t.Fatalf("table %d holds %d ids, want %d", t0, total, ds.Len())
+		}
+	}
+}
+
 func TestFloor64(t *testing.T) {
 	cases := map[float64]int64{2.7: 2, -2.7: -3, 0: 0, -3: -3, 3: 3, -0.1: -1}
 	for in, want := range cases {

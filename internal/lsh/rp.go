@@ -1,0 +1,204 @@
+package lsh
+
+// sDBSCAN-style random-projection candidate generation (Scalable
+// Density-based Clustering with Random Projections): every point is
+// projected onto D random Gaussian directions; for each direction the m
+// points with the largest dots (angularly closest to the direction) and the
+// m with the smallest (closest to its negation) are retained. A point's
+// candidate neighbors are the retained lists of its own top-k closest and
+// top-k furthest directions — points that agree with it about which
+// directions they hug. Unlike the bucket Hasher above, this mode has no
+// width parameter and degrades gracefully on unit-norm embeddings where
+// every pairwise gap is small relative to the radius; it is approximate
+// (candidates can miss true neighbors), so callers must treat the output as
+// a recall-bounded candidate set, never an exact neighborhood.
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+
+	"dbsvec/internal/dist"
+	"dbsvec/internal/vec"
+)
+
+// RPParams configures the random-projection candidate structure.
+type RPParams struct {
+	// Projections is the number D of random Gaussian directions (max 64).
+	Projections int
+	// TopVectors is how many closest and furthest directions each point
+	// consults when gathering candidates (k in sDBSCAN).
+	TopVectors int
+	// TopPoints is how many points each direction retains in its closest
+	// and furthest lists (m in sDBSCAN); clamped to the dataset size.
+	TopPoints int
+	// Seed drives the random directions.
+	Seed int64
+}
+
+// Validate checks parameter sanity.
+func (p RPParams) Validate() error {
+	if p.Projections < 1 || p.Projections > 64 {
+		return errors.New("lsh: Projections must be in [1, 64]")
+	}
+	if p.TopVectors < 1 || p.TopVectors > p.Projections {
+		return errors.New("lsh: TopVectors must be in [1, Projections]")
+	}
+	if p.TopPoints < 1 {
+		return errors.New("lsh: TopPoints must be at least 1")
+	}
+	return nil
+}
+
+// RP is the built candidate structure.
+type RP struct {
+	ds     *vec.Dataset
+	params RPParams
+	m      int // effective TopPoints (clamped to n)
+	// dots is direction-major: dots[j*n+i] = direction(j) · point(i),
+	// filled by one DotsToAll per direction.
+	dots []float64
+	// closest/furthest are D × m arenas: direction j retains ids
+	// closest[j*m:(j+1)*m] with the largest dots (descending, ties by
+	// ascending id) and furthest[...] with the smallest (ascending).
+	closest  []int32
+	furthest []int32
+	// norms caches ‖point(i)‖² for the fused cached-identity filter in
+	// NeighborsWithin.
+	norms []float64
+}
+
+// NewRP projects ds onto Projections random directions and builds the
+// per-direction retained lists.
+func NewRP(ds *vec.Dataset, p RPParams) (*RP, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	n, d := ds.Len(), ds.Dim()
+	D := p.Projections
+	m := p.TopPoints
+	if m > n {
+		m = n
+	}
+	r := &RP{
+		ds:       ds,
+		params:   p,
+		m:        m,
+		dots:     make([]float64, D*n),
+		closest:  make([]int32, D*m),
+		furthest: make([]int32, D*m),
+		norms:    dist.Norms(ds.Matrix()),
+	}
+	dir := make([]float64, d)
+	mat := ds.Matrix()
+	mat32 := ds.Matrix32()
+	f32 := ds.Precision() == vec.F32
+	order := make([]int32, n)
+	for j := 0; j < D; j++ {
+		for k := range dir {
+			dir[k] = rng.NormFloat64()
+		}
+		col := r.dots[j*n : (j+1)*n]
+		if f32 {
+			dist.DotsToAll32(mat32, dir, col)
+		} else {
+			dist.DotsToAll(mat, dir, col)
+		}
+		for i := range order {
+			order[i] = int32(i)
+		}
+		sort.Slice(order, func(a, b int) bool {
+			da, db := col[order[a]], col[order[b]]
+			if da != db {
+				return da > db
+			}
+			return order[a] < order[b]
+		})
+		copy(r.closest[j*m:(j+1)*m], order[:m])
+		ft := r.furthest[j*m : (j+1)*m]
+		for k := 0; k < m; k++ {
+			ft[k] = order[n-1-k]
+		}
+	}
+	return r, nil
+}
+
+// Len returns the number of indexed points.
+func (r *RP) Len() int { return r.ds.Len() }
+
+// Candidates appends the candidate neighbors of point i to buf: the
+// retained lists of its TopVectors closest and TopVectors furthest
+// directions, deduplicated via the seen scratch (length >= Len(),
+// false-initialized, reset before return). The point itself is not
+// guaranteed to appear.
+func (r *RP) Candidates(i int, buf []int32, seen []bool) []int32 {
+	n := r.ds.Len()
+	D := r.params.Projections
+	start := len(buf)
+	var used uint64
+	// TopVectors passes picking the unconsumed max, then min, of point i's
+	// direction dots; ties break toward the lower direction index.
+	for pass := 0; pass < r.params.TopVectors; pass++ {
+		best := -1
+		for j := 0; j < D; j++ {
+			if used&(1<<j) != 0 {
+				continue
+			}
+			if best < 0 || r.dots[j*n+i] > r.dots[best*n+i] {
+				best = j
+			}
+		}
+		used |= 1 << best
+		buf = r.appendUnseen(r.closest[best*r.m:(best+1)*r.m], buf, seen)
+	}
+	for pass := 0; pass < r.params.TopVectors; pass++ {
+		best := -1
+		for j := 0; j < D; j++ {
+			if used&(1<<j) != 0 {
+				continue
+			}
+			if best < 0 || r.dots[j*n+i] < r.dots[best*n+i] {
+				best = j
+			}
+		}
+		if best < 0 {
+			break // TopVectors*2 > Projections: every direction consumed
+		}
+		used |= 1 << best
+		buf = r.appendUnseen(r.furthest[best*r.m:(best+1)*r.m], buf, seen)
+	}
+	for _, id := range buf[start:] {
+		seen[id] = false
+	}
+	return buf
+}
+
+func (r *RP) appendUnseen(ids, buf []int32, seen []bool) []int32 {
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			buf = append(buf, id)
+		}
+	}
+	return buf
+}
+
+// NeighborsWithin appends to buf the candidates of point i that pass the
+// eps test, evaluated through the fused cached-norms identity filter (one
+// dot product per candidate against the precomputed norm cache), plus the
+// point itself. cand is reusable candidate scratch, seen as in Candidates.
+// The accept boundary is the cached identity's, ULP-divergent from the
+// exact kernels — this is the approximate pipeline, not a range query.
+func (r *RP) NeighborsWithin(i int, eps float64, cand, buf []int32, seen []bool) []int32 {
+	cand = r.Candidates(i, cand[:0], seen)
+	q := r.ds.Point(i)
+	start := len(buf)
+	buf = dist.FilterWithinCachedIDs(r.ds.Matrix(), q, r.norms[i], r.norms, eps*eps, cand, buf)
+	for _, id := range buf[start:] {
+		if id == int32(i) {
+			return buf
+		}
+	}
+	return append(buf, int32(i))
+}

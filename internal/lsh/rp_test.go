@@ -1,0 +1,161 @@
+package lsh
+
+import (
+	"math"
+	"testing"
+
+	"dbsvec/internal/data"
+	"dbsvec/internal/dist"
+	"dbsvec/internal/vec"
+)
+
+func TestRPValidation(t *testing.T) {
+	ds, _ := vec.FromRows([][]float64{{0, 0}})
+	bad := []RPParams{
+		{Projections: 0, TopVectors: 1, TopPoints: 1},
+		{Projections: 65, TopVectors: 1, TopPoints: 1},
+		{Projections: 4, TopVectors: 0, TopPoints: 1},
+		{Projections: 4, TopVectors: 5, TopPoints: 1},
+		{Projections: 4, TopVectors: 2, TopPoints: 0},
+	}
+	for i, p := range bad {
+		if _, err := NewRP(ds, p); err == nil {
+			t.Errorf("case %d: want error for %+v", i, p)
+		}
+	}
+}
+
+func TestRPDeterministicAndDeduplicated(t *testing.T) {
+	ds := data.Blobs(400, 8, 4, 2, 100, 0, 3)
+	p := RPParams{Projections: 8, TopVectors: 2, TopPoints: 60, Seed: 5}
+	r1, err := NewRP(ds, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewRP(ds, p)
+	seen := make([]bool, ds.Len())
+	for i := 0; i < ds.Len(); i += 17 {
+		c1 := r1.Candidates(i, nil, seen)
+		c2 := r2.Candidates(i, nil, seen)
+		if len(c1) != len(c2) {
+			t.Fatalf("point %d: candidate counts differ (%d vs %d)", i, len(c1), len(c2))
+		}
+		counts := map[int32]int{}
+		for k, id := range c1 {
+			if id != c2[k] {
+				t.Fatalf("point %d: candidate order differs at %d", i, k)
+			}
+			counts[id]++
+		}
+		for id, n := range counts {
+			if n != 1 {
+				t.Errorf("point %d: candidate %d appears %d times", i, id, n)
+			}
+		}
+		for k, s := range seen {
+			if s {
+				t.Fatalf("seen[%d] not reset", k)
+			}
+		}
+	}
+}
+
+// TestRPNeighborsWithin checks the three contracts of the approximate
+// pipeline on clustered data: returned neighbors really are within eps
+// (modulo the cached identity's documented ULP slack), the point itself is
+// always present, and recall against the exact neighborhoods is high when
+// the retained lists are generous.
+func TestRPNeighborsWithin(t *testing.T) {
+	ds := data.Blobs(600, 16, 3, 2, 100, 0, 7)
+	eps := 6.0
+	r, err := NewRP(ds, RPParams{Projections: 12, TopVectors: 4, TopPoints: 250, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, ds.Len())
+	var cand, buf []int32
+	var truePairs, foundPairs int
+	for i := 0; i < ds.Len(); i++ {
+		buf = r.NeighborsWithin(i, eps, cand, buf[:0], seen)
+		self := false
+		got := make(map[int32]bool, len(buf))
+		for _, id := range buf {
+			if int(id) == i {
+				self = true
+			}
+			got[id] = true
+			d := math.Sqrt(ds.Dist2To(int(id), ds.Point(i)))
+			if d > eps*(1+1e-9) {
+				t.Fatalf("point %d: neighbor %d at distance %v > eps %v", i, id, d, eps)
+			}
+		}
+		if !self {
+			t.Fatalf("point %d missing from its own neighborhood", i)
+		}
+		exact := ds.FilterWithin(ds.Point(i), eps*eps, nil)
+		for _, id := range exact {
+			truePairs++
+			if got[id] {
+				foundPairs++
+			}
+		}
+	}
+	if recall := float64(foundPairs) / float64(truePairs); recall < 0.9 {
+		t.Errorf("recall %v < 0.9 (%d/%d pairs)", recall, foundPairs, truePairs)
+	}
+}
+
+// TestRPTopPointsClamped pins the m > n edge: lists clamp to the dataset
+// and every point still reaches every other through its candidates.
+func TestRPTopPointsClamped(t *testing.T) {
+	ds := data.Blobs(20, 4, 2, 2, 50, 0, 9)
+	r, err := NewRP(ds, RPParams{Projections: 4, TopVectors: 1, TopPoints: 1000, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, ds.Len())
+	cand := r.Candidates(0, nil, seen)
+	if len(cand) != ds.Len() {
+		t.Fatalf("clamped candidates = %d, want %d", len(cand), ds.Len())
+	}
+}
+
+// TestRPF32MatchesF64 pins the storage-precision independence of the
+// structure: building from float32 storage must produce identical retained
+// lists and candidates, because the widening dot kernels are bit-identical
+// on the widened master.
+func TestRPF32MatchesF64(t *testing.T) {
+	ds := data.Blobs(300, 12, 3, 2, 100, 0, 15)
+	ds32, err := ds.ToPrecision(vec.F32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the f64 twin from the widened master so both see the same
+	// coordinates.
+	widened, err := ds32.ToPrecision(vec.F64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := RPParams{Projections: 6, TopVectors: 2, TopPoints: 50, Seed: 17}
+	r32, err := NewRP(ds32, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r64, err := NewRP(widened, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range r32.closest {
+		if r32.closest[k] != r64.closest[k] || r32.furthest[k] != r64.furthest[k] {
+			t.Fatalf("retained lists differ at %d", k)
+		}
+	}
+	for k := range r32.dots {
+		if r32.dots[k] != r64.dots[k] {
+			t.Fatalf("dots differ at %d: %v vs %v", k, r32.dots[k], r64.dots[k])
+		}
+	}
+	if got, want := dist.Norms(ds32.Matrix()), dist.Norms(widened.Matrix()); got[0] != want[0] {
+		t.Fatalf("norm caches differ")
+	}
+}
