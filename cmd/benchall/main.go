@@ -6,9 +6,7 @@
 //	benchall [-exp fig6a] [-full] [-seed 1] [-budget 30s] [-runtimeout 0]
 //	         [-workers 0] [-precision f64|f32]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
-//	         [-svddjson BENCH_svdd.json] [-indexjson BENCH_index.json]
-//	         [-highdimjson BENCH_highdim.json]
-//	         [-baseline dir] [-list]
+//	         [-json exp=path]... [-baseline dir] [-list]
 //
 // By default every experiment runs in quick mode (reduced cardinalities so
 // the suite finishes in minutes). -full approaches the paper's scales and
@@ -17,6 +15,11 @@
 // -precision switches dataset generation to float32 point storage (f32);
 // the svdd and index experiments additionally measure both storage modes
 // regardless of the flag.
+// -json redirects one experiment's machine-readable report: it is
+// repeatable, takes exp=path pairs (exp ∈ svdd, index, highdim, shard), and
+// an empty path skips the report. Unredirected reports go to their default
+// BENCH_<exp>.json. The old per-experiment flags -svddjson, -indexjson and
+// -highdimjson remain as deprecated aliases; -json wins when both are given.
 // -budget skips runs predicted (from prior samples) to be too slow, while
 // -runtimeout arms a hard in-flight wall-clock budget on each DBSVEC run:
 // a run that trips it contributes its best-effort partial clustering.
@@ -34,11 +37,43 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strings"
 	"time"
 
 	"dbsvec/internal/experiments"
 	"dbsvec/internal/vec"
 )
+
+// reportExps lists the experiments with machine-readable reports, in the
+// order the baseline check walks them.
+var reportExps = []string{"svdd", "index", "highdim", "shard"}
+
+// jsonFlag accumulates repeatable -json exp=path overrides.
+type jsonFlag map[string]string
+
+func (j jsonFlag) String() string {
+	var parts []string
+	for k, v := range j {
+		parts = append(parts, k+"="+v)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (j jsonFlag) Set(v string) error {
+	k, path, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want exp=path, got %q", v)
+	}
+	for _, e := range reportExps {
+		if e == k {
+			j[k] = path
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown report experiment %q (have %v)", k, reportExps)
+}
 
 func main() {
 	var (
@@ -51,13 +86,27 @@ func main() {
 		precision   = flag.String("precision", "f64", "point-storage precision for experiment datasets: f64 | f32")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the harness run to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile at harness exit to this file")
-		svddjson    = flag.String("svddjson", "BENCH_svdd.json", "path for the svdd experiment's machine-readable report (empty = skip)")
-		indexjson   = flag.String("indexjson", "BENCH_index.json", "path for the index experiment's machine-readable report (empty = skip)")
-		highdimjson = flag.String("highdimjson", "BENCH_highdim.json", "path for the highdim experiment's machine-readable report (empty = skip)")
+		svddjson    = flag.String("svddjson", "BENCH_svdd.json", "deprecated alias for -json svdd=path")
+		indexjson   = flag.String("indexjson", "BENCH_index.json", "deprecated alias for -json index=path")
+		highdimjson = flag.String("highdimjson", "BENCH_highdim.json", "deprecated alias for -json highdim=path")
 		baseline    = flag.String("baseline", "", "directory holding committed BENCH_*.json baselines; written reports are shape-diffed against them")
 		list        = flag.Bool("list", false, "list experiment ids and exit")
 	)
+	jsonOverrides := jsonFlag{}
+	flag.Var(jsonOverrides, "json", "redirect one report: exp=path with exp in svdd|index|highdim|shard (repeatable, empty path = skip)")
 	flag.Parse()
+
+	// Report paths: defaults, then the deprecated aliases (whose defaults are
+	// the same standard paths), then any -json overrides.
+	reports := map[string]string{
+		"svdd":    *svddjson,
+		"index":   *indexjson,
+		"highdim": *highdimjson,
+		"shard":   "BENCH_shard.json",
+	}
+	for k, v := range jsonOverrides {
+		reports[k] = v
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -86,7 +135,14 @@ func main() {
 		os.Exit(1)
 	}
 
-	cfg := experiments.Config{Quick: !*full, Seed: *seed, Budget: *budget, RunTimeout: *runTimeout, Workers: *workers, Precision: prec, SVDDJSONPath: *svddjson, IndexJSONPath: *indexjson, HighdimJSONPath: *highdimjson}
+	cfg := experiments.Config{
+		Quick: !*full, Seed: *seed, Budget: *budget, RunTimeout: *runTimeout,
+		Workers: *workers, Precision: prec,
+		SVDDJSONPath:    reports["svdd"],
+		IndexJSONPath:   reports["index"],
+		HighdimJSONPath: reports["highdim"],
+		ShardJSONPath:   reports["shard"],
+	}
 	start := time.Now()
 	if *exp == "" {
 		err = experiments.RunAll(os.Stdout, cfg)
@@ -109,17 +165,13 @@ func main() {
 		// baselines themselves when running from the repo root), so restrict
 		// the check to reports this run could actually have produced.
 		if *exp != "" {
-			if *exp != "svdd" {
-				*svddjson = ""
-			}
-			if *exp != "index" {
-				*indexjson = ""
-			}
-			if *exp != "highdim" {
-				*highdimjson = ""
+			for _, e := range reportExps {
+				if e != *exp {
+					reports[e] = ""
+				}
 			}
 		}
-		if err := checkBaselines(*baseline, *svddjson, *indexjson, *highdimjson); err != nil {
+		if err := checkBaselines(*baseline, reports); err != nil {
 			fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
 			os.Exit(1)
 		}
@@ -131,27 +183,25 @@ func main() {
 }
 
 // checkBaselines shape-diffs each report the run actually wrote against its
-// committed counterpart in dir. A report path that was skipped (empty flag)
-// or not produced by the selected experiment is ignored, so `-exp index
+// committed counterpart in dir. A report path that was skipped (empty) or
+// not produced by the selected experiment is ignored, so `-exp index
 // -baseline .` checks only the index report.
-func checkBaselines(dir, svddjson, indexjson, highdimjson string) error {
+func checkBaselines(dir string, reports map[string]string) error {
 	checked := 0
-	for _, pair := range []struct{ report, name string }{
-		{svddjson, "BENCH_svdd.json"},
-		{indexjson, "BENCH_index.json"},
-		{highdimjson, "BENCH_highdim.json"},
-	} {
-		if pair.report == "" {
+	for _, exp := range reportExps {
+		report := reports[exp]
+		if report == "" {
 			continue
 		}
-		if _, err := os.Stat(pair.report); err != nil {
+		if _, err := os.Stat(report); err != nil {
 			continue // experiment not selected this run
 		}
-		basePath := filepath.Join(dir, pair.name)
-		if same, err := sameFile(pair.report, basePath); err == nil && same {
-			return fmt.Errorf("-baseline %s: report %s IS the baseline; write the report elsewhere (e.g. -indexjson /tmp/%s)", dir, pair.report, pair.name)
+		name := "BENCH_" + exp + ".json"
+		basePath := filepath.Join(dir, name)
+		if same, err := sameFile(report, basePath); err == nil && same {
+			return fmt.Errorf("-baseline %s: report %s IS the baseline; write the report elsewhere (e.g. -json %s=/tmp/%s)", dir, report, exp, name)
 		}
-		if err := experiments.CheckBaseline(pair.report, basePath); err != nil {
+		if err := experiments.CheckBaseline(report, basePath); err != nil {
 			return err
 		}
 		checked++

@@ -9,11 +9,18 @@
 //	datagen -kind suite -name t4.8k          # any Table III stand-in
 //	datagen -kind uniform -n 1000000 -d 32 -precision f32 -format bin  # half-size cache
 //	datagen -kind embeddings -n 100000 -d 256 -k 16 -noise 0.35 -precision f32
+//	datagen -kind spreader -n 10000000 -d 8 -format bin -stream > big.bin
+//
+// -stream generates the binary format incrementally — one point in memory at
+// a time instead of the whole dataset — and is byte-identical to the
+// in-memory path. It supports the unbounded-size generators (spreader,
+// uniform) and requires -format bin.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dbsvec/internal/data"
@@ -31,6 +38,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		format    = flag.String("format", "csv", "output format: csv | bin (binary, for large caches)")
 		precision = flag.String("precision", "f64", "point-storage precision: f64 | f32 (f32 halves binary output and quantizes once)")
+		stream    = flag.Bool("stream", false, "generate incrementally, one point resident at a time (bin format, spreader|uniform)")
 	)
 	flag.Parse()
 
@@ -38,6 +46,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
 		os.Exit(1)
+	}
+	if *stream {
+		if err := streamOut(os.Stdout, *kind, *format, *n, *d, *seed, prec); err != nil {
+			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	ds, err := generate(*kind, *n, *d, *k, *noise, *name, *seed)
 	if err != nil {
@@ -60,6 +75,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// streamOut writes the dataset in the binary format incrementally: the
+// generator emits one point at a time straight into a data.BinaryWriter, so
+// memory stays O(d) regardless of -n. The bytes are identical to
+// WriteBinary(generate(...)) because the streamed generators reuse the exact
+// generation path and f32 quantization is the same single float32 rounding.
+func streamOut(w io.Writer, kind, format string, n, d int, seed int64, prec vec.Precision) error {
+	if format != "bin" {
+		return fmt.Errorf("-stream requires -format bin (got %q)", format)
+	}
+	bw, err := data.NewBinaryWriter(w, n, d, prec)
+	if err != nil {
+		return err
+	}
+	emit := func(p []float64) error { return bw.WritePoints(p) }
+	switch kind {
+	case "spreader":
+		err = data.SeedSpreader{N: n, D: d, Seed: seed}.Stream(emit)
+	case "uniform":
+		err = data.UniformStream(n, d, 1e5, seed, emit)
+	default:
+		return fmt.Errorf("-stream supports kinds spreader|uniform (got %q)", kind)
+	}
+	if err != nil {
+		return err
+	}
+	return bw.Close()
 }
 
 func generate(kind string, n, d, k int, noise float64, name string, seed int64) (*vec.Dataset, error) {

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+
+	"dbsvec/internal/data"
+	"dbsvec/internal/vec"
+)
 
 func TestGenerateKinds(t *testing.T) {
 	cases := []struct {
@@ -43,5 +49,56 @@ func TestGenerateErrors(t *testing.T) {
 	}
 	if _, err := generate("suite", 0, 0, 0, 0, "nope", 1); err == nil {
 		t.Error("unknown suite name should error")
+	}
+}
+
+// TestStreamMatchesInMemory pins -stream's chunked binary output
+// byte-identical to WriteBinary over the materialized dataset, for both
+// streamable kinds and both precisions.
+func TestStreamMatchesInMemory(t *testing.T) {
+	for _, kind := range []string{"spreader", "uniform"} {
+		for _, prec := range []vec.Precision{vec.F64, vec.F32} {
+			ds, err := generate(kind, 700, 3, 0, 0, "", 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ds, err = ds.ToPrecision(prec); err != nil {
+				t.Fatal(err)
+			}
+			var want bytes.Buffer
+			if err := data.WriteBinary(&want, ds); err != nil {
+				t.Fatal(err)
+			}
+			var got bytes.Buffer
+			if err := streamOut(&got, kind, "bin", 700, 3, 9, prec); err != nil {
+				t.Fatalf("%s/%v: %v", kind, prec, err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Fatalf("%s/%v: streamed bytes differ from in-memory writer (%d vs %d bytes)",
+					kind, prec, got.Len(), want.Len())
+			}
+			// And the streamed file round-trips through the reader.
+			back, err := data.ReadBinary(bytes.NewReader(got.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Len() != 700 || back.Dim() != 3 || back.Precision() != prec {
+				t.Fatalf("%s/%v: round trip got %dx%d %v", kind, prec, back.Len(), back.Dim(), back.Precision())
+			}
+		}
+	}
+}
+
+// TestStreamErrors covers -stream's validation.
+func TestStreamErrors(t *testing.T) {
+	var sink bytes.Buffer
+	if err := streamOut(&sink, "spreader", "csv", 10, 2, 1, vec.F64); err == nil {
+		t.Error("-stream with -format csv should error")
+	}
+	if err := streamOut(&sink, "blobs", "bin", 10, 2, 1, vec.F64); err == nil {
+		t.Error("-stream with a non-streamable kind should error")
+	}
+	if err := streamOut(&sink, "spreader", "bin", -1, 2, 1, vec.F64); err == nil {
+		t.Error("negative n should error")
 	}
 }

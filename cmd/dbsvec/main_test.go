@@ -1,11 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
+
+	"dbsvec"
 )
 
 func writeInput(t *testing.T) string {
@@ -29,7 +34,7 @@ func TestRunAllAlgorithms(t *testing.T) {
 	in := writeInput(t)
 	for _, algo := range []string{"dbsvec", "dbscan", "pdbscan", "rho", "lsh", "nq"} {
 		out := filepath.Join(t.TempDir(), "out.csv")
-		if err := run(algo, 5, 5, 0, 0, in, out, 0, "linear", "f64", 1, 0, false, budgetFlags{}, modelFlags{}); err != nil {
+		if err := run(algo, 5, 5, 0, 0, in, out, 0, "linear", "f64", 1, 0, false, budgetFlags{}, modelFlags{}, shardFlags{}); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 		data, err := os.ReadFile(out)
@@ -55,10 +60,10 @@ func TestRunPrecisionF32(t *testing.T) {
 	dir := t.TempDir()
 	out64 := filepath.Join(dir, "out64.csv")
 	out32 := filepath.Join(dir, "out32.csv")
-	if err := run("dbsvec", 5, 5, 0, 0, in, out64, 0, "linear", "f64", 1, 0, false, budgetFlags{}, modelFlags{}); err != nil {
+	if err := run("dbsvec", 5, 5, 0, 0, in, out64, 0, "linear", "f64", 1, 0, false, budgetFlags{}, modelFlags{}, shardFlags{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("dbsvec", 5, 5, 0, 0, in, out32, 0, "linear", "f32", 1, 0, false, budgetFlags{}, modelFlags{}); err != nil {
+	if err := run("dbsvec", 5, 5, 0, 0, in, out32, 0, "linear", "f32", 1, 0, false, budgetFlags{}, modelFlags{}, shardFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	// The f32 run echoes quantized coordinates into the CSV, so only the
@@ -83,7 +88,7 @@ func TestRunPrecisionF32(t *testing.T) {
 			t.Errorf("line %d: f32 label %q != f64 label %q", i, bl, al)
 		}
 	}
-	if err := run("dbsvec", 5, 5, 0, 0, in, "", 0, "linear", "f16", 1, 0, false, budgetFlags{}, modelFlags{}); err == nil {
+	if err := run("dbsvec", 5, 5, 0, 0, in, "", 0, "linear", "f16", 1, 0, false, budgetFlags{}, modelFlags{}, shardFlags{}); err == nil {
 		t.Error("unknown precision should error")
 	}
 }
@@ -91,7 +96,7 @@ func TestRunPrecisionF32(t *testing.T) {
 func TestRunKMeans(t *testing.T) {
 	in := writeInput(t)
 	out := filepath.Join(t.TempDir(), "out.csv")
-	if err := run("kmeans", 0, 0, 2, 0, in, out, 0, "linear", "f64", 1, 0, false, budgetFlags{}, modelFlags{}); err != nil {
+	if err := run("kmeans", 0, 0, 2, 0, in, out, 0, "linear", "f64", 1, 0, false, budgetFlags{}, modelFlags{}, shardFlags{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -100,7 +105,7 @@ func TestRunIndexKinds(t *testing.T) {
 	in := writeInput(t)
 	for _, idx := range []string{"linear", "kdtree", "rtree", "grid", "parallel", "pyramid", "vptree", "rproj"} {
 		out := filepath.Join(t.TempDir(), "out.csv")
-		if err := run("dbscan", 5, 5, 0, 0, in, out, 0, idx, "f64", 1, 0, false, budgetFlags{}, modelFlags{}); err != nil {
+		if err := run("dbscan", 5, 5, 0, 0, in, out, 0, idx, "f64", 1, 0, false, budgetFlags{}, modelFlags{}, shardFlags{}); err != nil {
 			t.Fatalf("index %s: %v", idx, err)
 		}
 	}
@@ -111,7 +116,7 @@ func TestRunNormalize(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "out.csv")
 	// After normalization to [0,1000], eps must be rescaled accordingly;
 	// eps=20 separates clumps at 0 and ~100 (of 1000).
-	if err := run("dbsvec", 20, 5, 0, 0, in, out, 1000, "linear", "f64", 1, 0, true, budgetFlags{}, modelFlags{}); err != nil {
+	if err := run("dbsvec", 20, 5, 0, 0, in, out, 1000, "linear", "f64", 1, 0, true, budgetFlags{}, modelFlags{}, shardFlags{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -121,7 +126,7 @@ func TestRunBudgetPartialOutput(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "out.csv")
 	// A tiny range-query budget trips mid-run; the CLI must still succeed
 	// and write a full-length labeled file (best-effort partial clustering).
-	if err := run("dbsvec", 5, 5, 0, 0, in, out, 0, "linear", "f64", 1, 0, true, budgetFlags{maxQueries: 1}, modelFlags{}); err != nil {
+	if err := run("dbsvec", 5, 5, 0, 0, in, out, 0, "linear", "f64", 1, 0, true, budgetFlags{maxQueries: 1}, modelFlags{}, shardFlags{}); err != nil {
 		t.Fatalf("budget trip must not fail the command: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -135,16 +140,16 @@ func TestRunBudgetPartialOutput(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	in := writeInput(t)
-	if err := run("bogus", 5, 5, 0, 0, in, "", 0, "linear", "f64", 1, 0, false, budgetFlags{}, modelFlags{}); err == nil {
+	if err := run("bogus", 5, 5, 0, 0, in, "", 0, "linear", "f64", 1, 0, false, budgetFlags{}, modelFlags{}, shardFlags{}); err == nil {
 		t.Error("unknown algorithm should error")
 	}
-	if err := run("dbscan", 5, 5, 0, 0, in, "", 0, "bogus", "f64", 1, 0, false, budgetFlags{}, modelFlags{}); err == nil {
+	if err := run("dbscan", 5, 5, 0, 0, in, "", 0, "bogus", "f64", 1, 0, false, budgetFlags{}, modelFlags{}, shardFlags{}); err == nil {
 		t.Error("unknown index should error")
 	}
-	if err := run("dbscan", 5, 5, 0, 0, "/nonexistent/file.csv", "", 0, "linear", "f64", 1, 0, false, budgetFlags{}, modelFlags{}); err == nil {
+	if err := run("dbscan", 5, 5, 0, 0, "/nonexistent/file.csv", "", 0, "linear", "f64", 1, 0, false, budgetFlags{}, modelFlags{}, shardFlags{}); err == nil {
 		t.Error("missing input file should error")
 	}
-	if err := run("dbscan", -5, 5, 0, 0, in, "", 0, "linear", "f64", 1, 0, false, budgetFlags{}, modelFlags{}); err == nil {
+	if err := run("dbscan", -5, 5, 0, 0, in, "", 0, "linear", "f64", 1, 0, false, budgetFlags{}, modelFlags{}, shardFlags{}); err == nil {
 		t.Error("invalid eps should error")
 	}
 }
@@ -177,7 +182,7 @@ func TestRunSaveLoadAssign(t *testing.T) {
 	clusterOut := filepath.Join(dir, "cluster.csv")
 	modelPath := filepath.Join(dir, "model.bin")
 	if err := run("dbsvec", 5, 5, 0, 0, in, clusterOut, 0, "linear", "f64", 1, 0, false,
-		budgetFlags{}, modelFlags{save: modelPath}); err != nil {
+		budgetFlags{}, modelFlags{save: modelPath}, shardFlags{}); err != nil {
 		t.Fatalf("cluster+save: %v", err)
 	}
 	if fi, err := os.Stat(modelPath); err != nil || fi.Size() == 0 {
@@ -186,7 +191,7 @@ func TestRunSaveLoadAssign(t *testing.T) {
 
 	assignOut := filepath.Join(dir, "assign.csv")
 	if err := run("dbsvec", 0, 0, 0, 0, in, assignOut, 0, "linear", "f64", 1, 0, false,
-		budgetFlags{}, modelFlags{load: modelPath, assign: true}); err != nil {
+		budgetFlags{}, modelFlags{load: modelPath, assign: true}, shardFlags{}); err != nil {
 		t.Fatalf("load+assign: %v", err)
 	}
 	want, err := os.ReadFile(clusterOut)
@@ -212,7 +217,7 @@ func TestRunSaveLoadAssign(t *testing.T) {
 
 	warmOut := filepath.Join(dir, "warm.csv")
 	if err := run("dbsvec", 5, 5, 0, 0, in, warmOut, 0, "linear", "f64", 1, 0, false,
-		budgetFlags{}, modelFlags{load: modelPath}); err != nil {
+		budgetFlags{}, modelFlags{load: modelPath}, shardFlags{}); err != nil {
 		t.Fatalf("warm restart: %v", err)
 	}
 	warm, err := os.ReadFile(warmOut)
@@ -228,15 +233,15 @@ func TestRunSaveLoadAssign(t *testing.T) {
 func TestRunModelFlagErrors(t *testing.T) {
 	in := writeInput(t)
 	if err := run("dbsvec", 5, 5, 0, 0, in, "", 0, "linear", "f64", 1, 0, false,
-		budgetFlags{}, modelFlags{assign: true}); err == nil {
+		budgetFlags{}, modelFlags{assign: true}, shardFlags{}); err == nil {
 		t.Error("-assign without -loadmodel should error")
 	}
 	if err := run("dbscan", 5, 5, 0, 0, in, "", 0, "linear", "f64", 1, 0, false,
-		budgetFlags{}, modelFlags{save: filepath.Join(t.TempDir(), "m.bin")}); err == nil {
+		budgetFlags{}, modelFlags{save: filepath.Join(t.TempDir(), "m.bin")}, shardFlags{}); err == nil {
 		t.Error("-savemodel with a non-dbsvec algorithm should error")
 	}
 	if err := run("dbsvec", 5, 5, 0, 0, in, "", 0, "linear", "f64", 1, 0, false,
-		budgetFlags{}, modelFlags{load: "/nonexistent/model.bin", assign: true}); err == nil {
+		budgetFlags{}, modelFlags{load: "/nonexistent/model.bin", assign: true}, shardFlags{}); err == nil {
 		t.Error("missing model file should error")
 	}
 	bogus := filepath.Join(t.TempDir(), "bogus.bin")
@@ -244,7 +249,160 @@ func TestRunModelFlagErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := run("dbsvec", 5, 5, 0, 0, in, "", 0, "linear", "f64", 1, 0, false,
-		budgetFlags{}, modelFlags{load: bogus, assign: true}); err == nil {
+		budgetFlags{}, modelFlags{load: bogus, assign: true}, shardFlags{}); err == nil {
 		t.Error("corrupt model file should error")
+	}
+}
+
+// writeShardInput writes line clusters spanning the full extent of axis 0 —
+// the DBSCAN-exact regime the sharded merge is proven for, shaped so every
+// slab cut slices every cluster (see internal/shard tests) — and returns the
+// CSV path plus the rows themselves.
+func writeShardInput(t *testing.T, nStrips, perStrip int, seed int64) (string, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, 0, nStrips*perStrip)
+	var sb strings.Builder
+	for s := 0; s < nStrips; s++ {
+		for i := 0; i < perStrip; i++ {
+			x := (float64(i)+0.5)*0.2 + (rng.Float64()-0.5)*0.1
+			y := float64(s)*8 + rng.Float64()*0.5
+			rows = append(rows, []float64{x, y})
+			fmt.Fprintf(&sb, "%s,%s\n",
+				strconv.FormatFloat(x, 'g', -1, 64), strconv.FormatFloat(y, 'g', -1, 64))
+		}
+	}
+	path := filepath.Join(t.TempDir(), "in.csv")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, rows
+}
+
+// TestRunSharded: -shards k must reproduce the single-shot CLI output byte
+// for byte on unambiguous input.
+func TestRunSharded(t *testing.T) {
+	in, _ := writeShardInput(t, 4, 150, 11)
+	dir := t.TempDir()
+	single := filepath.Join(dir, "single.csv")
+	if err := run("dbsvec", 3, 10, 0, 0, in, single, 0, "linear", "f64", 1, 0, false,
+		budgetFlags{}, modelFlags{}, shardFlags{}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 3} {
+		out := filepath.Join(dir, fmt.Sprintf("sharded%d.csv", shards))
+		if err := run("dbsvec", 3, 10, 0, 0, in, out, 0, "linear", "f64", 1, 0, true,
+			budgetFlags{}, modelFlags{}, shardFlags{shards: shards, par: 2}); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		got, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("shards=%d output differs from single-shot run", shards)
+		}
+	}
+}
+
+// TestRunShardMem drives the out-of-core path end to end for both binary
+// precisions: the streamed labeled CSV must equal WriteCSV of the in-memory
+// sharded run, and -savemodel must produce a loadable artifact.
+func TestRunShardMem(t *testing.T) {
+	_, rows := writeShardInput(t, 4, 150, 12)
+	for _, prec := range []dbsvec.Precision{dbsvec.PrecisionF64, dbsvec.PrecisionF32} {
+		ds, err := dbsvec.NewDataset(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds, err = ds.ToPrecision(prec); err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		bin := filepath.Join(dir, "in.bin")
+		f, err := os.Create(bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.WriteBinary(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		res, err := dbsvec.RunSharded(ds, dbsvec.Options{Eps: 3, MinPts: 10, Shards: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want bytes.Buffer
+		if err := ds.WriteCSV(&want, res); err != nil {
+			t.Fatal(err)
+		}
+
+		out := filepath.Join(dir, "out.csv")
+		modelPath := filepath.Join(dir, "model.bin")
+		if err := run("dbsvec", 3, 10, 0, 0, bin, out, 0, "linear", "f64", 1, 0, true,
+			budgetFlags{}, modelFlags{save: modelPath}, shardFlags{shards: 3, mem: true}); err != nil {
+			t.Fatalf("%v: %v", prec, err)
+		}
+		got, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want.String() {
+			t.Fatalf("%v: streamed CSV differs from in-memory sharded run", prec)
+		}
+		mf, err := os.Open(modelPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := dbsvec.LoadModel(mf)
+		mf.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Precision() != prec || m.Clusters() != res.Clusters {
+			t.Fatalf("%v: saved model precision=%v clusters=%d, want %v/%d",
+				prec, m.Precision(), m.Clusters(), prec, res.Clusters)
+		}
+	}
+}
+
+// TestRunShardErrors covers the sharded-mode flag validation.
+func TestRunShardErrors(t *testing.T) {
+	in := writeInput(t)
+	if err := run("dbscan", 5, 5, 0, 0, in, "", 0, "linear", "f64", 1, 0, false,
+		budgetFlags{}, modelFlags{}, shardFlags{shards: 2}); err == nil {
+		t.Error("-shards with a non-dbsvec algorithm should error")
+	}
+	if err := run("dbsvec", 5, 5, 0, 0, in, "", 0, "linear", "f64", 1, 0, false,
+		budgetFlags{}, modelFlags{load: "m.bin"}, shardFlags{shards: 2}); err == nil {
+		t.Error("-loadmodel in sharded mode should error")
+	}
+	if err := run("dbsvec", 5, 5, 0, 0, in, "", 0, "linear", "f64", 1, 0, false,
+		budgetFlags{}, modelFlags{}, shardFlags{mem: true}); err == nil {
+		t.Error("-shardmem without -shards should error")
+	}
+	if err := run("dbsvec", 5, 5, 0, 0, "", "", 0, "linear", "f64", 1, 0, false,
+		budgetFlags{}, modelFlags{}, shardFlags{shards: 2, mem: true}); err == nil {
+		t.Error("-shardmem without -in should error")
+	}
+	if err := run("dbsvec", 5, 5, 0, 0, in, "", 100, "linear", "f64", 1, 0, false,
+		budgetFlags{}, modelFlags{}, shardFlags{shards: 2, mem: true}); err == nil {
+		t.Error("-shardmem with -normalize should error")
+	}
+	if err := run("dbsvec", 5, 5, 0, 0, in, "", 0, "linear", "f32", 1, 0, false,
+		budgetFlags{}, modelFlags{}, shardFlags{shards: 2, mem: true}); err == nil {
+		t.Error("-shardmem with -precision f32 should error")
+	}
+	// A CSV file is not a binary dataset.
+	if err := run("dbsvec", 5, 5, 0, 0, in, "", 0, "linear", "f64", 1, 0, false,
+		budgetFlags{}, modelFlags{}, shardFlags{shards: 2, mem: true}); err == nil {
+		t.Error("-shardmem on a CSV file should error")
 	}
 }

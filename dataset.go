@@ -98,6 +98,23 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 	return &Dataset{ds: ds}, nil
 }
 
+// ReadBinary parses a dataset written by WriteBinary (the format cmd/datagen
+// -format bin produces and RunShardedFile streams). Float32 files come back
+// in PrecisionF32 storage.
+func ReadBinary(r io.Reader) (*Dataset, error) {
+	ds, err := data.ReadBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{ds: ds}, nil
+}
+
+// WriteBinary streams the dataset to w in the binary dataset format; the
+// dataset's precision selects the on-disk value width.
+func (d *Dataset) WriteBinary(w io.Writer) error {
+	return data.WriteBinary(w, d.ds)
+}
+
 // WriteCSV writes the dataset as CSV, appending each point's cluster label
 // as a last column when res is non-nil.
 func (d *Dataset) WriteCSV(w io.Writer, res *Result) error {

@@ -205,8 +205,18 @@ type Options struct {
 	// queries). When a limit fires, Cluster returns the best-effort partial
 	// clustering built so far together with a *BudgetExceededError: check
 	// for it with errors.As and decide whether the partial result is good
-	// enough. The zero value disables every limit.
+	// enough. The zero value disables every limit. In sharded mode the
+	// budget applies per shard.
 	Budget Budget
+
+	// Shards is the eps-halo slab count for RunSharded/RunShardedFile
+	// (default 1 = single-shot semantics). Ignored by Cluster.
+	Shards int
+
+	// ShardConcurrency caps the shards in flight during a sharded run,
+	// bounding peak memory at O(ShardConcurrency × slab). 0 selects 1
+	// (fully sequential, minimum footprint). Ignored by Cluster.
+	ShardConcurrency int
 }
 
 // PhaseTimes is the per-phase wall-clock breakdown reported by the
@@ -254,6 +264,10 @@ type Stats struct {
 	// SVDD is the wall-clock breakdown of all SVDD trainings, a
 	// sub-breakdown of Phases.Expand.
 	SVDD SVDDTimes
+	// Sharding reports the slab plan, per-shard execution and peak heap of a
+	// RunSharded/RunShardedFile run; nil for single-shot Cluster runs. The
+	// counters above are then the sums over all shards.
+	Sharding *ShardStats
 }
 
 // Result is the outcome of a clustering run.

@@ -1,0 +1,164 @@
+package data
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"dbsvec/internal/vec"
+)
+
+// TestBinaryBlockMatchesSlurp is the block-read property test: for both
+// on-disk precisions and arbitrary block partitions (including single-point
+// blocks and one full-file block), reassembling the coordinate section from
+// ReadBinaryBlock calls over io.ReaderAt is bit-identical to the bufio slurp
+// path's widened master.
+func TestBinaryBlockMatchesSlurp(t *testing.T) {
+	for _, prec := range []vec.Precision{vec.F64, vec.F32} {
+		t.Run(prec.String(), func(t *testing.T) {
+			ds, err := Blobs(257, 6, 3, 2, 100, 0.05, 11).ToPrecision(prec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := WriteBinary(&buf, ds); err != nil {
+				t.Fatal(err)
+			}
+			raw := buf.Bytes()
+
+			slurped, err := ReadBinary(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ra := bytes.NewReader(raw)
+			h, err := ReadBinaryHeader(ra)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.N != ds.Len() || h.D != ds.Dim() || h.Precision() != prec {
+				t.Fatalf("header = %+v (prec %v), want n=%d d=%d prec %v",
+					h, h.Precision(), ds.Len(), ds.Dim(), prec)
+			}
+
+			rng := rand.New(rand.NewSource(41))
+			for trial := 0; trial < 20; trial++ {
+				coords := make([]float64, h.N*h.D)
+				start := 0
+				for start < h.N {
+					count := 1 + rng.Intn(h.N-start)
+					if trial == 0 {
+						count = h.N // one full-file block
+					} else if trial == 1 {
+						count = 1 // point-at-a-time
+					}
+					if err := ReadBinaryBlock(ra, h, start, count, coords[start*h.D:]); err != nil {
+						t.Fatalf("block [%d,%d): %v", start, start+count, err)
+					}
+					start += count
+				}
+				for i, v := range coords {
+					if v != slurped.Coords()[i] {
+						t.Fatalf("trial %d: value %d differs from slurp path", trial, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBinaryBlockBounds rejects out-of-range and undersized-buffer reads.
+func TestBinaryBlockBounds(t *testing.T) {
+	ds := Blobs(10, 3, 2, 2, 100, 0.05, 7)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	ra := bytes.NewReader(buf.Bytes())
+	h, err := ReadBinaryHeader(ra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 100)
+	for _, bad := range []struct{ start, count int }{
+		{-1, 2}, {0, -1}, {9, 2}, {11, 0}, {0, 11},
+	} {
+		if err := ReadBinaryBlock(ra, h, bad.start, bad.count, out); err == nil {
+			t.Fatalf("block [%d,%d) accepted", bad.start, bad.start+bad.count)
+		}
+	}
+	if err := ReadBinaryBlock(ra, h, 0, 4, make([]float64, 4*h.D-1)); err == nil {
+		t.Fatal("undersized buffer accepted")
+	}
+	if err := ReadBinaryBlock(ra, h, 3, 0, nil); err != nil {
+		t.Fatalf("empty block: %v", err)
+	}
+}
+
+// TestBinaryWriterMatchesWriteBinary pins the streaming writer byte-identical
+// to WriteBinary on the materialized dataset, for both precisions and for
+// chunked as well as point-at-a-time appends.
+func TestBinaryWriterMatchesWriteBinary(t *testing.T) {
+	for _, prec := range []vec.Precision{vec.F64, vec.F32} {
+		t.Run(prec.String(), func(t *testing.T) {
+			ds, err := Blobs(123, 4, 2, 2, 100, 0.05, 13).ToPrecision(prec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want bytes.Buffer
+			if err := WriteBinary(&want, ds); err != nil {
+				t.Fatal(err)
+			}
+
+			for _, chunk := range []int{1, 7, ds.Len()} {
+				var got bytes.Buffer
+				bw, err := NewBinaryWriter(&got, ds.Len(), ds.Dim(), prec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for start := 0; start < ds.Len(); start += chunk {
+					end := start + chunk
+					if end > ds.Len() {
+						end = ds.Len()
+					}
+					if err := bw.WritePoints(ds.Coords()[start*ds.Dim() : end*ds.Dim()]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := bw.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got.Bytes(), want.Bytes()) {
+					t.Fatalf("chunk %d: streamed bytes differ from WriteBinary", chunk)
+				}
+			}
+		})
+	}
+}
+
+// TestBinaryWriterCountMismatch: Close refuses a short stream, and appending
+// past the declared count fails immediately.
+func TestBinaryWriterCountMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	bw, err := NewBinaryWriter(&buf, 3, 2, vec.F64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.WritePoints([]float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Close(); err == nil {
+		t.Fatal("Close accepted 2 of 3 declared points")
+	}
+
+	bw, err = NewBinaryWriter(&buf, 1, 2, vec.F64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.WritePoints([]float64{1, 2, 3, 4}); err == nil {
+		t.Fatal("writer accepted more points than declared")
+	}
+	if err := bw.WritePoints([]float64{1, 2, 3}); err == nil {
+		t.Fatal("writer accepted a ragged chunk")
+	}
+}

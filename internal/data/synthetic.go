@@ -176,6 +176,20 @@ type SeedSpreader struct {
 
 // Generate materializes the dataset.
 func (s SeedSpreader) Generate() *vec.Dataset {
+	coords := make([]float64, 0, s.N*s.D)
+	s.Stream(func(p []float64) error {
+		coords = append(coords, p...)
+		return nil
+	})
+	ds, _ := vec.NewDatasetUnchecked(coords, s.D)
+	return ds
+}
+
+// Stream emits the dataset's points one at a time in generation order —
+// exactly the points Generate materializes — without holding more than one
+// point in memory. The emit buffer is reused between calls; a non-nil error
+// from emit aborts the stream and is returned.
+func (s SeedSpreader) Stream(emit func(point []float64) error) error {
 	span := s.Span
 	if span == 0 {
 		span = 1e5
@@ -209,7 +223,7 @@ func (s SeedSpreader) Generate() *vec.Dataset {
 		perRegion = 1
 	}
 
-	coords := make([]float64, 0, s.N*s.D)
+	point := make([]float64, s.D)
 	center := make([]float64, s.D)
 	pos := make([]float64, s.D)
 	emitted := 0
@@ -226,7 +240,10 @@ func (s SeedSpreader) Generate() *vec.Dataset {
 		for e := 0; e < regionTarget; e++ {
 			// Emit a point near the spreader.
 			for j := 0; j < s.D; j++ {
-				coords = append(coords, clamp(pos[j]+rng.NormFloat64()*localR, 0, span))
+				point[j] = clamp(pos[j]+rng.NormFloat64()*localR, 0, span)
+			}
+			if err := emit(point); err != nil {
+				return err
 			}
 			emitted++
 			// Walk, reflected into the region box.
@@ -244,11 +261,13 @@ func (s SeedSpreader) Generate() *vec.Dataset {
 	}
 	for i := 0; i < noise; i++ {
 		for j := 0; j < s.D; j++ {
-			coords = append(coords, rng.Float64()*span)
+			point[j] = rng.Float64() * span
+		}
+		if err := emit(point); err != nil {
+			return err
 		}
 	}
-	ds, _ := vec.NewDatasetUnchecked(coords, s.D)
-	return ds
+	return nil
 }
 
 // Ring generates n points on a circle of radius r centered at the origin
@@ -314,11 +333,27 @@ func UCIAnalog(n, d, k int, seed int64) *vec.Dataset {
 // Uniform scatters n points uniformly in [0, span]^d — the all-noise
 // stress case.
 func Uniform(n, d int, span float64, seed int64) *vec.Dataset {
-	rng := rand.New(rand.NewSource(seed))
-	coords := make([]float64, n*d)
-	for i := range coords {
-		coords[i] = rng.Float64() * span
-	}
+	coords := make([]float64, 0, n*d)
+	UniformStream(n, d, span, seed, func(p []float64) error {
+		coords = append(coords, p...)
+		return nil
+	})
 	ds, _ := vec.NewDatasetUnchecked(coords, d)
 	return ds
+}
+
+// UniformStream emits Uniform's points one at a time in generation order
+// (reused emit buffer, error aborts) without materializing the dataset.
+func UniformStream(n, d int, span float64, seed int64, emit func(point []float64) error) error {
+	rng := rand.New(rand.NewSource(seed))
+	point := make([]float64, d)
+	for i := 0; i < n; i++ {
+		for j := range point {
+			point[j] = rng.Float64() * span
+		}
+		if err := emit(point); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -58,6 +58,9 @@ type Config struct {
 	// HighdimJSONPath, when non-empty, makes the "highdim" experiment write
 	// its machine-readable report (HighdimReport) to this file.
 	HighdimJSONPath string
+	// ShardJSONPath, when non-empty, makes the "shard" experiment write its
+	// machine-readable report (ShardReport) to this file.
+	ShardJSONPath string
 	// Precision selects the point-storage mode datasets are generated in
 	// (vec.F64 default). The precision-dimension sections of the svdd and
 	// index benchmarks measure both modes regardless; this knob converts the

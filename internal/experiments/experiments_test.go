@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"dbsvec/internal/vec"
 )
 
 // tinyCfg keeps experiment smoke tests fast.
@@ -14,8 +16,8 @@ func tinyCfg() Config {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Fatalf("expected 13 experiments, got %d", len(all))
+	if len(all) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(all))
 	}
 	for _, e := range all {
 		if e.ID == "" || e.Title == "" || e.Run == nil {
@@ -130,5 +132,44 @@ func TestSubResult(t *testing.T) {
 	}
 	if sub.Clusters != 2 {
 		t.Errorf("subResult clusters = %d", sub.Clusters)
+	}
+}
+
+func TestShardBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard bench runs several clusterings")
+	}
+	rep := &ShardReport{
+		Seed: 1, Eps: shardBenchEps, MinPts: shardBenchMinPts, Dim: shardBenchDim,
+		Ns: []int{4000}, Shards: []int{2},
+	}
+	if err := runShardBenchPoint(tinyCfg(), rep, 4000, vec.F64); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 3 {
+		t.Fatalf("expected single+sharded+outofcore entries, got %d", len(rep.Entries))
+	}
+	modes := []string{"single", "sharded", "outofcore"}
+	for i, e := range rep.Entries {
+		if e.Mode != modes[i] {
+			t.Errorf("entry %d mode = %q, want %q", i, e.Mode, modes[i])
+		}
+		if e.ElapsedNs <= 0 || e.Clusters == 0 {
+			t.Errorf("%s entry not populated: %+v", e.Mode, e)
+		}
+		if e.ARIVsSingle < 0.99 {
+			t.Errorf("%s ARI vs single = %v, want ~1", e.Mode, e.ARIVsSingle)
+		}
+		if e.DatasetBytes != 4000*shardBenchDim*8 {
+			t.Errorf("%s dataset bytes = %d", e.Mode, e.DatasetBytes)
+		}
+	}
+
+	path := t.TempDir() + "/shard.json"
+	if err := WriteShardJSON(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckBaseline(path, path); err != nil {
+		t.Errorf("report does not match its own schema: %v", err)
 	}
 }

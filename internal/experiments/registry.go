@@ -32,6 +32,7 @@ func All() []Experiment {
 		{"svdd", "SVDD training fast path micro-benchmark (BENCH_svdd.json)", SVDDPerf},
 		{"index", "Index construction micro-benchmark (BENCH_index.json)", IndexPerf},
 		{"highdim", "High-dimensional rproj vs linear benchmark (BENCH_highdim.json)", Highdim},
+		{"shard", "Sharded out-of-core execution benchmark (BENCH_shard.json)", ShardBench},
 	}
 }
 

@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"dbsvec/internal/core"
+	"dbsvec/internal/data"
+	"dbsvec/internal/eval"
+	"dbsvec/internal/shard"
+	"dbsvec/internal/vec"
+)
+
+// Sharded out-of-core execution benchmark: eps-halo slab runs against the
+// single-shot baseline on the paper's SeedSpreader workload (d=8, eps=2000,
+// minPts=100 on the [0,1e5] domain — eps a fifth of the fig6a radius, the
+// regime sharding targets: halos a small fraction of the axis span). Three
+// modes per cardinality and storage precision:
+//
+//   - single: one core.Run over the whole dataset (the baseline), peak heap
+//     sampled the same way the sharded runs sample theirs;
+//   - sharded: shard.Run over an in-memory source, one slab in flight —
+//     range queries scan O(slab) instead of O(n), which is where the
+//     wall-clock win comes from even on one CPU;
+//   - outofcore: shard.Run streaming slabs from a temporary binary file with
+//     the dataset dropped from memory first, so the sampled peak heap shows
+//     the O(slab) footprint against the dataset's in-RAM size.
+//
+// Every non-single entry reports its ARI against the same-precision single
+// run; on this workload the sharded merge is expected to reproduce the
+// single-shot labeling (ARI 1.0, modulo DBSVEC's own approximation at
+// cluster borders).
+
+// Benchmark shape pinned for the committed BENCH_shard.json.
+const (
+	shardBenchDim    = 8
+	shardBenchEps    = 2000
+	shardBenchMinPts = 100
+)
+
+// ShardEntry is one timed run of one mode.
+type ShardEntry struct {
+	Mode      string `json:"mode"` // single | sharded | outofcore
+	Precision string `json:"precision"`
+	N         int    `json:"n"`
+	Dim       int    `json:"dim"`
+	Shards    int    `json:"shards"`
+	ElapsedNs int64  `json:"elapsed_ns"`
+	Clusters  int    `json:"clusters"`
+	// ARIVsSingle compares against the same-precision single run (1.0 for
+	// the single rows themselves).
+	ARIVsSingle float64 `json:"ari_vs_single"`
+	// SpeedupVsSingle is the single run's wall clock divided by this one's.
+	SpeedupVsSingle float64 `json:"speedup_vs_single"`
+	// PeakHeapBytes is the sampled peak live heap during the run;
+	// DatasetBytes the dataset's in-RAM coordinate footprint (f32 storage
+	// carries a float64 master plus the float32 mirror). Their ratio is the
+	// out-of-core story: outofcore rows stay well below 1.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	DatasetBytes  int64  `json:"dataset_bytes"`
+	// BoundaryPoints / CrossMerges report the halo-merge work (0 for single).
+	BoundaryPoints int `json:"boundary_points"`
+	CrossMerges    int `json:"cross_merges"`
+}
+
+// ShardReport is the machine-readable result benchall writes to
+// BENCH_shard.json.
+type ShardReport struct {
+	Seed    int64        `json:"seed"`
+	Eps     float64      `json:"eps"`
+	MinPts  int          `json:"min_pts"`
+	Dim     int          `json:"dim"`
+	Ns      []int        `json:"ns"`
+	Shards  []int        `json:"shards"`
+	Workers int          `json:"workers"`
+	Entries []ShardEntry `json:"entries"`
+}
+
+// datasetBytes is the in-RAM coordinate footprint of n points in d
+// dimensions at the given precision: a float64 master always, plus the
+// float32 mirror in F32 storage.
+func datasetBytes(n, d int, prec vec.Precision) int64 {
+	per := int64(8)
+	if prec == vec.F32 {
+		per = 12
+	}
+	return int64(n) * int64(d) * per
+}
+
+// RunShardBench executes the benchmark and returns the report.
+func RunShardBench(cfg Config) (*ShardReport, error) {
+	ns := []int{100_000, 300_000, 1_000_000}
+	shardCounts := []int{4, 8}
+	if cfg.Quick {
+		ns = []int{10_000, 30_000}
+		shardCounts = []int{2, 4}
+	}
+	rep := &ShardReport{
+		Seed:    cfg.Seed,
+		Eps:     shardBenchEps,
+		MinPts:  shardBenchMinPts,
+		Dim:     shardBenchDim,
+		Ns:      ns,
+		Shards:  shardCounts,
+		Workers: cfg.Workers,
+	}
+	for _, n := range ns {
+		for _, prec := range []vec.Precision{vec.F64, vec.F32} {
+			if err := runShardBenchPoint(cfg, rep, n, prec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rep, nil
+}
+
+// runShardBenchPoint measures every mode at one cardinality and precision.
+func runShardBenchPoint(cfg Config, rep *ShardReport, n int, prec vec.Precision) error {
+	copts := core.Options{
+		Eps: shardBenchEps, MinPts: shardBenchMinPts, Seed: cfg.Seed, Workers: cfg.Workers,
+		Budget: core.Budget{MaxDuration: cfg.RunTimeout},
+	}
+	footprint := datasetBytes(n, shardBenchDim, prec)
+	precName := "f64"
+	if prec == vec.F32 {
+		precName = "f32"
+	}
+
+	// Generate, run the in-memory modes, and spill the binary file — inside a
+	// closure so the dataset itself becomes collectible before the
+	// out-of-core run measures its peak heap.
+	var (
+		single   *clusterResult
+		singleNs int64
+		binPath  string
+	)
+	err := func() error {
+		ds := data.SeedSpreader{N: n, D: shardBenchDim, Seed: cfg.Seed}.Generate()
+		ds, err := ds.ToPrecision(prec)
+		if err != nil {
+			return fmt.Errorf("shard bench precision: %w", err)
+		}
+
+		start := time.Now()
+		peak, err := shard.MeasurePeakHeap(0, func() error {
+			single, _, err = core.Run(ds, copts)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("shard bench single n=%d: %w", n, err)
+		}
+		singleNs = time.Since(start).Nanoseconds()
+		rep.Entries = append(rep.Entries, ShardEntry{
+			Mode: "single", Precision: precName, N: n, Dim: shardBenchDim, Shards: 1,
+			ElapsedNs: singleNs, Clusters: single.Clusters,
+			ARIVsSingle: 1, SpeedupVsSingle: 1,
+			PeakHeapBytes: peak, DatasetBytes: footprint,
+		})
+
+		for _, k := range rep.Shards {
+			start := time.Now()
+			res, _, sst, err := shard.Run(shard.NewMemSource(ds), shard.Options{
+				Core: copts, Shards: k, Concurrency: 1,
+			})
+			if err != nil {
+				return fmt.Errorf("shard bench sharded k=%d n=%d: %w", k, n, err)
+			}
+			e, err := shardEntry("sharded", precName, n, k, time.Since(start).Nanoseconds(), res, &sst, single, singleNs, footprint)
+			if err != nil {
+				return err
+			}
+			rep.Entries = append(rep.Entries, e)
+		}
+
+		f, err := os.CreateTemp("", "dbsvec-shardbench-*.bin")
+		if err != nil {
+			return err
+		}
+		binPath = f.Name()
+		if err := data.WriteBinary(f, ds); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}()
+	if err != nil {
+		if binPath != "" {
+			os.Remove(binPath)
+		}
+		return err
+	}
+	defer os.Remove(binPath)
+
+	// Out-of-core: the dataset now lives only on disk. Settle the heap so the
+	// sampled peak reflects the streaming run, not the generation garbage.
+	// Every shard count runs, because footprint is not monotone in k: more
+	// slabs mean smaller owned sets but force cuts into denser mass, growing
+	// the halo bands the boundary pass copies.
+	runtime.GC()
+	fs, err := shard.OpenFile(binPath)
+	if err != nil {
+		return err
+	}
+	defer fs.Close()
+	for _, k := range rep.Shards {
+		start := time.Now()
+		res, _, sst, err := shard.Run(fs, shard.Options{Core: copts, Shards: k, Concurrency: 1})
+		if err != nil {
+			return fmt.Errorf("shard bench outofcore n=%d: %w", n, err)
+		}
+		e, err := shardEntry("outofcore", precName, n, k, time.Since(start).Nanoseconds(), res, &sst, single, singleNs, footprint)
+		if err != nil {
+			return err
+		}
+		rep.Entries = append(rep.Entries, e)
+		runtime.GC()
+	}
+	return nil
+}
+
+// shardEntry folds one sharded run into a report row.
+func shardEntry(mode, prec string, n, k int, elapsedNs int64, res *clusterResult, sst *shard.Stats, single *clusterResult, singleNs int64, footprint int64) (ShardEntry, error) {
+	ari, err := eval.AdjustedRandIndex(single, res)
+	if err != nil {
+		return ShardEntry{}, fmt.Errorf("shard bench ari: %w", err)
+	}
+	return ShardEntry{
+		Mode: mode, Precision: prec, N: n, Dim: shardBenchDim, Shards: k,
+		ElapsedNs: elapsedNs, Clusters: res.Clusters,
+		ARIVsSingle: ari, SpeedupVsSingle: speedup(singleNs, elapsedNs),
+		PeakHeapBytes: sst.PeakHeapBytes, DatasetBytes: footprint,
+		BoundaryPoints: sst.BoundaryPoints, CrossMerges: sst.CrossMerges,
+	}, nil
+}
+
+// ShardBench is the registry entry: it prints the comparison table and, when
+// cfg.ShardJSONPath is set, writes the machine-readable report there.
+func ShardBench(w io.Writer, cfg Config) error {
+	header(w, "Sharded out-of-core execution: slabs vs single-shot")
+	rep, err := RunShardBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "eps=%g minPts=%d d=%d (SeedSpreader)\n\n", rep.Eps, rep.MinPts, rep.Dim)
+	fmt.Fprintf(w, "%-10s %5s %9s %7s %11s %9s %8s %8s %10s %10s\n",
+		"mode", "prec", "n", "shards", "elapsed", "clusters", "ARI", "speedup", "peakheap", "dataset")
+	for _, e := range rep.Entries {
+		fmt.Fprintf(w, "%-10s %5s %9d %7d %10.3fs %9d %8.4f %7.2fx %9.1fM %9.1fM\n",
+			e.Mode, e.Precision, e.N, e.Shards, float64(e.ElapsedNs)/1e9, e.Clusters,
+			e.ARIVsSingle, e.SpeedupVsSingle,
+			float64(e.PeakHeapBytes)/1e6, float64(e.DatasetBytes)/1e6)
+	}
+	if cfg.ShardJSONPath != "" {
+		if err := WriteShardJSON(cfg.ShardJSONPath, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.ShardJSONPath)
+	}
+	return nil
+}
+
+// WriteShardJSON writes the report as indented JSON.
+func WriteShardJSON(path string, rep *ShardReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,159 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+
+	"dbsvec/internal/data"
+	"dbsvec/internal/vec"
+)
+
+// Source feeds points to the sharded runner. The planner streams the whole
+// source a few times (sequential block reads); each shard then materializes
+// only its working set via Slab, so a FileSource never holds more than one
+// block plus the slabs currently in flight.
+type Source interface {
+	// Len and Dim describe the point set.
+	Len() int
+	Dim() int
+	// Scan streams the points in id order as flat row-major blocks. fn
+	// receives the id of the block's first point and the block's widened
+	// float64 coordinates; returning an error stops the scan.
+	Scan(fn func(start int, coords []float64) error) error
+	// Slab materializes the points with the given ids (sorted ascending) as
+	// a dataset whose precision matches a whole-source load, so per-shard
+	// runs are bit-compatible with a single-shot run over the same source.
+	Slab(ids []int32) (*vec.Dataset, error)
+}
+
+// MemSource adapts an in-memory dataset. Slabs are precision-preserving
+// subsets of the master, so the sharded run sees the exact same coordinate
+// bits as a single-shot run over ds.
+type MemSource struct {
+	ds *vec.Dataset
+}
+
+// NewMemSource wraps ds.
+func NewMemSource(ds *vec.Dataset) *MemSource { return &MemSource{ds: ds} }
+
+// Len implements Source.
+func (s *MemSource) Len() int { return s.ds.Len() }
+
+// Dim implements Source.
+func (s *MemSource) Dim() int { return s.ds.Dim() }
+
+// Scan implements Source with a single whole-dataset block: the master
+// coordinates of an F32 dataset are already the widened mirror values, so
+// this matches what a file scan of the same data would deliver.
+func (s *MemSource) Scan(fn func(start int, coords []float64) error) error {
+	if s.ds.Len() == 0 {
+		return nil
+	}
+	return fn(0, s.ds.Coords())
+}
+
+// Slab implements Source via a precision-preserving subset copy.
+func (s *MemSource) Slab(ids []int32) (*vec.Dataset, error) {
+	return s.ds.Subset(ids), nil
+}
+
+// FileSource streams a binary dataset file (data.WriteBinary format) through
+// bounded block reads: Scan and Slab never hold more than BlockPoints points
+// of scratch beyond the slab being assembled. ReadAt keeps it safe for
+// concurrent Slab calls from shards in flight.
+type FileSource struct {
+	f *os.File
+	h data.BinHeader
+	// BlockPoints is the read granularity in points (default 8192).
+	BlockPoints int
+}
+
+// OpenFile probes the header of the binary dataset at path. Close releases
+// the underlying file.
+func OpenFile(path string) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	h, err := data.ReadBinaryHeader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileSource{f: f, h: h}, nil
+}
+
+// Close releases the underlying file handle.
+func (s *FileSource) Close() error { return s.f.Close() }
+
+// Header exposes the probed file header.
+func (s *FileSource) Header() data.BinHeader { return s.h }
+
+// Len implements Source.
+func (s *FileSource) Len() int { return s.h.N }
+
+// Dim implements Source.
+func (s *FileSource) Dim() int { return s.h.D }
+
+func (s *FileSource) block() int {
+	if s.BlockPoints > 0 {
+		return s.BlockPoints
+	}
+	return 8192
+}
+
+// Scan implements Source with sequential bounded block reads.
+func (s *FileSource) Scan(fn func(start int, coords []float64) error) error {
+	b := s.block()
+	buf := make([]float64, b*s.h.D)
+	for start := 0; start < s.h.N; start += b {
+		count := min(b, s.h.N-start)
+		if err := data.ReadBinaryBlock(s.f, s.h, start, count, buf); err != nil {
+			return err
+		}
+		if err := fn(start, buf[:count*s.h.D]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Slab implements Source by gathering the requested rows block by block.
+// The dataset is constructed exactly like data.ReadBinary would construct the
+// whole file — widened values through vec.NewDataset (honoring the process
+// default precision) with float32 files re-quantized losslessly — so a slab
+// is bitwise the subset of a whole-file load.
+func (s *FileSource) Slab(ids []int32) (*vec.Dataset, error) {
+	d := s.h.D
+	out := make([]float64, len(ids)*d)
+	b := s.block()
+	buf := make([]float64, b*d)
+	for i := 0; i < len(ids); {
+		id := int(ids[i])
+		if id < 0 || id >= s.h.N {
+			return nil, fmt.Errorf("shard: slab id %d outside %d points", id, s.h.N)
+		}
+		start := (id / b) * b
+		count := min(b, s.h.N-start)
+		if err := data.ReadBinaryBlock(s.f, s.h, start, count, buf); err != nil {
+			return nil, err
+		}
+		for ; i < len(ids) && int(ids[i]) < start+count; i++ {
+			if int(ids[i]) < start {
+				return nil, fmt.Errorf("shard: slab ids not sorted ascending at %d", i)
+			}
+			copy(out[i*d:(i+1)*d], buf[(int(ids[i])-start)*d:(int(ids[i])-start+1)*d])
+		}
+	}
+	ds, err := vec.NewDataset(out, d)
+	if err != nil {
+		return nil, err
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if s.h.Precision() == vec.F32 {
+		return ds.ToPrecision(vec.F32)
+	}
+	return ds, nil
+}

@@ -1,0 +1,112 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestCanonicalOrderInvariant pins the property the shard boundary merge
+// depends on: Canonical() is a function of the resulting partition only.
+// Feeding the same edge set in any permutation — and with either edge
+// orientation — must yield the exact same dense labeling, because labels are
+// assigned in first-seen element order (element 0 always gets label 0, the
+// next element not in 0's set gets 1, …), independent of which representative
+// the union picked internally.
+func TestCanonicalOrderInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(80)
+		edges := make([][2]int32, 1+rng.Intn(120))
+		for i := range edges {
+			edges[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+		}
+
+		base := New(n)
+		for _, e := range edges {
+			base.Union(e[0], e[1])
+		}
+		want := base.Canonical()
+
+		for trial := 0; trial < 8; trial++ {
+			perm := rng.Perm(len(edges))
+			d := New(n)
+			for _, pi := range perm {
+				a, b := edges[pi][0], edges[pi][1]
+				if rng.Intn(2) == 0 {
+					a, b = b, a // orientation must not matter either
+				}
+				d.Union(a, b)
+			}
+			got := d.Canonical()
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			if d.Sets() != base.Sets() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnionBatchMatchesUnion: the batch entry point produces the identical
+// partition and merge count as element-wise Union, and tolerates an odd
+// trailing element (ignored, not an index panic).
+func TestUnionBatchMatchesUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 50
+	pairs := make([]int32, 0, 2*70)
+	for i := 0; i < 70; i++ {
+		pairs = append(pairs, int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+
+	a, b := New(n), New(n)
+	wantMerged := 0
+	for i := 0; i < len(pairs); i += 2 {
+		if a.Union(pairs[i], pairs[i+1]) {
+			wantMerged++
+		}
+	}
+	if got := b.UnionBatch(pairs); got != wantMerged {
+		t.Fatalf("UnionBatch merged %d, element-wise Union merged %d", got, wantMerged)
+	}
+	ca, cb := a.Canonical(), b.Canonical()
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("partition diverged at element %d", i)
+		}
+	}
+
+	odd := New(4)
+	if got := odd.UnionBatch([]int32{0, 1, 2}); got != 1 {
+		t.Fatalf("odd-length batch merged %d, want 1 (trailing element ignored)", got)
+	}
+}
+
+// BenchmarkUnionBatch measures the batched merge path on a halo-merge-shaped
+// workload: a large element space with clustered, mostly-redundant edges.
+func BenchmarkUnionBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 10000
+	pairs := make([]int32, 0, 2*4*n)
+	for i := 0; i < 4*n; i++ {
+		base := int32(rng.Intn(n))
+		other := base + int32(rng.Intn(16)) - 8
+		if other < 0 || other >= int32(n) {
+			other = base
+		}
+		pairs = append(pairs, base, other)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := New(n)
+		d.UnionBatch(pairs)
+	}
+}

@@ -71,6 +71,21 @@ func (d *DSU) Union(a, b int32) bool {
 	return true
 }
 
+// UnionBatch merges every (pairs[2i], pairs[2i+1]) edge and returns the
+// number of merges that actually happened. The shard boundary merge feeds
+// thousands of halo agreement edges through this in one call; batching skips
+// the per-call function overhead of repeated Union on the hot path while
+// producing the identical partition (unions commute for the final sets).
+func (d *DSU) UnionBatch(pairs []int32) int {
+	merged := 0
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if d.Union(pairs[i], pairs[i+1]) {
+			merged++
+		}
+	}
+	return merged
+}
+
 // Same reports whether a and b belong to the same set.
 func (d *DSU) Same(a, b int32) bool { return d.Find(a) == d.Find(b) }
 

@@ -40,23 +40,7 @@ type Model struct {
 func (r *Result) Model() *Model { return r.model }
 
 func newModel(d *Dataset, opts Options, res *cluster.Result, retained []core.RetainedModel) *Model {
-	entries := make([]data.ModelEntry, len(retained))
-	for i, e := range retained {
-		entries[i] = data.ModelEntry{Cluster: e.Cluster, Degraded: e.Degraded, Snap: e.Snap}
-	}
-	prec := data.ModelPrecisionF64
-	if d.Precision() == PrecisionF32 {
-		prec = data.ModelPrecisionF32
-	}
-	return &Model{art: &data.ModelArtifact{
-		Kind:      data.ModelKindClustering,
-		Precision: prec,
-		Eps:       opts.Eps,
-		MinPts:    opts.MinPts,
-		Dim:       d.Dim(),
-		Clusters:  res.Clusters,
-		Entries:   entries,
-	}}
+	return newModelDims(d.Dim(), d.Precision(), opts, res, retained)
 }
 
 // Dim returns the dimensionality the model was trained in.
