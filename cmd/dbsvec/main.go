@@ -436,6 +436,19 @@ func writeLabeledBinaryCSV(path string, w io.Writer, res *dbsvec.Result) (int, e
 // it (nearest-cluster fallback within ε, Noise otherwise) and the labeled
 // CSV is written exactly like a clustering run's.
 func runAssign(ds *dbsvec.Dataset, m *dbsvec.Model, outPath string, workers int, stats bool) error {
+	// Validate the input against the model before any assignment work: a
+	// dimensionality or precision mismatch should be one clear up-front
+	// error, not a late failure (or silent garbage) mid-batch.
+	if ds.Dim() != m.Dim() {
+		return fmt.Errorf("%w: -assign input is %d-dimensional but the model was trained on %d dimensions", dbsvec.ErrInvalidParams, ds.Dim(), m.Dim())
+	}
+	if ds.Precision() != m.Precision() {
+		return fmt.Errorf("%w: -assign input precision %s differs from the model's training precision %s (pass -precision %s)",
+			dbsvec.ErrInvalidParams, ds.Precision(), m.Precision(), m.Precision())
+	}
+	if err := m.CheckAssignable(ds); err != nil {
+		return err
+	}
 	start := time.Now()
 	labels, err := m.Assign(ds, workers)
 	if err != nil {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -404,5 +405,43 @@ func TestRunShardErrors(t *testing.T) {
 	if err := run("dbsvec", 5, 5, 0, 0, in, "", 0, "linear", "f64", 1, 0, false,
 		budgetFlags{}, modelFlags{}, shardFlags{shards: 2, mem: true}); err == nil {
 		t.Error("-shardmem on a CSV file should error")
+	}
+}
+
+// TestRunAssignValidatesModelShape: -assign inputs that do not match the
+// loaded model's dimensionality or storage precision are rejected up front
+// with a typed ErrInvalidParams — before any assignment work, and with the
+// mismatch spelled out — instead of producing garbage labels.
+func TestRunAssignValidatesModelShape(t *testing.T) {
+	in := writeInput(t)
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "m.bin")
+	if err := run("dbsvec", 5, 5, 0, 0, in, filepath.Join(dir, "out.csv"), 0, "linear", "f64", 1, 0, false,
+		budgetFlags{}, modelFlags{save: modelPath}, shardFlags{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// 3-d input against the 2-d model.
+	in3 := filepath.Join(dir, "in3.csv")
+	if err := os.WriteFile(in3, []byte("1,2,3\n4,5,6\n7,8,9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run("dbsvec", 5, 5, 0, 0, in3, filepath.Join(dir, "out3.csv"), 0, "linear", "f64", 1, 0, false,
+		budgetFlags{}, modelFlags{load: modelPath, assign: true}, shardFlags{})
+	if !errors.Is(err, dbsvec.ErrInvalidParams) {
+		t.Fatalf("3-d assign against 2-d model: err = %v, want ErrInvalidParams", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "dimension") {
+		t.Fatalf("dim mismatch error does not name the mismatch: %v", err)
+	}
+
+	// f32 input against the f64-trained model.
+	err = run("dbsvec", 5, 5, 0, 0, in, filepath.Join(dir, "out32.csv"), 0, "linear", "f32", 1, 0, false,
+		budgetFlags{}, modelFlags{load: modelPath, assign: true}, shardFlags{})
+	if !errors.Is(err, dbsvec.ErrInvalidParams) {
+		t.Fatalf("f32 assign against f64 model: err = %v, want ErrInvalidParams", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "precision") {
+		t.Fatalf("precision mismatch error does not name the mismatch: %v", err)
 	}
 }

@@ -1,0 +1,180 @@
+// Command dbsvecd serves saved DBSVEC model artifacts over HTTP/JSON: load
+// one or more models trained and saved by cmd/dbsvec (-savemodel), then
+// classify points against their retained SVDD boundaries under admission
+// control, per-request deadlines, and graceful degradation.
+//
+// Usage:
+//
+//	dbsvecd -model clusters=model.bin [-model other=other.bin] [-addr :8008]
+//	        [-capacity 4096] [-queue 64] [-maxwait 1s] [-retryafter 1s]
+//	        [-timeout 5s] [-maxtimeout 30s] [-workers 0] [-drain 10s]
+//	        [-maxbody 67108864]
+//
+// Endpoints:
+//
+//	POST /v1/assign          {"model": "clusters", "points": [[...], ...]}
+//	                         → {"labels": [...], "clusters": k, "degraded": b}
+//	                         (or {"point": [...]} for a single point;
+//	                         "timeout_ms" overrides the default deadline)
+//	GET  /v1/models          list loaded models
+//	GET  /v1/models/{name}   inspect one model
+//	PUT  /v1/models/{name}   hot-swap: body is a binary model artifact
+//	DELETE /v1/models/{name} unload
+//	GET  /healthz            liveness (always 200 while the process serves)
+//	GET  /readyz             readiness (503 while draining or empty)
+//	GET  /metrics            plaintext counters and gauges
+//
+// Robustness: requests beyond the admission capacity queue briefly and then
+// shed as typed 429s with Retry-After; a request deadline that fires
+// mid-assignment aborts the fan-out and returns a typed 504; sustained
+// pressure steps assignment down to the nearest-SV path (responses carry
+// "degraded": true); SIGTERM/SIGINT drains in-flight requests within -drain
+// and exits 0 on a clean drain, 1 otherwise.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dbsvec"
+	"dbsvec/internal/server"
+)
+
+// modelSpec is one -model flag value: name=path, or a bare path whose base
+// name (extension stripped) becomes the model name.
+type modelSpec struct {
+	name, path string
+}
+
+func parseModelSpec(v string) (modelSpec, error) {
+	name, path, found := strings.Cut(v, "=")
+	if !found {
+		path = v
+		base := path
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		if i := strings.LastIndexByte(base, '.'); i > 0 {
+			base = base[:i]
+		}
+		name = base
+	}
+	if name == "" || path == "" {
+		return modelSpec{}, fmt.Errorf("invalid -model %q: want name=path or path", v)
+	}
+	return modelSpec{name: name, path: path}, nil
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8008", "listen address")
+		capacity   = flag.Int64("capacity", 0, "admission capacity in points in flight (0 = default 4096)")
+		queue      = flag.Int("queue", 0, "admission queue length (0 = default 64)")
+		maxWait    = flag.Duration("maxwait", 0, "max time a request may queue for admission (0 = default 1s)")
+		retryAfter = flag.Duration("retryafter", 0, "backoff hint on 429 responses (0 = default 1s)")
+		timeout    = flag.Duration("timeout", 0, "default per-request deadline (0 = default 5s)")
+		maxTimeout = flag.Duration("maxtimeout", 0, "clamp on per-request timeout_ms (0 = default 30s)")
+		workers    = flag.Int("workers", 0, "assign fan-out workers per request (0 = all CPUs)")
+		drain      = flag.Duration("drain", 10*time.Second, "hard deadline for draining in-flight requests on SIGTERM")
+		maxBody    = flag.Int64("maxbody", 0, "request body size limit in bytes (0 = default 64 MiB)")
+	)
+	var specs []modelSpec
+	flag.Func("model", "model to serve, as name=path or path (repeatable, at least one required)", func(v string) error {
+		ms, err := parseModelSpec(v)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, ms)
+		return nil
+	})
+	flag.Parse()
+
+	cfg := server.Config{
+		Capacity:       *capacity,
+		MaxQueue:       *queue,
+		MaxQueueWait:   *maxWait,
+		RetryAfter:     *retryAfter,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Workers:        *workers,
+		MaxBodyBytes:   *maxBody,
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	if err := run(cfg, *addr, specs, *drain, sigc, nil, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "dbsvecd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the server, serves until a shutdown signal (or listener
+// failure), drains, and returns nil exactly when the drain completed within
+// its deadline. ready, when non-nil, receives the bound listen address once
+// the server accepts connections (tests listen on :0).
+func run(cfg server.Config, addr string, specs []modelSpec, drain time.Duration, sigc <-chan os.Signal, ready chan<- string, logw io.Writer) error {
+	if len(specs) == 0 {
+		return fmt.Errorf("at least one -model name=path is required")
+	}
+	s := server.New(cfg)
+	for _, ms := range specs {
+		m, err := loadModelFile(ms.path)
+		if err != nil {
+			return fmt.Errorf("loading model %q: %w", ms.name, err)
+		}
+		if s.SetModel(ms.name, m) {
+			return fmt.Errorf("duplicate model name %q", ms.name)
+		}
+		fmt.Fprintf(logw, "dbsvecd: loaded model %q from %s (dim %d, %d clusters, %d support vectors)\n",
+			ms.name, ms.path, m.Dim(), m.Clusters(), m.SupportVectors())
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(logw, "dbsvecd: serving %d model(s) on %s\n", len(specs), ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	case sig := <-sigc:
+		fmt.Fprintf(logw, "dbsvecd: received %v, draining (deadline %s)\n", sig, drain)
+		s.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			hs.Close()
+			return fmt.Errorf("drain deadline exceeded: %w", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		fmt.Fprintln(logw, "dbsvecd: drained cleanly")
+		return nil
+	}
+}
+
+func loadModelFile(path string) (*dbsvec.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dbsvec.LoadModel(f)
+}

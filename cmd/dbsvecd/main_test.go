@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"dbsvec"
+	"dbsvec/internal/data"
+	"dbsvec/internal/fault"
+	"dbsvec/internal/leakcheck"
+	"dbsvec/internal/server"
+)
+
+func TestParseModelSpec(t *testing.T) {
+	for _, tc := range []struct {
+		in, name, path string
+		wantErr        bool
+	}{
+		{in: "clusters=/tmp/m.bin", name: "clusters", path: "/tmp/m.bin"},
+		{in: "/models/prod.bin", name: "prod", path: "/models/prod.bin"},
+		{in: "m.bin", name: "m", path: "m.bin"},
+		{in: "=path", wantErr: true},
+		{in: "name=", wantErr: true},
+		{in: "", wantErr: true},
+	} {
+		ms, err := parseModelSpec(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseModelSpec(%q) accepted", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseModelSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if ms.name != tc.name || ms.path != tc.path {
+			t.Errorf("parseModelSpec(%q) = %+v, want {%s %s}", tc.in, ms, tc.name, tc.path)
+		}
+	}
+}
+
+func TestRunRejectsBadSetup(t *testing.T) {
+	sigc := make(chan os.Signal)
+	if err := run(server.Config{}, "127.0.0.1:0", nil, time.Second, sigc, nil, io.Discard); err == nil {
+		t.Error("run accepted an empty model list")
+	}
+	specs := []modelSpec{{name: "m", path: "/nonexistent/model.bin"}}
+	if err := run(server.Config{}, "127.0.0.1:0", specs, time.Second, sigc, nil, io.Discard); err == nil {
+		t.Error("run accepted a missing model file")
+	}
+	p := saveTestModel(t)
+	dup := []modelSpec{{name: "m", path: p}, {name: "m", path: p}}
+	if err := run(server.Config{}, "127.0.0.1:0", dup, time.Second, sigc, nil, io.Discard); err == nil {
+		t.Error("run accepted duplicate model names")
+	}
+}
+
+// saveTestModel trains a small model and writes its artifact to a temp file.
+func saveTestModel(t testing.TB) string {
+	t.Helper()
+	raw := data.Blobs(1000, 2, 3, 2, 100, 0.05, 43)
+	ds, err := dbsvec.FromFlat(append([]float64(nil), raw.Coords()...), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dbsvec.Cluster(ds, dbsvec.Options{Eps: 3, MinPts: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Model().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunLifecycle is the daemon acceptance path: boot from a saved model
+// file, serve assignments, then SIGTERM mid-burst with slow handling — the
+// in-flight requests drain to completion, the daemon returns nil (exit 0),
+// and no goroutines leak.
+func TestRunLifecycle(t *testing.T) {
+	leakcheck.Check(t)
+	modelPath := saveTestModel(t)
+
+	sigc := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	cfg := server.Config{Capacity: 64, DefaultTimeout: 5 * time.Second}
+	go func() {
+		done <- run(cfg, "127.0.0.1:0", []modelSpec{{name: "m", path: modelPath}},
+			5*time.Second, sigc, ready, io.Discard)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+	client := &http.Client{Timeout: 10 * time.Second}
+	defer client.CloseIdleConnections()
+
+	resp, err := client.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz: status %d", resp.StatusCode)
+	}
+
+	assign := func() (int, []byte) {
+		body, _ := json.Marshal(map[string]any{"point": []float64{0, 0}})
+		resp, err := client.Post(base+"/v1/assign", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, []byte(err.Error())
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, out
+	}
+	if status, body := assign(); status != http.StatusOK {
+		t.Fatalf("warm-up assign: status %d body %s", status, body)
+	}
+
+	// SIGTERM lands while slow-handled requests are in flight: every one of
+	// them still completes (drain keeps their seats), and the daemon exits
+	// cleanly.
+	restore := fault.Activate(fault.NewInjector(1).Arm(fault.HandlerSlow, fault.Always()))
+	defer restore()
+	const inflight = 8
+	results := make(chan int, inflight)
+	var started sync.WaitGroup
+	for i := 0; i < inflight; i++ {
+		started.Add(1)
+		go func() {
+			started.Done()
+			status, _ := assign()
+			results <- status
+		}()
+	}
+	started.Wait()
+	time.Sleep(10 * time.Millisecond) // let the burst reach the handler stall
+	sigc <- syscall.SIGTERM
+
+	for i := 0; i < inflight; i++ {
+		select {
+		case status := <-results:
+			// In-flight requests finish with 200; one that raced the drain
+			// flip gets the typed 503. Nothing may hang or drop.
+			if status != http.StatusOK && status != http.StatusServiceUnavailable {
+				t.Errorf("in-flight request %d: status %d", i, status)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("request hung through drain")
+		}
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}
+
+// TestRunDrainDeadline: a drain that cannot finish in time reports an error
+// (exit 1) instead of hanging forever.
+func TestRunDrainDeadline(t *testing.T) {
+	modelPath := saveTestModel(t)
+	sigc := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(server.Config{}, "127.0.0.1:0", []modelSpec{{name: "m", path: modelPath}},
+			time.Nanosecond, sigc, ready, io.Discard)
+	}()
+	addr := <-ready
+	// Hold a connection open with a never-finishing request body so Shutdown
+	// cannot complete within the nanosecond drain budget.
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	reqDone := make(chan struct{})
+	go func() {
+		defer close(reqDone)
+		req, _ := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/assign", pr)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	sigc <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("blown drain deadline reported a clean exit")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon hung past its drain deadline")
+	}
+	pw.CloseWithError(fmt.Errorf("test over"))
+	<-reqDone
+}

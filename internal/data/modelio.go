@@ -373,14 +373,20 @@ func (mr *modelReader) f64s(n int, name string) []float64 {
 }
 
 // ReadModel parses a model artifact written by WriteModel. Malformed input —
-// bad magic, unsupported version, implausible counts, truncated sections,
+// bad magic, unsupported version, implausible counts, truncated sections
+// (including a stream that ends inside the header, or an empty stream),
 // non-finite values, inconsistent dimensions — is rejected with an error
-// wrapping ErrMalformed; I/O failures of the underlying reader pass through
-// unwrapped.
+// wrapping ErrMalformed; genuine I/O failures of the underlying reader pass
+// through unwrapped. A short read is never surfaced as a raw io.EOF /
+// io.ErrUnexpectedEOF: a model file is self-delimiting, so running out of
+// bytes anywhere is truncation, not end of input.
 func ReadModel(r io.Reader) (*ModelArtifact, error) {
 	mr := &modelReader{r: bufio.NewReaderSize(r, 1<<16)}
 	var magic [4]byte
 	if _, err := io.ReadFull(mr.r, magic[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: truncated model header: %w", ErrMalformed, err)
+		}
 		return nil, fmt.Errorf("data: reading model header: %w", err)
 	}
 	if string(magic[:]) != modelMagic {

@@ -1,0 +1,43 @@
+package data
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestReadModelTruncationTable: every strict prefix of a valid model stream
+// — from zero bytes up to one byte short of the full artifact — is rejected
+// with an error classifying as ErrMalformed. A truncated file (partial
+// download, torn write) must never surface a raw io.EOF that callers could
+// mistake for a clean end of input, and must never be accepted.
+func TestReadModelTruncationTable(t *testing.T) {
+	a := testArtifact(t)
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if len(full) < 64 {
+		t.Fatalf("test artifact implausibly small (%d bytes)", len(full))
+	}
+
+	for cut := 0; cut < len(full); cut++ {
+		_, err := ReadModel(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("cut %d/%d: truncated model accepted", cut, len(full))
+		}
+		if !errors.Is(err, ErrMalformed) {
+			t.Fatalf("cut %d/%d: err = %v, want ErrMalformed", cut, len(full), err)
+		}
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			t.Fatalf("cut %d/%d: raw EOF escaped unclassified", cut, len(full))
+		}
+	}
+
+	// And the untruncated stream still loads.
+	if _, err := ReadModel(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full stream: %v", err)
+	}
+}

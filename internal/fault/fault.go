@@ -74,6 +74,17 @@ const (
 	// DeadlineFire makes a budget checkpoint behave as if the wall-clock
 	// deadline had fired, exercising the partial-result path without waiting.
 	DeadlineFire
+	// HandlerSlow stalls a server request handler (context-aware) after
+	// admission, exercising deadline propagation and queue pressure under
+	// slow handling.
+	HandlerSlow
+	// AssignPanic panics inside a model-assign worker goroutine, exercising
+	// the serving layer's panic-to-500 containment on top of the engine's
+	// worker-panic recovery.
+	AssignPanic
+	// LoadSpike makes the admission gate shed the request as if capacity
+	// were exhausted, exercising load shedding and the degradation trigger.
+	LoadSpike
 
 	numPoints
 )
@@ -88,13 +99,27 @@ func (p Point) String() string {
 		return "index-query-error"
 	case DeadlineFire:
 		return "deadline-fire"
+	case HandlerSlow:
+		return "slow-handler"
+	case AssignPanic:
+		return "panic-in-assign"
+	case LoadSpike:
+		return "load-spike"
 	}
 	return fmt.Sprintf("point(%d)", uint8(p))
 }
 
-// Points lists every injection point, for sweep tests.
+// Points lists every injection point, for sweep tests. The server-side
+// points (HandlerSlow, AssignPanic, LoadSpike) have no sites inside the
+// clustering pipeline, so pipeline sweeps that arm them simply run clean.
 func Points() []Point {
-	return []Point{SolverNonConverge, WorkerPanic, IndexQueryError, DeadlineFire}
+	return []Point{SolverNonConverge, WorkerPanic, IndexQueryError, DeadlineFire, HandlerSlow, AssignPanic, LoadSpike}
+}
+
+// ServerPoints lists the injection points with sites in the serving layer,
+// for the server fault sweep.
+func ServerPoints() []Point {
+	return []Point{HandlerSlow, AssignPanic, LoadSpike}
 }
 
 // ErrInjected is matched (via errors.Is) by every error the injector

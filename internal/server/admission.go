@@ -1,0 +1,259 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dbsvec/internal/fault"
+)
+
+// gate is the weighted-semaphore admission controller: every assign request
+// must seat its cost (one unit per point) inside a fixed capacity before any
+// assignment work runs. Requests that do not fit wait in a bounded FIFO
+// queue; when the queue is full, the wait times out, or the request's own
+// deadline fires first, the request is shed with a typed error instead of
+// piling onto a collapsing server. Overload therefore degrades to fast,
+// honest 429s — never to unbounded goroutines or hung connections.
+//
+// The gate doubles as the pressure sensor for graceful degradation: every
+// admission that had to queue or was shed bumps a saturating "hot" score,
+// every immediate admission decays it. The server enters degraded mode when
+// the score reaches degradeAfter and leaves when it decays back to zero —
+// hysteresis, so one burst does not flap the mode per request.
+type gate struct {
+	capacity     int64
+	maxQueue     int
+	maxWait      time.Duration
+	retryAfter   time.Duration
+	degradeAfter int64
+
+	mu     sync.Mutex
+	inUse  int64
+	queue  []*waiter
+	queued int
+	closed bool
+
+	hot      atomic.Int64
+	degraded atomic.Bool
+}
+
+// waiter is one queued admission. ready is closed exactly once — either with
+// err == nil and the cost already seated, or with err set and nothing held.
+// abandoned waiters (deadline/timeout hit first) are skipped at grant time.
+type waiter struct {
+	cost      int64
+	ready     chan struct{}
+	err       *apiError
+	granted   bool
+	abandoned bool
+}
+
+func newGate(capacity int64, maxQueue int, maxWait, retryAfter time.Duration, degradeAfter int) *gate {
+	if degradeAfter < 1 {
+		degradeAfter = 1
+	}
+	return &gate{
+		capacity:     capacity,
+		maxQueue:     maxQueue,
+		maxWait:      maxWait,
+		retryAfter:   retryAfter,
+		degradeAfter: int64(degradeAfter),
+	}
+}
+
+// Acquire seats cost units, queueing within the request's deadline and the
+// gate's maxWait. A nil return means the caller holds the cost and must
+// Release it; every non-nil return is a typed *apiError and holds nothing.
+func (g *gate) Acquire(ctx context.Context, cost int64) error {
+	if cost <= 0 {
+		cost = 1
+	}
+	if cost > g.capacity {
+		return &apiError{status: 413, code: CodeBatchTooLarge,
+			msg: "batch cost exceeds the admission capacity; split the batch"}
+	}
+	// Load-spike injection: behave exactly as if the queue were full, so
+	// tests can drive the shed path (and the degradation trigger behind it)
+	// deterministically.
+	if err := fault.Error(fault.LoadSpike); err != nil {
+		g.pressureUp()
+		return overloadedError(g.retryAfter, err)
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return drainingError()
+	}
+	if g.queued == 0 && g.inUse+cost <= g.capacity {
+		g.inUse += cost
+		g.mu.Unlock()
+		g.pressureDown()
+		return nil
+	}
+	if g.queued >= g.maxQueue {
+		g.mu.Unlock()
+		g.pressureUp()
+		return overloadedError(g.retryAfter, nil)
+	}
+	w := &waiter{cost: cost, ready: make(chan struct{})}
+	g.queue = append(g.queue, w)
+	g.queued++
+	g.mu.Unlock()
+	g.pressureUp()
+
+	var timeout <-chan time.Time
+	if g.maxWait > 0 {
+		t := time.NewTimer(g.maxWait)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case <-w.ready:
+		if w.err != nil {
+			return w.err
+		}
+		return nil
+	case <-ctx.Done():
+		if g.abandon(w) {
+			return deadlineError(ctx.Err())
+		}
+	case <-timeout:
+		if g.abandon(w) {
+			return overloadedError(g.retryAfter, nil)
+		}
+	}
+	// Lost the race: the grant (or drain) landed before the abandon took
+	// hold. Honor whatever the grant decided — a granted slot is held and
+	// the caller proceeds (its own ctx check fires immediately if the
+	// deadline already passed), a drain error holds nothing.
+	<-w.ready
+	if w.err != nil {
+		return w.err
+	}
+	return nil
+}
+
+// Release returns cost units and seats as many queued waiters as now fit,
+// in FIFO order.
+func (g *gate) Release(cost int64) {
+	if cost <= 0 {
+		cost = 1
+	}
+	g.mu.Lock()
+	g.inUse -= cost
+	g.grantLocked()
+	g.mu.Unlock()
+}
+
+// grantLocked seats queued waiters head-first while they fit. Abandoned
+// entries are discarded; FIFO order is preserved (a large head blocks
+// smaller followers, so admission order is fair, not size-greedy).
+func (g *gate) grantLocked() {
+	for len(g.queue) > 0 {
+		w := g.queue[0]
+		if w.abandoned {
+			g.queue = g.queue[1:]
+			continue
+		}
+		if g.inUse+w.cost > g.capacity {
+			return
+		}
+		g.inUse += w.cost
+		w.granted = true
+		close(w.ready)
+		g.queue = g.queue[1:]
+		g.queued--
+	}
+}
+
+// abandon detaches a waiter whose deadline or queue-wait fired. Reports
+// false when the grant won the race — the caller then owns a seated slot.
+func (g *gate) abandon(w *waiter) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if w.granted || w.err != nil {
+		return false
+	}
+	w.abandoned = true
+	g.queued--
+	return true
+}
+
+// Close flips the gate into draining: queued waiters fail with the typed
+// draining error, new admissions are rejected, in-flight work keeps its
+// seats until Release.
+func (g *gate) Close() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.closed = true
+	for _, w := range g.queue {
+		if w.abandoned {
+			continue
+		}
+		w.err = drainingError()
+		close(w.ready)
+	}
+	g.queue = nil
+	g.queued = 0
+}
+
+// InUse returns the currently seated cost.
+func (g *gate) InUse() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inUse
+}
+
+// Queued returns the current queue depth.
+func (g *gate) Queued() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.queued
+}
+
+// pressureUp bumps the saturating hot score (a queued or shed admission) and
+// re-evaluates the degraded flag.
+func (g *gate) pressureUp() {
+	hotCap := 2 * g.degradeAfter
+	for {
+		h := g.hot.Load()
+		nh := h + 1
+		if nh > hotCap {
+			nh = hotCap
+		}
+		if g.hot.CompareAndSwap(h, nh) {
+			break
+		}
+	}
+	g.updateDegraded()
+}
+
+// pressureDown decays the hot score (an immediate admission) and
+// re-evaluates the degraded flag.
+func (g *gate) pressureDown() {
+	for {
+		h := g.hot.Load()
+		if h == 0 {
+			break
+		}
+		if g.hot.CompareAndSwap(h, h-1) {
+			break
+		}
+	}
+	g.updateDegraded()
+}
+
+func (g *gate) updateDegraded() {
+	switch h := g.hot.Load(); {
+	case h >= g.degradeAfter:
+		g.degraded.Store(true)
+	case h == 0:
+		g.degraded.Store(false)
+	}
+}
+
+// DegradedMode reports whether sustained pressure has the server in
+// degraded mode.
+func (g *gate) DegradedMode() bool { return g.degraded.Load() }

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func statusOf(t *testing.T, err error) *apiError {
+	t.Helper()
+	var ae *apiError
+	if !errors.As(err, &ae) {
+		t.Fatalf("gate error %v is not an *apiError", err)
+	}
+	return ae
+}
+
+// TestGateSeatsAndQueues: immediate admission within capacity, FIFO queueing
+// beyond it, and release-driven grants.
+func TestGateSeatsAndQueues(t *testing.T) {
+	g := newGate(10, 4, time.Second, time.Second, 8)
+	ctx := context.Background()
+	if err := g.Acquire(ctx, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Acquire(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.InUse(); got != 10 {
+		t.Fatalf("inUse %d, want 10", got)
+	}
+
+	// A third admission must queue until a release makes room.
+	done := make(chan error, 1)
+	go func() { done <- g.Acquire(ctx, 5) }()
+	waitFor(t, func() bool { return g.Queued() == 1 })
+	select {
+	case err := <-done:
+		t.Fatalf("queued acquire returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Release(6)
+	if err := <-done; err != nil {
+		t.Fatalf("queued acquire after release: %v", err)
+	}
+	if got := g.InUse(); got != 9 {
+		t.Fatalf("inUse %d, want 9", got)
+	}
+	g.Release(4)
+	g.Release(5)
+	if got := g.InUse(); got != 0 {
+		t.Fatalf("inUse %d after full release", got)
+	}
+}
+
+// TestGateShedPaths: over-capacity cost is a 413; a full queue and an
+// expired queue-wait are 429s; a request deadline in the queue is a
+// deadline error; Close flushes the queue with the draining error.
+func TestGateShedPaths(t *testing.T) {
+	ctx := context.Background()
+
+	g := newGate(4, 0, 10*time.Millisecond, time.Second, 8)
+	if ae := statusOf(t, g.Acquire(ctx, 5)); ae.status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-capacity status %d", ae.status)
+	}
+	if err := g.Acquire(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	// maxQueue 0: anything that cannot seat immediately sheds.
+	if ae := statusOf(t, g.Acquire(ctx, 1)); ae.status != http.StatusTooManyRequests || ae.code != CodeOverloaded {
+		t.Fatalf("queue-full shed: %+v", ae)
+	}
+	g.Release(4)
+
+	// Queue-wait timeout.
+	g = newGate(4, 2, 20*time.Millisecond, time.Second, 8)
+	if err := g.Acquire(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if ae := statusOf(t, g.Acquire(ctx, 1)); ae.code != CodeOverloaded {
+		t.Fatalf("queue-wait shed code %q", ae.code)
+	} else if time.Since(start) > time.Second {
+		t.Fatal("queue-wait shed took way longer than maxWait")
+	}
+
+	// Request deadline while queued.
+	dctx, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
+	defer cancel()
+	if ae := statusOf(t, g.Acquire(dctx, 1)); ae.code != CodeDeadlineExceeded {
+		t.Fatalf("queued-deadline code %q", ae.code)
+	}
+
+	// Close flushes the queue with the draining error and rejects new work.
+	flushed := make(chan error, 1)
+	go func() { flushed <- g.Acquire(ctx, 1) }()
+	waitFor(t, func() bool { return g.Queued() == 1 })
+	g.Close()
+	if ae := statusOf(t, <-flushed); ae.code != CodeDraining {
+		t.Fatalf("flushed waiter code %q", ae.code)
+	}
+	if ae := statusOf(t, g.Acquire(ctx, 1)); ae.code != CodeDraining {
+		t.Fatalf("post-close acquire code %q", ae.code)
+	}
+	g.Release(4)
+}
+
+// TestGateConcurrentAccounting hammers the gate from many goroutines and
+// checks the seat ledger balances back to zero — no leaked or double-freed
+// cost under contention (meaningful under -race).
+func TestGateConcurrentAccounting(t *testing.T) {
+	g := newGate(16, 8, 50*time.Millisecond, time.Second, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		cost := int64(1 + i%5)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+			defer cancel()
+			if err := g.Acquire(ctx, cost); err == nil {
+				time.Sleep(time.Millisecond)
+				g.Release(cost)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.InUse(); got != 0 {
+		t.Fatalf("seat ledger off by %d after drain-down", got)
+	}
+	if got := g.Queued(); got != 0 {
+		t.Fatalf("queue depth %d after drain-down", got)
+	}
+}
+
+// TestGateDegradationHysteresis: the hot score saturates, engages the mode
+// at the threshold, and only disengages at zero.
+func TestGateDegradationHysteresis(t *testing.T) {
+	g := newGate(4, 0, time.Millisecond, time.Second, 2)
+	ctx := context.Background()
+	if err := g.Acquire(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	if g.DegradedMode() {
+		t.Fatal("fresh gate already degraded")
+	}
+	for i := 0; i < 3; i++ { // sheds: hot 1, 2, 3 (saturates at 4)
+		if g.Acquire(ctx, 1) == nil {
+			t.Fatal("shed expected")
+		}
+	}
+	if !g.DegradedMode() {
+		t.Fatal("mode did not engage at threshold")
+	}
+	g.Release(4)
+	// Immediate admissions decay the score; the mode holds until zero.
+	for i := 0; i < 2; i++ {
+		if err := g.Acquire(ctx, 1); err != nil {
+			t.Fatal(err)
+		}
+		g.Release(1)
+		if !g.DegradedMode() {
+			t.Fatalf("mode flapped off at decay step %d", i)
+		}
+	}
+	if err := g.Acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	g.Release(1)
+	if g.DegradedMode() {
+		t.Fatal("mode did not disengage at zero")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"dbsvec"
+)
+
+// API error codes: the stable machine-readable vocabulary of every non-2xx
+// response body. Clients dispatch on these, never on message text.
+const (
+	// CodeInvalidParams rejects a request whose parameters cannot be served
+	// (bad JSON, ragged/non-finite points, dimensionality mismatch). 400.
+	CodeInvalidParams = "invalid_params"
+	// CodeMalformedModel rejects a hot-swap upload that is not a valid model
+	// artifact. 400.
+	CodeMalformedModel = "malformed_model"
+	// CodeUnknownModel rejects a request naming a model that is not loaded. 404.
+	CodeUnknownModel = "unknown_model"
+	// CodeBatchTooLarge rejects a batch whose admission cost exceeds the
+	// gate's total capacity — it could never be admitted. 413.
+	CodeBatchTooLarge = "batch_too_large"
+	// CodeOverloaded sheds a request the admission gate cannot seat: the
+	// queue is full, the queue wait timed out, or a load-spike fault fired.
+	// Comes with a Retry-After header. 429.
+	CodeOverloaded = "overloaded"
+	// CodeDraining rejects new work while the server drains towards
+	// shutdown; in-flight requests still complete. 503.
+	CodeDraining = "draining"
+	// CodeBudgetExceeded classifies a *dbsvec.BudgetExceededError crossing
+	// the response layer. 503.
+	CodeBudgetExceeded = "budget_exceeded"
+	// CodeDeadlineExceeded reports that the request's deadline fired before
+	// the assignment completed — the typed timeout response; the connection
+	// is never left hanging. 504.
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeWorkerPanic reports a panic contained by the engine's worker
+	// recovery or the handler's recover boundary. 500.
+	CodeWorkerPanic = "worker_panic"
+	// CodeInternal is the residual class for unclassified failures. 500.
+	CodeInternal = "internal"
+)
+
+// apiError is the typed error every handler failure is reduced to before it
+// is written: an HTTP status, a stable code, a human-readable message, an
+// optional retry hint, and the underlying cause. Unwrap preserves the cause
+// so errors.Is / errors.As keep working through the response layer — the
+// same contract the library keeps through its own wrapping layers.
+type apiError struct {
+	status     int
+	code       string
+	msg        string
+	retryAfter time.Duration // > 0 adds a Retry-After header and hint field
+	cause      error
+}
+
+func (e *apiError) Error() string {
+	if e.cause != nil {
+		return fmt.Sprintf("server: %s: %s: %v", e.code, e.msg, e.cause)
+	}
+	return fmt.Sprintf("server: %s: %s", e.code, e.msg)
+}
+
+func (e *apiError) Unwrap() error { return e.cause }
+
+func badRequest(code, format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+func overloadedError(retryAfter time.Duration, cause error) *apiError {
+	return &apiError{
+		status:     http.StatusTooManyRequests,
+		code:       CodeOverloaded,
+		msg:        "admission gate full; retry after the hinted delay",
+		retryAfter: retryAfter,
+		cause:      cause,
+	}
+}
+
+func drainingError() *apiError {
+	return &apiError{status: http.StatusServiceUnavailable, code: CodeDraining, msg: "server is draining"}
+}
+
+func deadlineError(cause error) *apiError {
+	return &apiError{
+		status: http.StatusGatewayTimeout,
+		code:   CodeDeadlineExceeded,
+		msg:    "request deadline fired before assignment completed",
+		cause:  cause,
+	}
+}
+
+// classify reduces an arbitrary failure to its typed apiError. Already-typed
+// errors pass through; library taxonomy errors map onto their codes; the
+// residue is a 500. The cause is always retained, so a caller holding the
+// classified error can still errors.As into *dbsvec.WorkerPanicError or
+// *dbsvec.BudgetExceededError.
+func classify(err error) *apiError {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae
+	}
+	var wp *dbsvec.WorkerPanicError
+	if errors.As(err, &wp) {
+		return &apiError{status: http.StatusInternalServerError, code: CodeWorkerPanic,
+			msg: "worker panic contained during assignment", cause: err}
+	}
+	var be *dbsvec.BudgetExceededError
+	if errors.As(err, &be) {
+		return &apiError{status: http.StatusServiceUnavailable, code: CodeBudgetExceeded,
+			msg: "work budget exhausted", cause: err}
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return deadlineError(err)
+	}
+	if errors.Is(err, dbsvec.ErrMalformed) {
+		return &apiError{status: http.StatusBadRequest, code: CodeMalformedModel,
+			msg: "model artifact rejected", cause: err}
+	}
+	if errors.Is(err, dbsvec.ErrInvalidParams) {
+		return &apiError{status: http.StatusBadRequest, code: CodeInvalidParams,
+			msg: "invalid request parameters", cause: err}
+	}
+	return &apiError{status: http.StatusInternalServerError, code: CodeInternal,
+		msg: "internal error", cause: err}
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error errorInfo `json:"error"`
+}
+
+type errorInfo struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	Detail       string `json:"detail,omitempty"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+}

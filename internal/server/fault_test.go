@@ -1,0 +1,101 @@
+//go:build faultinject
+
+package server
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"dbsvec/internal/fault"
+	"dbsvec/internal/leakcheck"
+)
+
+// TestServerFaultSweep drives concurrent assign bursts through every server
+// fault point under every injection mode. The invariant is the serving
+// contract, not any particular outcome: every response is one of the typed
+// statuses, no connection hangs, no goroutine leaks, and after the injector
+// is restored the server serves clean again.
+func TestServerFaultSweep(t *testing.T) {
+	leakcheck.Check(t)
+	m, ds := trainedModel(t, 1000, 2, 3, 41)
+	cfg := Config{
+		Capacity:       8,
+		MaxQueue:       2,
+		MaxQueueWait:   50 * time.Millisecond,
+		DefaultTimeout: 2 * time.Second,
+		Workers:        2,
+		DegradeAfter:   4,
+	}
+	_, url, client := newTestServer(t, cfg, m)
+
+	batch := make([][]float64, 4)
+	for i := range batch {
+		batch[i] = append([]float64(nil), ds.Point(i)...)
+	}
+	allowed := map[int]string{
+		http.StatusOK:                  "",
+		http.StatusTooManyRequests:     CodeOverloaded,
+		http.StatusGatewayTimeout:      CodeDeadlineExceeded,
+		http.StatusInternalServerError: CodeWorkerPanic,
+	}
+
+	for _, p := range fault.ServerPoints() {
+		for _, mode := range []struct {
+			name string
+			mode fault.Mode
+		}{
+			{"always", fault.Always()},
+			{"nth2", fault.Nth(2)},
+			{"prob", fault.Prob(0.5)},
+		} {
+			t.Run(p.String()+"/"+mode.name, func(t *testing.T) {
+				restore := fault.Activate(fault.NewInjector(7).Arm(p, mode.mode))
+				var wg sync.WaitGroup
+				for g := 0; g < 12; g++ {
+					g := g
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						status, body, header := postJSON(t, client, url+"/v1/assign", map[string]any{"points": batch})
+						wantCode, ok := allowed[status]
+						if !ok {
+							t.Errorf("goroutine %d: status %d outside the typed set (body %s)", g, status, body)
+							return
+						}
+						switch status {
+						case http.StatusOK:
+							ar := decodeAssign(t, body)
+							checkLabels(t, ar.Labels, len(batch), m.Clusters())
+						default:
+							if ei := decodeError(t, body); ei.Code != wantCode {
+								t.Errorf("goroutine %d: status %d carries code %q, want %q", g, status, ei.Code, wantCode)
+							}
+							if status == http.StatusTooManyRequests && header.Get("Retry-After") == "" {
+								t.Errorf("goroutine %d: 429 without Retry-After", g)
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				restore()
+
+				// The server must come back healthy once injection stops;
+				// degraded responses are fine while pressure decays.
+				deadline := time.Now().Add(5 * time.Second)
+				for {
+					status, body, _ := postJSON(t, client, url+"/v1/assign", map[string]any{"point": batch[0]})
+					if status == http.StatusOK {
+						checkLabels(t, decodeAssign(t, body).Labels, 1, m.Clusters())
+						break
+					}
+					if time.Now().After(deadline) {
+						t.Fatalf("server did not recover after %s sweep: status %d body %s", p, status, body)
+					}
+					time.Sleep(10 * time.Millisecond)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// metrics is the daemon's observable state: monotonic counters bumped on
+// the request path plus gauges sampled from the gate and registry at scrape
+// time. Exposed at /metrics in the plain "name value" text form.
+type metrics struct {
+	requests       atomic.Int64 // every API request received
+	assigns        atomic.Int64 // successful assign responses
+	assignedPoints atomic.Int64 // points labeled across successful assigns
+	degraded       atomic.Int64 // successful assigns served on the degraded path
+	overloaded     atomic.Int64 // 429 sheds (queue full, queue-wait timeout, load spike)
+	tooLarge       atomic.Int64 // 413 over-capacity batches
+	deadline       atomic.Int64 // 504 deadline expiries
+	invalid        atomic.Int64 // 400 rejections
+	notFound       atomic.Int64 // 404 unknown-model rejections
+	drainRejected  atomic.Int64 // 503 rejections while draining
+	panics         atomic.Int64 // panics contained to 500s
+	internalErrors atomic.Int64 // residual 500s
+	modelSwaps     atomic.Int64 // hot-swap loads accepted
+}
+
+// count records a finished request's outcome class.
+func (m *metrics) count(ae *apiError) {
+	if ae == nil {
+		return
+	}
+	switch ae.code {
+	case CodeOverloaded:
+		m.overloaded.Add(1)
+	case CodeBatchTooLarge:
+		m.tooLarge.Add(1)
+	case CodeDeadlineExceeded:
+		m.deadline.Add(1)
+	case CodeInvalidParams, CodeMalformedModel:
+		m.invalid.Add(1)
+	case CodeUnknownModel:
+		m.notFound.Add(1)
+	case CodeDraining:
+		m.drainRejected.Add(1)
+	case CodeWorkerPanic:
+		m.panics.Add(1)
+	default:
+		m.internalErrors.Add(1)
+	}
+}
+
+// handleMetrics renders the counters and live gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	bw := bufio.NewWriter(w)
+	emit := func(name string, v int64) { fmt.Fprintf(bw, "dbsvecd_%s %d\n", name, v) }
+	m := &s.metrics
+	emit("requests_total", m.requests.Load())
+	emit("assign_total", m.assigns.Load())
+	emit("assign_points_total", m.assignedPoints.Load())
+	emit("assign_degraded_total", m.degraded.Load())
+	emit("rejected_overload_total", m.overloaded.Load())
+	emit("rejected_too_large_total", m.tooLarge.Load())
+	emit("rejected_draining_total", m.drainRejected.Load())
+	emit("deadline_exceeded_total", m.deadline.Load())
+	emit("invalid_requests_total", m.invalid.Load())
+	emit("unknown_model_total", m.notFound.Load())
+	emit("worker_panics_total", m.panics.Load())
+	emit("internal_errors_total", m.internalErrors.Load())
+	emit("model_swaps_total", m.modelSwaps.Load())
+	emit("admission_capacity", s.gate.capacity)
+	emit("admission_inflight_cost", s.gate.InUse())
+	emit("admission_queue_depth", int64(s.gate.Queued()))
+	emit("degraded_mode", boolGauge(s.gate.DegradedMode()))
+	emit("draining", boolGauge(s.draining.Load()))
+	emit("models_loaded", int64(len(s.registry().names)))
+	bw.Flush()
+}
+
+func boolGauge(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

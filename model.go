@@ -1,17 +1,20 @@
 package dbsvec
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dbsvec/internal/cluster"
 	"dbsvec/internal/core"
 	"dbsvec/internal/data"
 	"dbsvec/internal/dist"
 	"dbsvec/internal/engine"
+	"dbsvec/internal/fault"
 	"dbsvec/internal/svdd"
 )
 
@@ -192,6 +195,24 @@ func (m *Model) assignPlan() *assignPlan {
 	return m.plan
 }
 
+// CheckAssignable validates up front that the points of d can be classified
+// by this model: the model must be non-nil and the dimensionalities must
+// match. Every rejection wraps ErrInvalidParams, so callers (the CLI, the
+// serving daemon) can classify the failure before any assignment work runs
+// instead of discovering it mid-batch.
+func (m *Model) CheckAssignable(d *Dataset) error {
+	if m == nil || m.art == nil {
+		return fmt.Errorf("%w: nil model", core.ErrInvalidParams)
+	}
+	if d == nil {
+		return core.ErrNilDataset
+	}
+	if d.Dim() != m.art.Dim && d.Len() > 0 {
+		return fmt.Errorf("%w: cannot assign %d-dimensional points with a %d-dimensional model", core.ErrInvalidParams, d.Dim(), m.art.Dim)
+	}
+	return nil
+}
+
 // Assign classifies each point of d against the retained boundaries and
 // returns one label per point: the cluster whose SVDD boundary contains the
 // point (the most-interior boundary wins when several do; ties break to the
@@ -203,24 +224,59 @@ func (m *Model) assignPlan() *assignPlan {
 // sequentially) with deterministic range partitioning and per-point
 // independent work, so the labels are bit-identical for every worker count.
 func (m *Model) Assign(d *Dataset, workers int) ([]int32, error) {
-	if m == nil || m.art == nil {
-		return nil, fmt.Errorf("dbsvec: nil model")
+	return m.AssignContext(context.Background(), d, workers)
+}
+
+// assignCtxMask is the per-worker cancellation poll interval of the assign
+// fan-out: ctx.Err() is checked every assignCtxMask+1 points, so a deadline
+// or cancel aborts a batch within a bounded slice of work instead of after
+// it. Must be a power of two minus one.
+const assignCtxMask = 63
+
+// AssignContext is Assign with cancellation: when ctx is cancelled or its
+// deadline fires mid-batch, every worker stops within its next poll window
+// (64 points), the fan-out drains, and ctx's error is returned with nil
+// labels. No goroutines outlive the call.
+func (m *Model) AssignContext(ctx context.Context, d *Dataset, workers int) ([]int32, error) {
+	return m.assignContext(ctx, d, workers, (*assignPlan).assign)
+}
+
+// AssignNearestContext is the degraded assignment path: each point gets the
+// cluster of its nearest retained support vector when that vector lies
+// within ε, Noise otherwise — the fallback half of Assign alone, skipping
+// every SVDD boundary evaluation. One batched distance pass per point
+// remains, but the per-support-vector exp() work is gone, which is what the
+// serving daemon sheds under sustained overload. Labels agree with Assign
+// everywhere Assign itself falls back; points inside a boundary may differ.
+func (m *Model) AssignNearestContext(ctx context.Context, d *Dataset, workers int) ([]int32, error) {
+	return m.assignContext(ctx, d, workers, (*assignPlan).assignNearest)
+}
+
+func (m *Model) assignContext(ctx context.Context, d *Dataset, workers int, score func(*assignPlan, []float64, []float64) int32) ([]int32, error) {
+	if err := m.CheckAssignable(d); err != nil {
+		return nil, err
 	}
-	if d == nil {
-		return nil, core.ErrNilDataset
-	}
-	if d.Dim() != m.art.Dim && d.Len() > 0 {
-		return nil, fmt.Errorf("dbsvec: cannot assign %d-dimensional points with a %d-dimensional model", d.Dim(), m.art.Dim)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	plan := m.assignPlan()
 	labels := make([]int32, d.Len())
 	mat := d.ds.Matrix()
+	var stop atomic.Bool
 	engine.ForRanges(engine.ResolveWorkers(workers), d.Len(), nil, func(lo, hi int) {
+		fault.PanicNow(fault.AssignPanic)
 		d2 := make([]float64, plan.svs.Len())
 		for i := lo; i < hi; i++ {
-			labels[i] = plan.assign(mat.Row(i), d2)
+			if (i-lo)&assignCtxMask == 0 && (stop.Load() || ctx.Err() != nil) {
+				stop.Store(true)
+				return
+			}
+			labels[i] = score(plan, mat.Row(i), d2)
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return labels, nil
 }
 
@@ -248,9 +304,24 @@ func (p *assignPlan) assign(q []float64, d2 []float64) int32 {
 	if best <= 0 {
 		return bestCluster
 	}
-	// Outside every boundary: attach to the cluster of the nearest support
-	// vector if it is ε-close, mirroring how border points attach to core
-	// neighborhoods during clustering.
+	return p.nearestWithinEps(d2)
+}
+
+// assignNearest scores one point on the degraded path: the nearest-SV
+// fallback alone, no boundary evaluations. d2 is the caller's scratch buffer
+// as in assign.
+func (p *assignPlan) assignNearest(q []float64, d2 []float64) int32 {
+	if len(d2) == 0 {
+		return cluster.Noise
+	}
+	dist.SqDistsToAll(p.svs, q, d2)
+	return p.nearestWithinEps(d2)
+}
+
+// nearestWithinEps attaches to the cluster of the nearest support vector if
+// it is ε-close, mirroring how border points attach to core neighborhoods
+// during clustering; Noise otherwise. d2 must be non-empty.
+func (p *assignPlan) nearestWithinEps(d2 []float64) int32 {
 	ni, nd := 0, d2[0]
 	for i := 1; i < len(d2); i++ {
 		if d2[i] < nd {

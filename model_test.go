@@ -2,10 +2,13 @@ package dbsvec
 
 import (
 	"bytes"
+	"context"
 	"errors"
+	"sync/atomic"
 	"testing"
 
 	"dbsvec/internal/data"
+	"dbsvec/internal/leakcheck"
 )
 
 func blobDataset(t *testing.T, n, d, k int, seed int64) *Dataset {
@@ -166,8 +169,15 @@ func TestModelAssignRejectsMismatchedDim(t *testing.T) {
 		t.Fatal(err)
 	}
 	wrong := blobDataset(t, 10, 3, 1, 9)
-	if _, err := res.Model().Assign(wrong, 1); err == nil {
-		t.Fatal("Assign accepted points of the wrong dimensionality")
+	if _, err := res.Model().Assign(wrong, 1); !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("Assign on wrong dimensionality: err = %v, want ErrInvalidParams", err)
+	}
+	if err := res.Model().CheckAssignable(wrong); !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("CheckAssignable on wrong dimensionality: err = %v, want ErrInvalidParams", err)
+	}
+	var nilModel *Model
+	if err := nilModel.CheckAssignable(ds); !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("CheckAssignable on nil model: err = %v, want ErrInvalidParams", err)
 	}
 }
 
@@ -197,5 +207,100 @@ func TestLoadModelRejectsKindMismatch(t *testing.T) {
 	}
 	if _, err := LoadOneClass(bytes.NewReader(cBuf.Bytes())); !errors.Is(err, ErrMalformed) {
 		t.Fatalf("LoadOneClass on a clustering artifact: err = %v, want ErrMalformed", err)
+	}
+}
+
+// pollCancelCtx is a context whose Err() flips to context.Canceled after a
+// fixed number of Err() polls. AssignContext only ever consults ctx.Err()
+// (never Done()), so this drives mid-fan-out cancellation deterministically:
+// the budget is spent strictly inside the worker loops.
+type pollCancelCtx struct {
+	context.Context
+	polls atomic.Int64
+}
+
+func (c *pollCancelCtx) Err() error {
+	if c.polls.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestAssignContextCancelledMidFanOut: cancellation that lands while the
+// assign fan-out is running aborts the batch with ctx's error and leaks no
+// goroutines. The poll budget (3) survives AssignContext's two whole-batch
+// checks plus the first in-loop poll, so the cancel is observed strictly
+// inside the worker loop.
+func TestAssignContextCancelledMidFanOut(t *testing.T) {
+	leakcheck.Check(t)
+	ds := blobDataset(t, 2000, 2, 3, 21)
+	res, err := Cluster(ds, Options{Eps: 3, MinPts: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Model()
+
+	ctx := &pollCancelCtx{Context: context.Background()}
+	ctx.polls.Store(3)
+	if _, err := m.AssignContext(ctx, ds, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-fan-out cancel: err = %v, want context.Canceled", err)
+	}
+
+	// A pre-cancelled context never starts the fan-out.
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.AssignContext(done, ds, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled: err = %v, want context.Canceled", err)
+	}
+
+	// And the model still works afterwards.
+	labels, err := m.Assign(ds, 4)
+	if err != nil || len(labels) != ds.Len() {
+		t.Fatalf("post-cancel Assign: labels %d err %v", len(labels), err)
+	}
+}
+
+// TestAssignNearestContext: the degraded-path entry point is deterministic
+// across worker counts, labels stay in range, and it broadly agrees with
+// the full boundary path on training data (the nearest-SV fallback is the
+// final tiebreak of the full path, so most points coincide).
+func TestAssignNearestContext(t *testing.T) {
+	ds := blobDataset(t, 1200, 2, 3, 25)
+	res, err := Cluster(ds, Options{Eps: 3, MinPts: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Model()
+	ctx := context.Background()
+
+	one, err := m.AssignNearestContext(ctx, ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := m.AssignNearestContext(ctx, ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range one {
+		if one[i] != four[i] {
+			t.Fatalf("nearest assignment depends on worker count at %d: %d vs %d", i, one[i], four[i])
+		}
+		if one[i] != -1 && (one[i] < 0 || int(one[i]) >= m.Clusters()) {
+			t.Fatalf("nearest label[%d] = %d outside [-1, %d)", i, one[i], m.Clusters())
+		}
+	}
+
+	full, err := m.Assign(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for i := range full {
+		if full[i] == one[i] {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(full)); frac < 0.8 {
+		t.Fatalf("nearest path agrees with the full path on only %.2f of points", frac)
 	}
 }
